@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Ablation: transactional-buffer size sweep. HinTM's pitch is that
+ * hints expand *effective* capacity — this sweep quantifies how many
+ * physical entries a conventional HTM would need to match HinTM at 64
+ * entries (§VI-E: achieving the same effect in hardware alone requires
+ * larger buffers).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+
+using namespace hintm;
+using bench::BenchArgs;
+using core::Mechanism;
+using core::SystemOptions;
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+    if (args.only.empty())
+        args.only = {"genome", "labyrinth", "vacation", "yada"};
+
+    const unsigned sizes[] = {16, 32, 64, 128, 256, 512};
+
+    for (const std::string &name : args.only) {
+        const bench::PreparedWorkload p = bench::prepare(name, args.scale);
+        TextTable t;
+        t.header({"buffer entries", "base cap-aborts", "base cycles",
+                  "HinTM cap-aborts", "HinTM cycles", "HinTM speedup"});
+        for (const unsigned entries : sizes) {
+            SystemOptions base;
+            base.htmKind = htm::HtmKind::P8;
+            base.bufferEntries = entries;
+            const auto rb = bench::run(p, base);
+
+            SystemOptions full = base;
+            full.mechanism = Mechanism::Full;
+            const auto rf = bench::run(p, full);
+
+            const auto cap = [](const sim::RunResult &r) {
+                return r.htm.aborts[unsigned(htm::AbortReason::Capacity)];
+            };
+            t.row({std::to_string(entries), std::to_string(cap(rb)),
+                   std::to_string(rb.cycles), std::to_string(cap(rf)),
+                   std::to_string(rf.cycles),
+                   bench::speedupStr(double(rb.cycles) / rf.cycles)});
+        }
+        std::cout << "== buffer-size ablation: " << name << " ==\n"
+                  << t << "\n";
+    }
+    return 0;
+}

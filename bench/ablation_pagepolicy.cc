@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation: page-mode transition policy (§VI-B). Compares full HinTM
+ * under the default sticky policy (a safe page that turns unsafe stays
+ * unsafe; aborts every TX that safe-read it) against the
+ * preserve-read-only policy (a second reader demotes private-rw pages
+ * to shared-ro instead of declaring them unsafe). The paper studies
+ * this for vacation, its page-mode outlier.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+
+using namespace hintm;
+using bench::BenchArgs;
+using core::Mechanism;
+using core::SystemOptions;
+
+int
+main(int argc, char **argv)
+{
+    const BenchArgs args = BenchArgs::parse(argc, argv);
+
+    TextTable t;
+    t.header({"workload", "base cycles", "HinTM", "pg-aborts",
+              "HinTM+preserve", "pg-aborts", "preserve gain"});
+
+    for (const std::string &name : args.names()) {
+        const bench::PreparedWorkload p = bench::prepare(name, args.scale);
+
+        SystemOptions base;
+        base.htmKind = htm::HtmKind::P8;
+        const auto rb = bench::run(p, base);
+
+        SystemOptions sticky = base;
+        sticky.mechanism = Mechanism::Full;
+        const auto rs = bench::run(p, sticky);
+
+        SystemOptions pres = sticky;
+        pres.preserveReadOnly = true;
+        const auto rp = bench::run(p, pres);
+
+        const auto pg = [](const sim::RunResult &r) {
+            return r.htm.aborts[unsigned(htm::AbortReason::PageMode)];
+        };
+        t.row({name, std::to_string(rb.cycles),
+               bench::speedupStr(double(rb.cycles) / rs.cycles),
+               std::to_string(pg(rs)),
+               bench::speedupStr(double(rb.cycles) / rp.cycles),
+               std::to_string(pg(rp)),
+               bench::speedupStr(double(rs.cycles) / rp.cycles)});
+    }
+    std::cout << "== page-policy ablation (P8 + HinTM) ==\n" << t;
+    return 0;
+}

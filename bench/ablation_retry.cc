@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Ablation: retry-policy sweep. Two axes the paper fixes implicitly:
+ * how many transient-abort retries precede the fallback lock, and
+ * whether capacity aborts retry at all (they are deterministic, so the
+ * sane policy — and ours — falls back immediately; this sweep shows why
+ * by letting them burn retries like transient aborts).
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+
+using namespace hintm;
+using bench::BenchArgs;
+using core::SystemOptions;
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+    if (args.only.empty())
+        args.only = {"intruder", "tpcc-p", "vacation"};
+
+    const unsigned retries[] = {0, 2, 4, 8, 16};
+
+    for (const std::string &name : args.only) {
+        const bench::PreparedWorkload p = bench::prepare(name, args.scale);
+        TextTable t;
+        t.header({"max retries", "cycles", "commits", "fallbacks",
+                  "conflict aborts"});
+        for (const unsigned r : retries) {
+            SystemOptions o;
+            o.htmKind = htm::HtmKind::P8;
+            o.maxRetries = r;
+            const auto res = bench::run(p, o);
+            t.row({std::to_string(r), std::to_string(res.cycles),
+                   std::to_string(res.htm.commits),
+                   std::to_string(res.fallbackRuns),
+                   std::to_string(res.htm.aborts[unsigned(
+                       htm::AbortReason::Conflict)])});
+        }
+        std::cout << "== retry-policy ablation (P8 baseline): " << name
+                  << " ==\n"
+                  << t << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation: P8S read-signature width sweep. Smaller bitvectors alias
+ * more (more false-conflict aborts); HinTM shrinks the spilled readset,
+ * so it effectively buys signature headroom the same way it buys buffer
+ * capacity.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.hh"
+#include "common/table.hh"
+
+using namespace hintm;
+using bench::BenchArgs;
+using core::Mechanism;
+using core::SystemOptions;
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = BenchArgs::parse(argc, argv);
+    if (!args.scaleExplicit)
+        args.scale = workloads::Scale::Large;
+    if (args.only.empty())
+        args.only = {"genome", "intruder", "vacation"};
+
+    const unsigned widths[] = {128, 256, 512, 1024, 2048};
+
+    for (const std::string &name : args.only) {
+        const bench::PreparedWorkload p = bench::prepare(name, args.scale);
+        TextTable t;
+        t.header({"signature bits", "base false-cf", "base cycles",
+                  "HinTM false-cf", "HinTM speedup"});
+        for (const unsigned bits : widths) {
+            SystemOptions base;
+            base.htmKind = htm::HtmKind::P8S;
+            base.signatureBits = bits;
+            const auto rb = bench::run(p, base);
+
+            SystemOptions full = base;
+            full.mechanism = Mechanism::Full;
+            const auto rf = bench::run(p, full);
+
+            const auto fcf = [](const sim::RunResult &r) {
+                return r.htm
+                    .aborts[unsigned(htm::AbortReason::FalseConflict)];
+            };
+            t.row({std::to_string(bits), std::to_string(fcf(rb)),
+                   std::to_string(rb.cycles), std::to_string(fcf(rf)),
+                   bench::speedupStr(double(rb.cycles) / rf.cycles)});
+        }
+        std::cout << "== signature-width ablation: " << name << " ==\n"
+                  << t << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,97 @@
+#include "bench_util.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace hintm
+{
+namespace bench
+{
+
+BenchArgs
+BenchArgs::parse(int argc, char **argv)
+{
+    BenchArgs a;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--tiny") {
+            a.scale = workloads::Scale::Tiny;
+            a.scaleExplicit = true;
+        } else if (arg == "--small") {
+            a.scale = workloads::Scale::Small;
+            a.scaleExplicit = true;
+        } else if (arg == "--large") {
+            a.scale = workloads::Scale::Large;
+            a.scaleExplicit = true;
+        } else if (arg == "--preserve") {
+            a.preserve = true;
+        } else if (arg == "--workload" && i + 1 < argc) {
+            a.only.push_back(argv[++i]);
+        } else if (arg == "--help") {
+            std::printf("options: [--tiny|--small|--large] [--preserve] "
+                        "[--workload NAME]...\n");
+            std::exit(0);
+        } else {
+            HINTM_FATAL("unknown argument ", arg);
+        }
+    }
+    return a;
+}
+
+std::vector<std::string>
+BenchArgs::names() const
+{
+    return only.empty() ? workloads::allNames() : only;
+}
+
+PreparedWorkload
+prepare(const std::string &name, workloads::Scale s)
+{
+    PreparedWorkload p{workloads::byName(name, s), {}};
+    p.compileReport = core::compileHints(p.wl.module);
+    return p;
+}
+
+sim::RunResult
+run(const PreparedWorkload &p, core::SystemOptions opts)
+{
+    return core::simulate(opts, p.wl.module, p.wl.threads);
+}
+
+std::string
+speedupStr(double s)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2fx", s);
+    return buf;
+}
+
+double
+reduction(std::uint64_t base, std::uint64_t with)
+{
+    if (base == 0)
+        return 0.0;
+    if (with >= base)
+        return 0.0;
+    return double(base - with) / double(base);
+}
+
+double
+geomean(const std::vector<double> &v)
+{
+    double acc = 0.0;
+    unsigned n = 0;
+    for (double x : v) {
+        if (x > 0) {
+            acc += std::log(x);
+            ++n;
+        }
+    }
+    return n ? std::exp(acc / n) : 0.0;
+}
+
+} // namespace bench
+} // namespace hintm

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared plumbing for the figure-reproduction harnesses: workload
+ * compilation caching, config sweeps, and result formatting helpers.
+ */
+
+#ifndef HINTM_BENCH_BENCH_UTIL_HH
+#define HINTM_BENCH_BENCH_UTIL_HH
+
+#include <string>
+#include <vector>
+
+#include "core/hintm.hh"
+#include "workloads/workloads.hh"
+
+namespace hintm
+{
+namespace bench
+{
+
+/** Command-line options shared by all harnesses. */
+struct BenchArgs
+{
+    workloads::Scale scale = workloads::Scale::Small;
+    /** True when the user passed an explicit scale flag. */
+    bool scaleExplicit = false;
+    /** Empty = the full suite. */
+    std::vector<std::string> only;
+    bool preserve = false;
+
+    static BenchArgs parse(int argc, char **argv);
+    std::vector<std::string> names() const;
+};
+
+/** A workload with hints compiled once, reusable across configs. */
+struct PreparedWorkload
+{
+    workloads::Workload wl;
+    compiler::SafetyReport compileReport;
+};
+
+PreparedWorkload prepare(const std::string &name, workloads::Scale s);
+
+/** Run a prepared workload under the given options. */
+sim::RunResult run(const PreparedWorkload &p, core::SystemOptions opts);
+
+/** "2.98x"-style speedup formatting. */
+std::string speedupStr(double s);
+
+/** Abort-reduction percentage vs a baseline count (guards div by 0). */
+double reduction(std::uint64_t base, std::uint64_t with);
+
+/** Geometric mean (ignores non-positive entries). */
+double geomean(const std::vector<double> &v);
+
+} // namespace bench
+} // namespace hintm
+
+#endif // HINTM_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot components:
+ * signature hashing, transactional-buffer tracking, cache-array lookups,
+ * page-table transitions, TLB operations and raw interpreter throughput.
+ * These bound the simulator's own performance, not the paper's results.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "htm/signature.hh"
+#include "htm/tx_buffer.hh"
+#include "mem/cache_array.hh"
+#include "tir/builder.hh"
+#include "tir/interp.hh"
+#include "vm/page_table.hh"
+#include "vm/tlb.hh"
+
+using namespace hintm;
+
+namespace
+{
+
+void
+BM_SignatureInsertTest(benchmark::State &state)
+{
+    htm::Signature sig(unsigned(state.range(0)), 2);
+    Addr a = 0;
+    for (auto _ : state) {
+        sig.insert(a);
+        benchmark::DoNotOptimize(sig.test(a + 64));
+        a += 64;
+        if ((a & 0xFFFF) == 0)
+            sig.clear();
+    }
+}
+BENCHMARK(BM_SignatureInsertTest)->Arg(256)->Arg(1024)->Arg(4096);
+
+void
+BM_TxBufferTrack(benchmark::State &state)
+{
+    htm::TxBuffer buf(64);
+    Addr a = 0;
+    for (auto _ : state) {
+        if (!buf.track(a & (63 * 64), AccessType::Read))
+            buf.clear();
+        a += 64;
+    }
+}
+BENCHMARK(BM_TxBufferTrack);
+
+void
+BM_CacheArrayLookupInsert(benchmark::State &state)
+{
+    mem::CacheArray l1(mem::CacheGeometry(32 * 1024, 8));
+    Addr a = 0;
+    for (auto _ : state) {
+        if (!l1.lookup(a))
+            l1.insert(a, mem::CoherState::Shared);
+        a = (a + 64) & 0xFFFFF;
+    }
+}
+BENCHMARK(BM_CacheArrayLookupInsert);
+
+void
+BM_PageTableTouch(benchmark::State &state)
+{
+    vm::PageTable pt;
+    Addr a = 0;
+    ThreadId t = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            pt.touch(t, a, AccessType::Read));
+        a += 4096;
+        t = (t + 1) & 7;
+    }
+}
+BENCHMARK(BM_PageTableTouch);
+
+void
+BM_TlbLookup(benchmark::State &state)
+{
+    vm::Tlb tlb(64);
+    for (Addr p = 0; p < 64; ++p)
+        tlb.insert(p, vm::PageState::SharedRo);
+    Addr p = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(tlb.lookup(p));
+        p = (p + 1) & 63;
+    }
+}
+BENCHMARK(BM_TlbLookup);
+
+void
+BM_InterpreterThroughput(benchmark::State &state)
+{
+    // A tight arithmetic+memory loop, measured in instructions/second.
+    tir::Module m;
+    tir::FunctionBuilder f(m, "loop", 1);
+    const tir::Reg buf = f.mallocI(8 * 1024);
+    f.forRangeI(0, 1000000000, [&](tir::Reg i) {
+        const tir::Reg idx = f.modI(i, 1024);
+        const tir::Reg slot = f.gep(buf, idx, 8);
+        f.store(slot, f.add(f.load(slot), i));
+    });
+    f.retVoid();
+    const int fn = f.finish();
+    m.threadFunc = fn;
+
+    tir::Program prog(m, 1);
+    tir::ThreadInterp interp(prog, 0, fn, {0});
+    std::uint64_t instrs = 0;
+    for (auto _ : state) {
+        const tir::Step st = interp.next();
+        if (st.kind == tir::StepKind::Mem)
+            interp.completeMem();
+        instrs += st.simpleInstrs + 1;
+    }
+    state.counters["instr/s"] = benchmark::Counter(
+        double(instrs), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InterpreterThroughput);
+
+} // namespace
+
+BENCHMARK_MAIN();

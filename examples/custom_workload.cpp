@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Building a custom workload end-to-end: a producer/consumer pipeline
+ * over a shared ring buffer, authored with the TxIR builder, inspected
+ * through the IR printer before and after the safety passes, and swept
+ * across all four baseline HTMs. A template for adding new workloads to
+ * the suite.
+ */
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/hintm.hh"
+#include "tir/builder.hh"
+#include "tir/verifier.hh"
+
+using namespace hintm;
+using tir::FunctionBuilder;
+using tir::Reg;
+
+namespace
+{
+
+constexpr std::int64_t ringSlots = 64;
+constexpr std::int64_t itemsPerProducer = 120;
+constexpr std::int64_t payloadWords = 768; // 96 blocks per item
+
+tir::Module
+buildPipeline()
+{
+    tir::Module m;
+    m.globals.push_back({"ring", ringSlots * 8, 0});
+    m.globals.push_back({"head", 8, 0});
+    m.globals.push_back({"tail", 8, 0});
+    m.globals.push_back({"published", 8, 0});
+    m.globals.push_back({"consumed", 8 * 64, 0});
+
+    FunctionBuilder f(m, "worker", 1);
+    const Reg tid = f.param(0);
+    const Reg ring = f.globalAddr("ring");
+    // Even threads produce, odd threads consume.
+    const Reg is_producer = f.cmpEqI(f.modI(tid, 2), 0);
+
+    // Each worker keeps a private staging area (freed at thread end:
+    // Algorithm 1 classifies it, so staging accesses carry hints).
+    const Reg staging = f.mallocI(payloadWords * 8);
+
+    const Reg processed = f.freshVar();
+    f.setI(processed, 0);
+    f.whileLoop([&] { return f.cmpLtI(processed, itemsPerProducer); },
+                [&] {
+        f.ifThenElse(
+            is_producer,
+            [&] {
+                // Reserve a slot in a tiny TX (the only contended
+                // step), then stage + publish in a big TX that touches
+                // nothing shared but the reserved slot.
+                const Reg hv = f.freshVar();
+                const Reg reserved = f.freshVar();
+                f.txBegin();
+                const Reg h = f.globalAddr("head");
+                f.set(hv, f.load(h));
+                f.set(reserved,
+                      f.cmpLtI(f.sub(hv,
+                                     f.load(f.globalAddr("tail"))),
+                               ringSlots));
+                f.ifThen(reserved, [&] { f.store(h, f.addI(hv, 1)); });
+                f.txEnd();
+                f.ifThen(reserved, [&] {
+                    f.txBegin();
+                    const Reg digest = f.freshVar();
+                    f.setI(digest, 0);
+                    f.forRangeI(0, payloadWords, [&](Reg i) {
+                        f.store(f.gep(staging, i, 8),
+                                f.addI(f.add(i, processed), 1));
+                        f.set(digest,
+                              f.add(digest,
+                                    f.load(f.gep(staging, i, 8))));
+                    });
+                    f.store(f.gep(ring, f.modI(hv, ringSlots), 8),
+                            digest);
+                    f.txEnd();
+                    // Announce the item (tiny TX) so consumers only
+                    // claim slots that are already filled.
+                    f.txBegin();
+                    const Reg pub = f.globalAddr("published");
+                    f.store(pub, f.addI(f.load(pub), 1));
+                    f.txEnd();
+                    f.set(processed, f.addI(processed, 1));
+                });
+            },
+            [&] {
+                // Claim the next item, then poll its slot until the
+                // producer's publishing TX lands.
+                const Reg tv = f.freshVar();
+                const Reg claimed = f.freshVar();
+                f.txBegin();
+                const Reg t = f.globalAddr("tail");
+                f.set(tv, f.load(t));
+                f.set(claimed,
+                      f.cmpLt(tv, f.load(f.globalAddr("published"))));
+                f.ifThen(claimed, [&] { f.store(t, f.addI(tv, 1)); });
+                f.txEnd();
+                f.ifThen(claimed, [&] {
+                    const Reg got = f.freshVar();
+                    f.setI(got, 0);
+                    f.whileLoop([&] { return f.cmpEqI(got, 0); }, [&] {
+                        f.txBegin();
+                        const Reg slot =
+                            f.gep(ring, f.modI(tv, ringSlots), 8);
+                        f.set(got, f.load(slot));
+                        f.ifThen(f.cmpNeI(got, 0), [&] {
+                            f.store(slot, f.constI(0));
+                        });
+                        f.txEnd();
+                    });
+                    f.set(processed, f.addI(processed, 1));
+                });
+            });
+    });
+    f.store(f.gep(f.globalAddr("consumed"), tid, 64), processed);
+    f.freePtr(staging);
+    f.retVoid();
+    m.threadFunc = f.finish();
+    return m;
+}
+
+} // namespace
+
+int
+main()
+{
+    tir::Module m = buildPipeline();
+    if (const auto err = tir::verify(m)) {
+        std::printf("verifier rejected module: %s\n", err->c_str());
+        return 1;
+    }
+
+    const auto report = core::compileHints(m);
+    std::printf("safety pass: %s\n\n", report.summary().c_str());
+
+    std::printf("%-10s %-10s %10s %9s %9s %10s\n", "HTM", "mech",
+                "cycles", "capacity", "conflict", "fallbacks");
+    for (const htm::HtmKind kind :
+         {htm::HtmKind::P8, htm::HtmKind::P8S, htm::HtmKind::L1TM,
+          htm::HtmKind::InfCap}) {
+        for (const core::Mechanism mech :
+             {core::Mechanism::Baseline, core::Mechanism::Full}) {
+            core::SystemOptions opts;
+            opts.htmKind = kind;
+            opts.mechanism = mech;
+            opts.validateSafeStores = true;
+            const sim::RunResult r = core::simulate(opts, m, 8);
+            std::printf("%-10s %-10s %10llu %9llu %9llu %10llu\n",
+                        htm::htmKindName(kind),
+                        core::mechanismName(mech),
+                        (unsigned long long)r.cycles,
+                        (unsigned long long)r.htm.aborts[unsigned(
+                            htm::AbortReason::Capacity)],
+                        (unsigned long long)r.htm.aborts[unsigned(
+                            htm::AbortReason::Conflict)],
+                        (unsigned long long)r.fallbackRuns);
+        }
+    }
+    return 0;
+}

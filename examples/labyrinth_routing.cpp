@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Maze-routing example — the paper's flagship workload, driven through
+ * the public API. Shows how a grid-copy-then-route transaction overflows
+ * a conventional HTM, how the static pass discovers the thread-private
+ * grids (Algorithm 1 + initializing stores), and how each configuration
+ * changes the abort profile. Prints the routed-path count per config to
+ * demonstrate identical architectural results.
+ */
+
+#include <cstdio>
+
+#include "core/hintm.hh"
+#include "workloads/workloads.hh"
+
+using namespace hintm;
+
+int
+main()
+{
+    workloads::Workload wl =
+        workloads::buildLabyrinth(workloads::Scale::Small);
+    const auto report = core::compileHints(wl.module);
+    std::printf("static analysis: %s\n\n", report.summary().c_str());
+
+    std::printf("%-14s %10s %9s %9s %10s %7s\n", "config", "cycles",
+                "capacity", "conflict", "fallbacks", "routed");
+
+    std::uint64_t base_cycles = 0;
+    for (const auto &[kind, mech] :
+         std::initializer_list<std::pair<htm::HtmKind, core::Mechanism>>{
+             {htm::HtmKind::P8, core::Mechanism::Baseline},
+             {htm::HtmKind::P8, core::Mechanism::StaticOnly},
+             {htm::HtmKind::P8, core::Mechanism::Full},
+             {htm::HtmKind::InfCap, core::Mechanism::Baseline}}) {
+        core::SystemOptions opts;
+        opts.htmKind = kind;
+        opts.mechanism = mech;
+        opts.validateSafeStores = true;
+        const sim::RunResult r = core::simulate(opts, wl.module,
+                                                wl.threads);
+        if (base_cycles == 0)
+            base_cycles = r.cycles;
+
+        long long routed = 0;
+        for (const auto v : r.finalGlobals.at("g_routed"))
+            routed += v;
+        std::printf("%-14s %10llu %9llu %9llu %10llu %7lld  (%.2fx)\n",
+                    opts.label().c_str(), (unsigned long long)r.cycles,
+                    (unsigned long long)r.htm.aborts[unsigned(
+                        htm::AbortReason::Capacity)],
+                    (unsigned long long)r.htm.aborts[unsigned(
+                        htm::AbortReason::Conflict)],
+                    (unsigned long long)r.fallbackRuns, routed,
+                    double(base_cycles) / double(r.cycles));
+    }
+    std::printf("\nHinTM-st turns always-overflowing routing TXs into "
+                "hardware commits by skipping the private grid copy.\n");
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * OLTP example built on the TPC-C payment kernel: shows the mixed
+ * conflict/capacity abort profile of a transaction processing workload,
+ * how rare last-name scans blow past the HTM's tracking capacity, and
+ * how HinTM's read-only-index classification removes exactly that tail
+ * while the hot-row conflicts remain. Also demonstrates the
+ * preserve-read-only page policy (§VI-B).
+ */
+
+#include <cstdio>
+
+#include "core/hintm.hh"
+#include "workloads/workloads.hh"
+
+using namespace hintm;
+
+namespace
+{
+
+void
+runOne(const workloads::Workload &wl, core::SystemOptions opts,
+       std::uint64_t base_cycles)
+{
+    const sim::RunResult r = core::simulate(opts, wl.module, wl.threads);
+    const std::uint64_t conf =
+        r.htm.aborts[unsigned(htm::AbortReason::Conflict)];
+    const std::uint64_t cap =
+        r.htm.aborts[unsigned(htm::AbortReason::Capacity)];
+    const std::uint64_t page =
+        r.htm.aborts[unsigned(htm::AbortReason::PageMode)];
+    const std::uint64_t total = r.htm.totalAborts();
+    std::printf("%-18s %10llu %8llu %9llu (%4.1f%%) %9llu (%4.1f%%) "
+                "%6llu   %.2fx\n",
+                opts.label().c_str(), (unsigned long long)r.cycles,
+                (unsigned long long)r.htm.commits,
+                (unsigned long long)conf,
+                total ? 100.0 * double(conf) / double(total) : 0.0,
+                (unsigned long long)cap,
+                total ? 100.0 * double(cap) / double(total) : 0.0,
+                (unsigned long long)page,
+                base_cycles ? double(base_cycles) / double(r.cycles)
+                            : 1.0);
+}
+
+} // namespace
+
+int
+main()
+{
+    workloads::Workload wl =
+        workloads::buildTpccP(workloads::Scale::Small);
+    core::compileHints(wl.module);
+
+    std::printf("%-18s %10s %8s %18s %18s %6s   %s\n", "config", "cycles",
+                "commits", "conflict aborts", "capacity aborts",
+                "pg-ab", "speedup");
+
+    core::SystemOptions base;
+    base.htmKind = htm::HtmKind::P8;
+    const sim::RunResult rb = core::simulate(base, wl.module, wl.threads);
+    runOne(wl, base, rb.cycles);
+
+    for (const core::Mechanism mech :
+         {core::Mechanism::StaticOnly, core::Mechanism::DynamicOnly,
+          core::Mechanism::Full}) {
+        core::SystemOptions o = base;
+        o.mechanism = mech;
+        runOne(wl, o, rb.cycles);
+    }
+    core::SystemOptions pres = base;
+    pres.mechanism = core::Mechanism::Full;
+    pres.preserveReadOnly = true;
+    runOne(wl, pres, rb.cycles);
+
+    std::printf("\npayment's aborts stay conflict-dominated (hot "
+                "warehouse rows); HinTM removes only the scan-induced "
+                "capacity tail.\n");
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Quickstart: author a tiny transactional program in TxIR, compile
+ * HinTM's safety hints, and simulate it on a POWER8-style HTM with and
+ * without hints.
+ *
+ * The program: 8 threads each fill a private scratch buffer inside a
+ * transaction, reduce it, and publish the result to a shared array.
+ * The private buffer is larger than the HTM's 64-block capacity, so the
+ * conventional HTM capacity-aborts every transaction and serializes on
+ * the fallback lock — while HinTM's static pass proves the buffer
+ * thread-private and the same transactions commit in hardware.
+ */
+
+#include <cstdio>
+
+#include "core/hintm.hh"
+#include "tir/builder.hh"
+
+using namespace hintm;
+using tir::FunctionBuilder;
+using tir::Reg;
+
+int
+main()
+{
+    // ---- 1. Author the program ------------------------------------
+    tir::Module m;
+    m.globals.push_back({"results", 8 * 8, 0});
+
+    FunctionBuilder f(m, "worker", 1);
+    const Reg tid = f.param(0);
+    const Reg buf = f.mallocI(1024 * 8); // 128 cache blocks
+    f.txBegin();
+    f.forRangeI(0, 1024, [&](Reg i) {
+        f.store(f.gep(buf, i, 8), f.add(i, tid)); // initializing: safe
+    });
+    const Reg acc = f.freshVar();
+    f.setI(acc, 0);
+    f.forRangeI(0, 1024, [&](Reg i) {
+        f.set(acc, f.add(acc, f.load(f.gep(buf, i, 8)))); // private: safe
+    });
+    f.store(f.gep(f.globalAddr("results"), tid, 8), acc); // shared: unsafe
+    f.txEnd();
+    f.freePtr(buf);
+    f.retVoid();
+    m.threadFunc = f.finish();
+
+    // ---- 2. Run the static safety passes ---------------------------
+    const auto report = core::compileHints(m);
+    std::printf("compiler: %s\n\n", report.summary().c_str());
+
+    // ---- 3. Simulate both configurations ---------------------------
+    auto show = [&](core::Mechanism mech) {
+        core::SystemOptions opts;
+        opts.htmKind = htm::HtmKind::P8;
+        opts.mechanism = mech;
+        const sim::RunResult r = core::simulate(opts, m, 8);
+        std::printf("%-10s cycles %8llu  HTM commits %llu  capacity "
+                    "aborts %llu  fallbacks %llu\n",
+                    core::mechanismName(mech),
+                    (unsigned long long)r.cycles,
+                    (unsigned long long)r.htm.commits,
+                    (unsigned long long)
+                        r.htm.aborts[unsigned(htm::AbortReason::Capacity)],
+                    (unsigned long long)r.fallbackRuns);
+        return r;
+    };
+    const auto base = show(core::Mechanism::Baseline);
+    const auto full = show(core::Mechanism::Full);
+
+    std::printf("\nspeedup with HinTM: %.2fx\n",
+                double(base.cycles) / double(full.cycles));
+
+    // ---- 4. Results are architecturally identical ------------------
+    const auto &rb = base.finalGlobals.at("results");
+    const auto &rf = full.finalGlobals.at("results");
+    for (int t = 0; t < 8; ++t) {
+        const long long expect = 523776 + 1024LL * t; // sum(i) + 1024*tid
+        if (rb[std::size_t(t)] != expect || rf[std::size_t(t)] != expect) {
+            std::printf("MISMATCH for thread %d\n", t);
+            return 1;
+        }
+    }
+    std::printf("all thread results correct under both configs\n");
+    return 0;
+}

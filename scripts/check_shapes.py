@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Reproduction CI: verify the paper's qualitative claims against a
+benchmark sweep.
+
+Parses the output of `for b in build/bench/*; do $b; done` (or
+`scripts/reproduce_all.sh` results) and checks the *shape* assertions
+recorded in EXPERIMENTS.md — who wins, by roughly what factor, and where
+each mechanism stops helping. Exits non-zero if any shape regressed.
+
+Usage: scripts/check_shapes.py [bench_output.txt]
+"""
+
+import re
+import sys
+
+
+def fail(msg):
+    print(f"FAIL  {msg}")
+    return 1
+
+
+def ok(msg):
+    print(f"ok    {msg}")
+    return 0
+
+
+def parse_fig4(text):
+    """Returns {workload: row-dict} for Fig. 4a/4b."""
+    rows = {}
+    m = re.search(r"== Fig\. 4a.*?==\n(.*?)\n\n== Fig\. 4b.*?==\n(.*?)\n\n",
+                  text, re.S)
+    if not m:
+        return rows
+    a_lines = m.group(1).splitlines()[2:]
+    b_lines = m.group(2).splitlines()[2:]
+    for la, lb in zip(a_lines, b_lines):
+        ca, cb = la.split(), lb.split()
+        if not ca:
+            continue
+        rows[ca[0]] = {
+            "base_cap": int(ca[1]),
+            "st_red": float(ca[2].rstrip("%")),
+            "dyn_red": float(ca[3].rstrip("%")),
+            "full_red": float(ca[4].rstrip("%")),
+            "st_sp": float(cb[1].rstrip("x")),
+            "dyn_sp": float(cb[2].rstrip("x")),
+            "full_sp": float(cb[3].rstrip("x")),
+            "inf_sp": float(cb[4].rstrip("x")),
+        }
+    return rows
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    text = open(path).read()
+    failures = 0
+
+    # --- Fig. 4 shapes -------------------------------------------------
+    fig4 = parse_fig4(text)
+    if not fig4:
+        return fail("could not parse Fig. 4 tables")
+
+    for app in ("kmeans", "ssca2"):
+        r = fig4.get(app)
+        failures += (ok if r and r["base_cap"] == 0 else fail)(
+            f"{app}: no capacity aborts (paper Fig. 1)")
+
+    lab = fig4.get("labyrinth")
+    failures += (ok if lab and lab["st_red"] > 50 else fail)(
+        "labyrinth: HinTM-st removes most capacity aborts (paper ~80%)")
+    failures += (ok if lab and lab["st_sp"] > 1.5 else fail)(
+        "labyrinth: HinTM-st multi-x speedup (paper 2.98x)")
+
+    gen = fig4.get("genome")
+    failures += (ok if gen and gen["st_red"] == 0 else fail)(
+        "genome: static finds nothing (paper Fig. 5)")
+    failures += (ok if gen and gen["dyn_red"] > 80 else fail)(
+        "genome: dynamic removes the capacity aborts")
+
+    # Mean reduction and mechanism ordering.
+    m = re.search(r"mean capacity-abort reduction: ([\d.]+)%", text)
+    failures += (ok if m and float(m.group(1)) > 50 else fail)(
+        "suite mean capacity-abort reduction > 50% (paper 62-64%)")
+
+    m = re.search(
+        r"geomean speedup  st ([\d.]+)x  dyn ([\d.]+)x  HinTM ([\d.]+)x"
+        r"  InfCap ([\d.]+)x", text)
+    if m:
+        st, dyn, full, inf = map(float, m.groups())
+        failures += (ok if dyn > st else fail)(
+            "dynamic mechanism outperforms static overall (paper §VI-A)")
+        failures += (ok if full >= 1.3 else fail)(
+            f"HinTM mean speedup {full}x >= 1.3x (paper 1.4x)")
+        failures += (ok if inf >= full else fail)(
+            "InfCap bounds HinTM from above")
+    else:
+        failures += fail("could not parse Fig. 4 geomeans")
+
+    # Every app: InfCap >= HinTM (upper bound), within tolerance.
+    for app, r in fig4.items():
+        if r["inf_sp"] + 0.05 < r["full_sp"]:
+            failures += fail(f"{app}: HinTM exceeds InfCap bound")
+
+    # --- Fig. 7: P8S ----------------------------------------------------
+    m = re.search(r"geomean HinTM speedup on P8S: ([\d.]+)x", text)
+    failures += (ok if m and float(m.group(1)) >= 1.0 else fail)(
+        "P8S: HinTM remains beneficial (paper 1.28x)")
+    m = re.search(r"labyrinth\s+\d+\s+\d+\s+100\.0%", text)
+    failures += (ok if m else fail)(
+        "P8S labyrinth: static eliminates writeset capacity aborts")
+
+    # --- Fig. 8: L1TM ---------------------------------------------------
+    m = re.search(r"geomean HinTM speedup on L1TM\+SMT: ([\d.]+)x", text)
+    failures += (ok if m and float(m.group(1)) >= 1.3 else fail)(
+        "L1TM+SMT: solid mean gains (paper 1.7x)")
+
+    # --- Fig. 1 ---------------------------------------------------------
+    m = re.search(r"averages: cap-abort time ([\d.]+)%.*safe pages "
+                  r"([\d.]+)%.*page granularity ([\d.]+)%", text)
+    if m:
+        cap, pages, reads = map(float, m.groups())
+        failures += (ok if pages > 50 else fail)(
+            f"safe-page fraction {pages}% > 50% (paper 62%)")
+        failures += (ok if reads > 30 else fail)(
+            f"safe tx-read fraction {reads}% > 30% (paper 40%)")
+    else:
+        failures += fail("could not parse Fig. 1 averages")
+
+    # --- Fig. 5 ---------------------------------------------------------
+    m = re.search(r"average safe fraction: ([\d.]+)%", text)
+    failures += (ok if m and 30 <= float(m.group(1)) <= 70 else fail)(
+        "Fig. 5 mean safe fraction in the paper's ballpark (~50%)")
+
+    print()
+    if failures:
+        print(f"{failures} shape check(s) FAILED")
+        return 1
+    print("all shape checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Regenerate every paper figure/table plus the ablations into results/.
+# Usage: scripts/reproduce_all.sh [build-dir] (default: build)
+set -euo pipefail
+BUILD="${1:-build}"
+OUT="results"
+mkdir -p "$OUT"
+
+benches=(
+    table2_config
+    fig1_motivation
+    fig4_p8
+    fig5_breakdown
+    fig6_cdf
+    fig7_p8s
+    fig8_l1tm
+    ablation_buffer
+    ablation_signature
+    ablation_pagepolicy
+    ablation_retry
+    ablation_annotations
+    ablation_preabort
+    ablation_policy
+)
+
+for b in "${benches[@]}"; do
+    echo "== $b =="
+    "$BUILD/bench/$b" | tee "$OUT/$b.txt"
+    echo
+done
+
+echo "== micro_components (google-benchmark) =="
+"$BUILD/bench/micro_components" --benchmark_min_time=0.1s \
+    | tee "$OUT/micro_components.txt"
+
+echo
+echo "All outputs written to $OUT/. Compare against EXPERIMENTS.md."

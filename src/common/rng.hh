@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload construction
+ * and timing jitter. All simulator randomness flows through Rng so that a
+ * given seed reproduces a run bit-for-bit.
+ */
+
+#ifndef HINTM_COMMON_RNG_HH
+#define HINTM_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace hintm
+{
+
+/**
+ * xoshiro256** generator seeded via splitmix64. Small, fast, and good
+ * enough statistically for workload-shape purposes.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // splitmix64 seeding avoids correlated low-entropy states.
+        std::uint64_t x = seed;
+        for (auto &word : state) {
+            x += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound). @p bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire-style bounded rejection would be overkill; simple modulo
+        // bias is negligible for the bounds used in workloads.
+        return next() % bound;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Bernoulli trial with probability @p p (clamped to [0,1]). */
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return toDouble(next()) < p;
+    }
+
+    /** Uniform double in [0,1). */
+    double uniform() { return toDouble(next()); }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static double
+    toDouble(std::uint64_t x)
+    {
+        return (x >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    std::uint64_t state[4];
+};
+
+} // namespace hintm
+
+#endif // HINTM_COMMON_RNG_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Minimal column-aligned text table used by the benchmark harnesses to print
+ * paper-style result rows.
+ */
+
+#ifndef HINTM_COMMON_TABLE_HH
+#define HINTM_COMMON_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hintm
+{
+
+/** Column-aligned text table. Add a header, then rows; stream to print. */
+class TextTable
+{
+  public:
+    /** Set the header row (defines the column count). */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row; short rows are padded with empty cells. */
+    void row(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p precision digits. */
+    static std::string num(double v, int precision = 2);
+
+    /** Convenience: format a percentage ("42.0%"). */
+    static std::string pct(double fraction, int precision = 1);
+
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream &operator<<(std::ostream &os, const TextTable &t);
+
+} // namespace hintm
+
+#endif // HINTM_COMMON_TABLE_HH

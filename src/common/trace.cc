@@ -1,0 +1,106 @@
+#include "trace.hh"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace hintm
+{
+namespace trace
+{
+
+namespace
+{
+
+constexpr unsigned numCategories =
+    unsigned(Category::NumCategories);
+
+const char *const categoryNames[numCategories] = {
+    "tx", "htm", "vm", "mem", "sched",
+};
+
+bool enabled_[numCategories] = {};
+std::ostream *sink_ = nullptr;
+bool envApplied_ = false;
+
+} // namespace
+
+Category
+categoryFromName(const std::string &name)
+{
+    for (unsigned i = 0; i < numCategories; ++i) {
+        if (name == categoryNames[i])
+            return Category(i);
+    }
+    HINTM_FATAL("unknown trace category '", name, "'");
+}
+
+void
+enable(Category c)
+{
+    enabled_[unsigned(c)] = true;
+}
+
+void
+enableFromSpec(const std::string &spec)
+{
+    if (spec.empty())
+        return;
+    if (spec == "all") {
+        for (unsigned i = 0; i < numCategories; ++i)
+            enabled_[i] = true;
+        return;
+    }
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        const std::size_t comma = spec.find(',', pos);
+        const std::size_t end =
+            comma == std::string::npos ? spec.size() : comma;
+        if (end > pos)
+            enable(categoryFromName(spec.substr(pos, end - pos)));
+        pos = end + 1;
+    }
+}
+
+void
+enableFromEnvironment()
+{
+    if (envApplied_)
+        return;
+    envApplied_ = true;
+    if (const char *spec = std::getenv("HINTM_TRACE"))
+        enableFromSpec(spec);
+}
+
+void
+disableAll()
+{
+    for (unsigned i = 0; i < numCategories; ++i)
+        enabled_[i] = false;
+}
+
+bool
+enabled(Category c)
+{
+    return enabled_[unsigned(c)];
+}
+
+void
+setSink(std::ostream *os)
+{
+    sink_ = os;
+}
+
+namespace detail
+{
+
+void
+emitLine(Category c, Cycle cycle, const std::string &msg)
+{
+    std::ostream &os = sink_ ? *sink_ : std::cerr;
+    os << cycle << ": " << categoryNames[unsigned(c)] << ": " << msg
+       << "\n";
+}
+
+} // namespace detail
+} // namespace trace
+} // namespace hintm

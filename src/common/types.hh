@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Fundamental scalar types and address-manipulation helpers shared by every
+ * subsystem of the HinTM simulator.
+ */
+
+#ifndef HINTM_COMMON_TYPES_HH
+#define HINTM_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace hintm
+{
+
+/** Simulated virtual/physical address. The simulator uses a flat space. */
+using Addr = std::uint64_t;
+
+/** Simulation time expressed in CPU cycles. */
+using Cycle = std::uint64_t;
+
+/** Software thread identifier (dense, starting at 0). */
+using ThreadId = std::int32_t;
+
+/** Physical core identifier (dense, starting at 0). */
+using CoreId = std::int32_t;
+
+/** Sentinel for "no thread". */
+constexpr ThreadId invalidThreadId = -1;
+
+/** Cache block size used throughout the system (Table II: 64B blocks). */
+constexpr Addr blockBytes = 64;
+
+/** Page size used by the virtual memory subsystem (4KB pages). */
+constexpr Addr pageBytes = 4096;
+
+/** Round an address down to its cache-block base. */
+constexpr Addr
+blockAlign(Addr a)
+{
+    return a & ~(blockBytes - 1);
+}
+
+/** Cache block number of an address. */
+constexpr Addr
+blockNumber(Addr a)
+{
+    return a / blockBytes;
+}
+
+/** Round an address down to its page base. */
+constexpr Addr
+pageAlign(Addr a)
+{
+    return a & ~(pageBytes - 1);
+}
+
+/** Page number of an address. */
+constexpr Addr
+pageNumber(Addr a)
+{
+    return a / pageBytes;
+}
+
+/** Byte offset of an address within its page. */
+constexpr Addr
+pageOffset(Addr a)
+{
+    return a & (pageBytes - 1);
+}
+
+/** True iff @p v is a power of two (and non-zero). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Integer log2 of a power of two. */
+constexpr unsigned
+log2i(std::uint64_t v)
+{
+    unsigned r = 0;
+    while (v > 1) {
+        v >>= 1;
+        ++r;
+    }
+    return r;
+}
+
+/** Kind of a memory access from the pipeline's perspective. */
+enum class AccessType : std::uint8_t
+{
+    Read,
+    Write,
+};
+
+} // namespace hintm
+
+#endif // HINTM_COMMON_TYPES_HH

@@ -1,0 +1,228 @@
+#include "points_to.hh"
+
+#include "common/logging.hh"
+
+namespace hintm
+{
+namespace compiler
+{
+
+using tir::Instr;
+using tir::Module;
+using tir::Opcode;
+
+PointsTo::PointsTo(const Module &mod)
+{
+    collectObjects(mod);
+    solve(mod);
+    computeEscaped();
+}
+
+void
+PointsTo::collectObjects(const Module &mod)
+{
+    for (int g = 0; g < int(mod.globals.size()); ++g) {
+        AbstractObject o;
+        o.kind = ObjKind::Global;
+        o.globalId = g;
+        objects_.push_back(o);
+    }
+
+    siteIndex_.resize(mod.functions.size());
+    for (int f = 0; f < int(mod.functions.size()); ++f) {
+        const auto &fn = mod.functions[f];
+        siteIndex_[f].resize(fn.blocks.size());
+        for (int b = 0; b < int(fn.blocks.size()); ++b) {
+            const auto &instrs = fn.blocks[b].instrs;
+            siteIndex_[f][b].assign(instrs.size(), -1);
+            for (int i = 0; i < int(instrs.size()); ++i) {
+                const Opcode op = instrs[i].op;
+                if (op == Opcode::Alloca || op == Opcode::Malloc) {
+                    AbstractObject o;
+                    o.kind = op == Opcode::Alloca ? ObjKind::Alloca
+                                                  : ObjKind::Malloc;
+                    o.fn = f;
+                    o.block = b;
+                    o.instr = i;
+                    siteIndex_[f][b][i] = int(objects_.size());
+                    objects_.push_back(o);
+                }
+            }
+        }
+    }
+    fieldPts_.assign(objects_.size(), {});
+}
+
+int
+PointsTo::siteOf(int fn, int block, int instr) const
+{
+    return siteIndex_[fn][block][instr];
+}
+
+int
+PointsTo::globalObject(int global_id) const
+{
+    return global_id; // globals occupy the first object slots
+}
+
+const ObjSet &
+PointsTo::regPts(int fn, int r) const
+{
+    if (r < 0 || r >= int(regPts_[fn].size()))
+        return empty_;
+    return regPts_[fn][r];
+}
+
+const ObjSet &
+PointsTo::fieldPts(int obj) const
+{
+    return fieldPts_[obj];
+}
+
+const ObjSet &
+PointsTo::accessPts(int fn, const Instr &ins) const
+{
+    return regPts(fn, ins.a);
+}
+
+std::set<int>
+PointsTo::reachableFrom(int fn) const
+{
+    std::set<int> seen;
+    std::vector<int> work{fn};
+    while (!work.empty()) {
+        const int f = work.back();
+        work.pop_back();
+        if (!seen.insert(f).second)
+            continue;
+        for (int c : callGraph_[f])
+            work.push_back(c);
+    }
+    return seen;
+}
+
+void
+PointsTo::solve(const Module &mod)
+{
+    regPts_.resize(mod.functions.size());
+    callGraph_.assign(mod.functions.size(), {});
+    for (int f = 0; f < int(mod.functions.size()); ++f)
+        regPts_[f].assign(mod.functions[f].numRegs, {});
+
+    // Collect the registers returned by each function.
+    std::vector<std::vector<std::pair<int, int>>> retRegs(
+        mod.functions.size()); // unused slot kept for symmetry
+    auto merge = [](ObjSet &into, const ObjSet &from) {
+        bool changed = false;
+        for (int o : from)
+            changed |= into.insert(o).second;
+        return changed;
+    };
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int f = 0; f < int(mod.functions.size()); ++f) {
+            const auto &fn = mod.functions[f];
+            for (int b = 0; b < int(fn.blocks.size()); ++b) {
+                const auto &instrs = fn.blocks[b].instrs;
+                for (int i = 0; i < int(instrs.size()); ++i) {
+                    const Instr &ins = instrs[i];
+                    switch (ins.op) {
+                      case Opcode::GlobalAddr:
+                        changed |= regPts_[f][ins.dst]
+                                       .insert(globalObject(int(ins.imm)))
+                                       .second;
+                        break;
+                      case Opcode::Alloca:
+                      case Opcode::Malloc:
+                        changed |= regPts_[f][ins.dst]
+                                       .insert(siteOf(f, b, i))
+                                       .second;
+                        break;
+                      case Opcode::Mov:
+                      case Opcode::Gep:
+                        changed |= merge(regPts_[f][ins.dst],
+                                         regPts(f, ins.a));
+                        if (ins.op == Opcode::Gep && ins.b >= 0) {
+                            // Index registers are integers; nothing to do.
+                        }
+                        break;
+                      case Opcode::Add:
+                      case Opcode::Sub:
+                        // Conservative: pointer arithmetic through plain
+                        // adds keeps provenance of both operands.
+                        changed |= merge(regPts_[f][ins.dst],
+                                         regPts(f, ins.a));
+                        changed |= merge(regPts_[f][ins.dst],
+                                         regPts(f, ins.b));
+                        break;
+                      case Opcode::Load: {
+                        for (int o : regPts(f, ins.a)) {
+                            changed |= merge(regPts_[f][ins.dst],
+                                             fieldPts_[o]);
+                        }
+                        break;
+                      }
+                      case Opcode::Store: {
+                        const ObjSet &val = regPts(f, ins.b);
+                        if (val.empty())
+                            break;
+                        for (int o : regPts(f, ins.a))
+                            changed |= merge(fieldPts_[o], val);
+                        break;
+                      }
+                      case Opcode::Call: {
+                        const int callee = int(ins.imm);
+                        callGraph_[f].insert(callee);
+                        const auto &cfn = mod.functions[callee];
+                        for (unsigned p = 0; p < cfn.numParams; ++p) {
+                            changed |= merge(regPts_[callee][int(p)],
+                                             regPts(f, ins.args[p]));
+                        }
+                        // Return values: merge every Ret reg of callee.
+                        if (ins.dst >= 0) {
+                            for (const auto &cb : cfn.blocks) {
+                                for (const auto &ci : cb.instrs) {
+                                    if (ci.op == Opcode::Ret && ci.a >= 0) {
+                                        changed |= merge(
+                                            regPts_[f][ins.dst],
+                                            regPts(callee, ci.a));
+                                    }
+                                }
+                            }
+                        }
+                        break;
+                      }
+                      default:
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    (void)retRegs;
+}
+
+void
+PointsTo::computeEscaped()
+{
+    std::vector<int> work;
+    for (int o = 0; o < int(objects_.size()); ++o) {
+        if (objects_[o].kind == ObjKind::Global) {
+            escaped_.insert(o);
+            work.push_back(o);
+        }
+    }
+    while (!work.empty()) {
+        const int o = work.back();
+        work.pop_back();
+        for (int held : fieldPts_[o]) {
+            if (escaped_.insert(held).second)
+                work.push_back(held);
+        }
+    }
+}
+
+} // namespace compiler
+} // namespace hintm

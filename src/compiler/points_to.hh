@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Flow- and context-insensitive Andersen-style pointer analysis over
+ * TxIR, the foundation of HinTM's static safety classification (§IV-A).
+ * Abstract objects are allocation sites (alloca/malloc) and globals; the
+ * analysis computes, per function, which objects each register may point
+ * to, plus a field-insensitive heap graph (object -> objects its cells
+ * may hold). Escape information (reachability from globals) and the call
+ * graph fall out of the same fixpoint.
+ */
+
+#ifndef HINTM_COMPILER_POINTS_TO_HH
+#define HINTM_COMPILER_POINTS_TO_HH
+
+#include <set>
+#include <vector>
+
+#include "tir/ir.hh"
+
+namespace hintm
+{
+namespace compiler
+{
+
+/** Kinds of abstract memory objects. */
+enum class ObjKind : std::uint8_t
+{
+    Global,
+    Alloca,
+    Malloc,
+};
+
+/** An allocation site / global variable. */
+struct AbstractObject
+{
+    ObjKind kind;
+    /** Defining function (sites) or -1 (globals). */
+    int fn = -1;
+    int block = -1;
+    int instr = -1;
+    /** Global index for ObjKind::Global. */
+    int globalId = -1;
+};
+
+using ObjSet = std::set<int>;
+
+/** The analysis result. */
+class PointsTo
+{
+  public:
+    /** Run the fixpoint over @p mod. The module must verify. */
+    explicit PointsTo(const tir::Module &mod);
+
+    const std::vector<AbstractObject> &objects() const { return objects_; }
+
+    /** Object id defined by an Alloca/Malloc instruction, or -1. */
+    int siteOf(int fn, int block, int instr) const;
+
+    /** Object id of a global. */
+    int globalObject(int global_id) const;
+
+    /** May-point-to set of register @p r in function @p fn. */
+    const ObjSet &regPts(int fn, int r) const;
+
+    /** What the cells of object @p obj may hold. */
+    const ObjSet &fieldPts(int obj) const;
+
+    /** Objects transitively reachable from any global via the heap graph
+     * (including the globals themselves): the escaped set. */
+    const ObjSet &escaped() const { return escaped_; }
+
+    bool isEscaped(int obj) const { return escaped_.count(obj) != 0; }
+
+    /** Direct callees of @p fn. */
+    const std::set<int> &callees(int fn) const { return callGraph_[fn]; }
+
+    /** Functions reachable from @p fn (inclusive). */
+    std::set<int> reachableFrom(int fn) const;
+
+    /** May-point-to set of the address operand of a Load/Store. */
+    const ObjSet &accessPts(int fn, const tir::Instr &ins) const;
+
+  private:
+    void collectObjects(const tir::Module &mod);
+    void solve(const tir::Module &mod);
+    void computeEscaped();
+
+    std::vector<AbstractObject> objects_;
+    /** regPts_[fn][reg] */
+    std::vector<std::vector<ObjSet>> regPts_;
+    std::vector<ObjSet> fieldPts_;
+    ObjSet escaped_;
+    std::vector<std::set<int>> callGraph_;
+    /** site lookup: encoded key -> object id */
+    std::vector<std::vector<std::vector<int>>> siteIndex_;
+    ObjSet empty_;
+};
+
+} // namespace compiler
+} // namespace hintm
+
+#endif // HINTM_COMPILER_POINTS_TO_HH

@@ -1,0 +1,429 @@
+#include "safety.hh"
+
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.hh"
+#include "compiler/points_to.hh"
+
+namespace hintm
+{
+namespace compiler
+{
+
+using tir::Instr;
+using tir::Module;
+using tir::Opcode;
+
+namespace
+{
+
+/** Identifies an instruction position. */
+struct InstrRef
+{
+    int fn, block, instr;
+    bool operator<(const InstrRef &o) const
+    {
+        if (fn != o.fn)
+            return fn < o.fn;
+        if (block != o.block)
+            return block < o.block;
+        return instr < o.instr;
+    }
+};
+
+/** Object safety classification for one analysis round. */
+struct ObjectClasses
+{
+    std::vector<bool> loadSafe;   ///< loads of the object are safe
+    std::vector<bool> storable;   ///< candidate for safe (init) stores
+    unsigned stackObjects = 0;
+    unsigned heapObjects = 0;
+    unsigned readOnlyObjects = 0;
+};
+
+/** Per-block TX entry state (0 = out, 1 = in), as in the verifier. */
+std::vector<int>
+txEntryStates(const tir::Function &fn)
+{
+    std::vector<int> state(fn.blocks.size(), -1);
+    if (fn.blocks.empty())
+        return state;
+    std::vector<int> work{0};
+    state[0] = 0;
+    while (!work.empty()) {
+        const int b = work.back();
+        work.pop_back();
+        int tx = state[b];
+        for (const Instr &ins : fn.blocks[b].instrs) {
+            if (ins.op == Opcode::TxBegin)
+                tx = 1;
+            else if (ins.op == Opcode::TxEnd)
+                tx = 0;
+            else if (ins.op == Opcode::Br || ins.op == Opcode::CondBr) {
+                auto push = [&](std::int64_t t) {
+                    if (state[std::size_t(t)] == -1) {
+                        state[std::size_t(t)] = tx;
+                        work.push_back(int(t));
+                    }
+                };
+                push(ins.imm);
+                if (ins.op == Opcode::CondBr)
+                    push(ins.imm2);
+            }
+        }
+    }
+    return state;
+}
+
+/**
+ * Flattened, approximate execution-order listing of the instructions a
+ * TX region may execute: the region function's transactional span in
+ * block-index order, with callee bodies spliced in at call sites
+ * (depth-first, each callee listed once — first call order wins, which
+ * is exactly the order the initializing-store heuristic needs).
+ */
+class RegionListing
+{
+  public:
+    RegionListing(const Module &mod, int region_fn) : mod_(mod)
+    {
+        const auto &fn = mod.functions[std::size_t(region_fn)];
+        const std::vector<int> entry = txEntryStates(fn);
+        for (int b = 0; b < int(fn.blocks.size()); ++b) {
+            if (entry[b] == -1)
+                continue; // unreachable
+            int tx = entry[b];
+            const auto &instrs = fn.blocks[b].instrs;
+            for (int i = 0; i < int(instrs.size()); ++i) {
+                const Instr &ins = instrs[i];
+                if (ins.op == Opcode::TxBegin) {
+                    tx = 1;
+                    continue;
+                }
+                if (ins.op == Opcode::TxEnd) {
+                    tx = 0;
+                    continue;
+                }
+                if (!tx)
+                    continue;
+                addInstr(region_fn, b, i, ins);
+            }
+        }
+    }
+
+    const std::vector<InstrRef> &refs() const { return refs_; }
+    const std::vector<const Instr *> &instrs() const { return instrs_; }
+
+  private:
+    void
+    addInstr(int f, int b, int i, const Instr &ins)
+    {
+        refs_.push_back(InstrRef{f, b, i});
+        instrs_.push_back(&ins);
+        if (ins.op == Opcode::Call)
+            spliceFunction(int(ins.imm));
+    }
+
+    void
+    spliceFunction(int f)
+    {
+        if (!visited_.insert(f).second)
+            return;
+        const auto &fn = mod_.functions[std::size_t(f)];
+        for (int b = 0; b < int(fn.blocks.size()); ++b) {
+            const auto &instrs = fn.blocks[b].instrs;
+            for (int i = 0; i < int(instrs.size()); ++i)
+                addInstr(f, b, i, instrs[i]);
+        }
+    }
+
+    const Module &mod_;
+    std::vector<InstrRef> refs_;
+    std::vector<const Instr *> instrs_;
+    std::unordered_set<int> visited_;
+};
+
+ObjectClasses
+classifyObjects(const Module &mod, const PointsTo &pt,
+                const SafetyOptions &opts)
+{
+    ObjectClasses oc;
+    const auto &objects = pt.objects();
+    oc.loadSafe.assign(objects.size(), false);
+    oc.storable.assign(objects.size(), false);
+
+    const std::set<int> parallel = pt.reachableFrom(mod.threadFunc);
+    std::set<int> init;
+    if (mod.initFunc >= 0)
+        init = pt.reachableFrom(mod.initFunc);
+
+    // Which objects are stored to anywhere in the parallel region, and
+    // which have a Free reaching them there (Algorithm 1 criterion ii).
+    std::vector<bool> storedInParallel(objects.size(), false);
+    std::vector<bool> freedInParallel(objects.size(), false);
+    for (int f : parallel) {
+        const auto &fn = mod.functions[std::size_t(f)];
+        for (const auto &bb : fn.blocks) {
+            for (const Instr &ins : bb.instrs) {
+                if (ins.op == Opcode::Store) {
+                    for (int o : pt.regPts(f, ins.a))
+                        storedInParallel[std::size_t(o)] = true;
+                } else if (ins.op == Opcode::Free) {
+                    for (int o : pt.regPts(f, ins.a))
+                        freedInParallel[std::size_t(o)] = true;
+                }
+            }
+        }
+    }
+
+    for (int o = 0; o < int(objects.size()); ++o) {
+        const AbstractObject &obj = objects[std::size_t(o)];
+        switch (obj.kind) {
+          case ObjKind::Alloca:
+            // Capture tracking: a non-escaping stack object is
+            // thread-private by construction.
+            if (opts.stackAnalysis && !pt.isEscaped(o)) {
+                oc.loadSafe[std::size_t(o)] = true;
+                oc.storable[std::size_t(o)] = true;
+                ++oc.stackObjects;
+            }
+            break;
+          case ObjKind::Malloc: {
+            // Algorithm 1: thread-private heap data structures.
+            const bool in_parallel = parallel.count(obj.fn) != 0;
+            const bool in_init = init.count(obj.fn) != 0;
+            if (opts.heapAnalysis && in_parallel && !in_init &&
+                !pt.isEscaped(o) &&
+                (!opts.requireFreeForHeapPrivate ||
+                 freedInParallel[std::size_t(o)])) {
+                oc.loadSafe[std::size_t(o)] = true;
+                oc.storable[std::size_t(o)] = true;
+                ++oc.heapObjects;
+            }
+            break;
+          }
+          case ObjKind::Global:
+            break;
+        }
+        // Read-only shared data: nothing in the parallel region can
+        // write this object, so transactional loads cannot race.
+        if (opts.readOnlyAnalysis && !oc.loadSafe[std::size_t(o)] &&
+            !storedInParallel[std::size_t(o)]) {
+            oc.loadSafe[std::size_t(o)] = true;
+            ++oc.readOnlyObjects;
+        }
+    }
+    return oc;
+}
+
+bool
+allLoadSafe(const ObjSet &objs, const ObjectClasses &oc)
+{
+    if (objs.empty())
+        return false;
+    for (int o : objs) {
+        if (!oc.loadSafe[std::size_t(o)])
+            return false;
+    }
+    return true;
+}
+
+/**
+ * One round of function replication: clone callees that receive
+ * all-safe pointer arguments from a call site but see mixed (unsafe)
+ * arguments when all call sites are merged.
+ * @return number of clones created.
+ */
+unsigned
+replicateRound(Module &mod, const PointsTo &pt, const ObjectClasses &oc)
+{
+    struct Clone
+    {
+        int callee;
+        std::uint64_t profile;
+        int cloneIdx;
+    };
+    std::vector<Clone> clones;
+    unsigned created = 0;
+
+    const int num_fns = int(mod.functions.size());
+    for (int f = 0; f < num_fns; ++f) {
+        auto &fn = mod.functions[std::size_t(f)];
+        for (auto &bb : fn.blocks) {
+            for (Instr &ins : bb.instrs) {
+                if (ins.op != Opcode::Call)
+                    continue;
+                const int callee = int(ins.imm);
+                if (callee == mod.threadFunc || callee == mod.initFunc)
+                    continue;
+                const auto &cfn = mod.functions[std::size_t(callee)];
+                // Compute the call-site safety profile and whether the
+                // callee's merged view is less precise.
+                std::uint64_t profile = 0;
+                bool worth = false;
+                for (unsigned p = 0;
+                     p < cfn.numParams && p < 64; ++p) {
+                    const ObjSet &arg = pt.regPts(f, ins.args[p]);
+                    if (arg.empty())
+                        continue;
+                    if (!allLoadSafe(arg, oc))
+                        continue;
+                    profile |= std::uint64_t(1) << p;
+                    if (!allLoadSafe(pt.regPts(callee, int(p)), oc))
+                        worth = true;
+                }
+                if (!worth)
+                    continue;
+
+                // Reuse an existing clone with the same profile.
+                int target = -1;
+                for (const Clone &c : clones) {
+                    if (c.callee == callee && c.profile == profile)
+                        target = c.cloneIdx;
+                }
+                if (target < 0) {
+                    tir::Function copy = cfn;
+                    std::ostringstream name;
+                    name << cfn.name << "$safe" << std::hex << profile
+                         << "_" << mod.functions.size();
+                    copy.name = name.str();
+                    mod.functions.push_back(std::move(copy));
+                    target = int(mod.functions.size()) - 1;
+                    clones.push_back(Clone{callee, profile, target});
+                    ++created;
+                }
+                ins.imm = target;
+            }
+        }
+    }
+    return created;
+}
+
+} // namespace
+
+std::string
+SafetyReport::summary() const
+{
+    std::ostringstream os;
+    os << "safe loads " << safeLoads << "/" << totalLoads
+       << ", safe stores " << safeStores << "/" << totalStores
+       << " (stack objs " << safeStackObjects << ", heap objs "
+       << safeHeapObjects << ", ro objs " << readOnlyObjects
+       << ", clones " << replicatedFunctions << ")";
+    return os.str();
+}
+
+SafetyReport
+annotateSafety(Module &mod, const SafetyOptions &opts)
+{
+    HINTM_ASSERT(mod.threadFunc >= 0, "module lacks a thread function");
+    SafetyReport rep;
+
+    // Idempotence: clear all hints.
+    for (auto &fn : mod.functions) {
+        for (auto &bb : fn.blocks) {
+            for (auto &ins : bb.instrs)
+                ins.safe = false;
+        }
+    }
+
+    // Replication rounds (each changes the call graph, so re-analyze).
+    if (opts.functionReplication) {
+        for (unsigned round = 0; round < opts.replicationRounds; ++round) {
+            PointsTo pt(mod);
+            const ObjectClasses oc = classifyObjects(mod, pt, opts);
+            const unsigned created = replicateRound(mod, pt, oc);
+            rep.replicatedFunctions += created;
+            if (created == 0)
+                break;
+        }
+    }
+
+    PointsTo pt(mod);
+    const ObjectClasses oc = classifyObjects(mod, pt, opts);
+    rep.safeStackObjects = oc.stackObjects;
+    rep.safeHeapObjects = oc.heapObjects;
+    rep.readOnlyObjects = oc.readOnlyObjects;
+
+    // Initializing-store analysis per TX region. safeVotes counts the
+    // regions in which a store qualifies; a store is marked only when it
+    // qualifies in every region that can execute it.
+    std::map<InstrRef, unsigned> containCount;
+    std::map<InstrRef, unsigned> safeVotes;
+    for (int f = 0; f < int(mod.functions.size()); ++f) {
+        bool has_tx = false;
+        for (const auto &bb : mod.functions[std::size_t(f)].blocks) {
+            for (const auto &ins : bb.instrs)
+                has_tx |= ins.op == Opcode::TxBegin;
+        }
+        if (!has_tx)
+            continue;
+
+        RegionListing region(mod, f);
+        // First access per object, in listing order (emplace keeps the
+        // earliest access's kind).
+        std::unordered_map<int, bool> firstIsStore;
+        for (std::size_t k = 0; k < region.instrs().size(); ++k) {
+            const Instr &ins = *region.instrs()[k];
+            if (!tir::isMemAccess(ins.op))
+                continue;
+            const InstrRef ref = region.refs()[k];
+            for (int o : pt.regPts(ref.fn, ins.a)) {
+                firstIsStore.emplace(o, ins.op == Opcode::Store);
+            }
+        }
+        for (std::size_t k = 0; k < region.instrs().size(); ++k) {
+            const Instr &ins = *region.instrs()[k];
+            if (ins.op != Opcode::Store)
+                continue;
+            const InstrRef ref = region.refs()[k];
+            ++containCount[ref];
+            const ObjSet &objs = pt.regPts(ref.fn, ins.a);
+            bool ok = !objs.empty();
+            for (int o : objs) {
+                if (!oc.storable[std::size_t(o)] ||
+                    !firstIsStore[o]) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (ok)
+                ++safeVotes[ref];
+        }
+    }
+
+    // Final marking.
+    for (int f = 0; f < int(mod.functions.size()); ++f) {
+        auto &fn = mod.functions[std::size_t(f)];
+        for (int b = 0; b < int(fn.blocks.size()); ++b) {
+            auto &instrs = fn.blocks[b].instrs;
+            for (int i = 0; i < int(instrs.size()); ++i) {
+                Instr &ins = instrs[i];
+                if (ins.op == Opcode::Load) {
+                    ++rep.totalLoads;
+                    if (allLoadSafe(pt.regPts(f, ins.a), oc)) {
+                        ins.safe = true;
+                        ++rep.safeLoads;
+                    }
+                } else if (ins.op == Opcode::Store) {
+                    ++rep.totalStores;
+                    const InstrRef ref{f, b, i};
+                    auto cc = containCount.find(ref);
+                    if (cc != containCount.end() && cc->second > 0 &&
+                        safeVotes[ref] == cc->second) {
+                        ins.safe = true;
+                        ++rep.safeStores;
+                    }
+                }
+            }
+        }
+    }
+    return rep;
+}
+
+} // namespace compiler
+} // namespace hintm

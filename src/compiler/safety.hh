@@ -1,0 +1,75 @@
+/**
+ * @file
+ * HinTM's static memory-access classification (§IV-A): decides which
+ * load/store instructions can carry safety hints and rewrites the module
+ * accordingly (the load_word_safe / store_word_safe analogue is the
+ * per-instruction `safe` flag).
+ *
+ * Three analyses mirror the paper's pipeline:
+ *  1. Capture tracking / escape analysis for stack objects: loads (and
+ *     initializing stores) to non-escaping allocas are safe.
+ *  2. Algorithm 1: inter-procedural identification of thread-private
+ *     heap data structures — allocations reachable only from the thread
+ *     function, never published to shared memory, and de-allocated
+ *     within the parallel region.
+ *  3. Read-only shared data: objects never stored to inside the parallel
+ *     region; their loads are safe.
+ *
+ * Stores are only safe when additionally *initializing*: the object's
+ * first access within every enclosing TX region is a store, so an abort
+ * can never expose a stale value (§III). Function replication specializes
+ * callees that receive safe pointers from some call sites and unsafe
+ * ones from others.
+ */
+
+#ifndef HINTM_COMPILER_SAFETY_HH
+#define HINTM_COMPILER_SAFETY_HH
+
+#include <string>
+
+#include "tir/ir.hh"
+
+namespace hintm
+{
+namespace compiler
+{
+
+/** Pass configuration (the ablation switches map to paper variants). */
+struct SafetyOptions
+{
+    bool stackAnalysis = true;
+    bool heapAnalysis = true;
+    bool readOnlyAnalysis = true;
+    /** Algorithm 1 criterion: candidate heap objects must be freed within
+     * the parallel region. */
+    bool requireFreeForHeapPrivate = true;
+    bool functionReplication = true;
+    unsigned replicationRounds = 3;
+};
+
+/** What the pass did (Fig. 5's static-classification inputs). */
+struct SafetyReport
+{
+    unsigned totalLoads = 0;
+    unsigned totalStores = 0;
+    unsigned safeLoads = 0;
+    unsigned safeStores = 0;
+    unsigned safeStackObjects = 0;
+    unsigned safeHeapObjects = 0;
+    unsigned readOnlyObjects = 0;
+    unsigned replicatedFunctions = 0;
+
+    std::string summary() const;
+};
+
+/**
+ * Annotate @p mod in place. Clears any existing hints first, so the pass
+ * is idempotent. The module must verify and must have a threadFunc.
+ */
+SafetyReport annotateSafety(tir::Module &mod,
+                            const SafetyOptions &opts = {});
+
+} // namespace compiler
+} // namespace hintm
+
+#endif // HINTM_COMPILER_SAFETY_HH

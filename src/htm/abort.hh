@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Transaction abort taxonomy used across the HTM controllers, retry policy
+ * and statistics (§II-B / §VI): conflicts, signature false conflicts,
+ * capacity overflows, and HinTM's new page-mode aborts.
+ */
+
+#ifndef HINTM_HTM_ABORT_HH
+#define HINTM_HTM_ABORT_HH
+
+#include <cstdint>
+
+namespace hintm
+{
+namespace htm
+{
+
+/** Why a transaction aborted. */
+enum class AbortReason : std::uint8_t
+{
+    None,          ///< no abort (sentinel)
+    Conflict,      ///< true data conflict detected via coherence
+    FalseConflict, ///< signature aliasing false positive (P8S only)
+    Capacity,      ///< tracking resources exhausted
+    PageMode,      ///< a safe page this TX touched turned unsafe (HinTM)
+    FallbackLock,  ///< another thread acquired the software fallback lock
+};
+
+constexpr unsigned numAbortReasons = 6;
+
+const char *abortReasonName(AbortReason r);
+
+/** Capacity and page-mode aborts are non-transient: retrying in HTM mode
+ * cannot succeed (capacity) or is wasteful; everything else may retry.
+ * Page-mode aborts ARE retried in HTM mode — the page is unsafe on retry,
+ * so tracking resumes and the retry can succeed (§III-B). */
+constexpr bool
+abortIsTransient(AbortReason r)
+{
+    return r == AbortReason::Conflict || r == AbortReason::FalseConflict ||
+           r == AbortReason::PageMode || r == AbortReason::FallbackLock;
+}
+
+} // namespace htm
+} // namespace hintm
+
+#endif // HINTM_HTM_ABORT_HH

@@ -1,0 +1,291 @@
+#include "controller.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace hintm
+{
+namespace htm
+{
+
+const char *
+abortReasonName(AbortReason r)
+{
+    switch (r) {
+      case AbortReason::None: return "none";
+      case AbortReason::Conflict: return "conflict";
+      case AbortReason::FalseConflict: return "false-conflict";
+      case AbortReason::Capacity: return "capacity";
+      case AbortReason::PageMode: return "page-mode";
+      case AbortReason::FallbackLock: return "fallback-lock";
+    }
+    return "?";
+}
+
+const char *
+conflictPolicyName(ConflictPolicy p)
+{
+    switch (p) {
+      case ConflictPolicy::AttackerWins: return "attacker-wins";
+      case ConflictPolicy::RequesterLoses: return "requester-loses";
+    }
+    return "?";
+}
+
+const char *
+htmKindName(HtmKind k)
+{
+    switch (k) {
+      case HtmKind::P8: return "P8";
+      case HtmKind::P8S: return "P8S";
+      case HtmKind::L1TM: return "L1TM";
+      case HtmKind::InfCap: return "InfCap";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Buffer capacity by kind: bounded only for the dedicated-buffer HTMs. */
+unsigned
+effectiveBufferEntries(const HtmConfig &cfg)
+{
+    switch (cfg.kind) {
+      case HtmKind::P8:
+      case HtmKind::P8S:
+        return cfg.bufferEntries;
+      case HtmKind::L1TM:
+      case HtmKind::InfCap:
+        return std::numeric_limits<unsigned>::max();
+    }
+    return cfg.bufferEntries;
+}
+
+} // namespace
+
+HtmController::HtmController(const HtmConfig &cfg, mem::ContextId self,
+                             HtmStats *sys_stats)
+    : cfg_(cfg), self_(self), stats_(sys_stats),
+      buffer_(effectiveBufferEntries(cfg)),
+      signature_(cfg.signatureBits, cfg.signatureHashes)
+{
+    HINTM_ASSERT(sys_stats != nullptr, "controller needs a stats sink");
+}
+
+void
+HtmController::beginTx(Cycle now)
+{
+    HINTM_ASSERT(!inTx_, "nested TX begin on context ", self_);
+    HINTM_ASSERT(!abortPending_, "begin with unacknowledged abort");
+    inTx_ = true;
+    txStart_ = now;
+    ++stats_->begins;
+}
+
+void
+HtmController::trackAccess(Addr addr, AccessType type, bool safe)
+{
+    if (!inTx_ || abortPending_)
+        return;
+    if (safe) {
+        // The whole point of HinTM: safe accesses consume no tracking
+        // resources and may spill from caches freely.
+        return;
+    }
+    const Addr block = blockAlign(addr);
+
+    if (buffer_.track(block, type))
+        return;
+
+    // Buffer exhausted.
+    if (cfg_.kind == HtmKind::P8S) {
+        if (type == AccessType::Read) {
+            // Reads spill into the signature instead of aborting.
+            signature_.insert(block);
+            overflowReads_.insert(block);
+            ++stats_->signatureSpills;
+            return;
+        }
+        // Writes need real buffering: displace a read-only entry into
+        // the signature to make room. Only a full buffer of written
+        // blocks is a true (writeset) capacity overflow.
+        const Addr victim = buffer_.findReadOnlyVictim();
+        if (victim != ~Addr(0)) {
+            buffer_.erase(victim);
+            signature_.insert(victim);
+            overflowReads_.insert(victim);
+            ++stats_->signatureSpills;
+            const bool ok = buffer_.track(block, type);
+            HINTM_ASSERT(ok, "buffer still full after displacement");
+            return;
+        }
+    }
+    if (cfg_.preAbortHandler) {
+        // Defer: the runtime decides between conversion and abort.
+        capacityPending_ = true;
+        return;
+    }
+    triggerAbort(AbortReason::Capacity);
+}
+
+void
+HtmController::noteSafePageRead(Addr page_num)
+{
+    if (inTx_ && !abortPending_)
+        safePages_.insert(page_num);
+}
+
+void
+HtmController::commitTx(Cycle now)
+{
+    (void)now;
+    HINTM_ASSERT(inTx_, "commit outside TX on context ", self_);
+    HINTM_ASSERT(!abortPending_, "commit with pending abort");
+    ++stats_->commits;
+    stats_->trackedAtCommit.sample(trackedBlocks());
+    clearTxState();
+}
+
+AbortReason
+HtmController::acknowledgeAbort(Cycle now)
+{
+    HINTM_ASSERT(abortPending_, "acknowledging without pending abort");
+    const AbortReason r = pendingReason_;
+    ++stats_->aborts[unsigned(r)];
+    stats_->cyclesLost[unsigned(r)] +=
+        (now - txStart_) + cfg_.abortHandlerCycles;
+    clearTxState();
+    return r;
+}
+
+void
+HtmController::convertToCriticalSection()
+{
+    HINTM_ASSERT(capacityPending_, "no pending capacity overflow");
+    HINTM_ASSERT(inTx_ && !abortPending_, "conversion in bad state");
+    ++stats_->preAbortConversions;
+    // The TX's effects so far stand (the lock serializes everyone
+    // else); hardware monitoring simply stops.
+    clearTxState();
+}
+
+void
+HtmController::declineConversion()
+{
+    HINTM_ASSERT(capacityPending_, "no pending capacity overflow");
+    capacityPending_ = false;
+    triggerAbort(AbortReason::Capacity);
+}
+
+void
+HtmController::onPageBecameUnsafe(Addr page_num)
+{
+    if (!inTx_ || abortPending_)
+        return;
+    if (safePages_.count(page_num)) {
+        // Untracked (safe) reads to this page can no longer be trusted:
+        // conservatively abort (§III-B).
+        triggerAbort(AbortReason::PageMode);
+    }
+}
+
+void
+HtmController::onRemoteAccess(Addr block_addr, AccessType type,
+                              mem::ContextId requester)
+{
+    (void)requester;
+    if (!inTx_ || abortPending_)
+        return;
+
+    const TxBufferEntry *e = buffer_.find(block_addr);
+    const bool in_read =
+        (e && e->read) || overflowReads_.count(block_addr) != 0;
+    const bool in_write = e && e->written;
+
+    if (type == AccessType::Write) {
+        if (in_read || in_write) {
+            triggerAbort(AbortReason::Conflict);
+        } else if (cfg_.kind == HtmKind::P8S &&
+                   signature_.test(block_addr)) {
+            // Aliased hit in the summarizing bitvector only.
+            triggerAbort(AbortReason::FalseConflict);
+        }
+    } else {
+        if (in_write)
+            triggerAbort(AbortReason::Conflict);
+    }
+}
+
+void
+HtmController::onEviction(Addr block_addr, bool dirty)
+{
+    (void)dirty;
+    if (!inTx_ || abortPending_ || cfg_.kind != HtmKind::L1TM)
+        return;
+    // L1TM keeps transactional state in L1 lines: displacing a tracked
+    // line (capacity or set conflict, including SMT-sibling pressure)
+    // loses it, so the TX must abort.
+    if (buffer_.find(block_addr))
+        triggerAbort(AbortReason::Capacity);
+}
+
+std::size_t
+HtmController::trackedBlocks() const
+{
+    return buffer_.size() + overflowReads_.size();
+}
+
+bool
+HtmController::readsBlock(Addr block_addr) const
+{
+    const TxBufferEntry *e = buffer_.find(block_addr);
+    return (e && e->read) || overflowReads_.count(block_addr) != 0;
+}
+
+bool
+HtmController::writesBlock(Addr block_addr) const
+{
+    const TxBufferEntry *e = buffer_.find(block_addr);
+    return e && e->written;
+}
+
+bool
+HtmController::conflictsWith(Addr block_addr, AccessType type) const
+{
+    if (!inTx_ || abortPending_)
+        return false;
+    if (type == AccessType::Write)
+        return readsBlock(block_addr) || writesBlock(block_addr);
+    return writesBlock(block_addr);
+}
+
+void
+HtmController::triggerAbort(AbortReason r)
+{
+    if (!inTx_ || abortPending_)
+        return;
+    abortPending_ = true;
+    pendingReason_ = r;
+    // Restore memory values immediately so that the access which killed
+    // this TX observes pre-transactional data.
+    if (undoHook_)
+        undoHook_();
+}
+
+void
+HtmController::clearTxState()
+{
+    inTx_ = false;
+    abortPending_ = false;
+    capacityPending_ = false;
+    pendingReason_ = AbortReason::None;
+    buffer_.clear();
+    overflowReads_.clear();
+    signature_.clear();
+    safePages_.clear();
+}
+
+} // namespace htm
+} // namespace hintm

@@ -1,0 +1,71 @@
+#include "signature.hh"
+
+#include "common/logging.hh"
+
+namespace hintm
+{
+namespace htm
+{
+
+Signature::Signature(unsigned bits, unsigned num_hashes)
+    : bits_(bits), indexBits_(log2i(bits)), numHashes_(num_hashes),
+      words_((bits + 63) / 64, 0)
+{
+    HINTM_ASSERT(isPowerOfTwo(bits), "signature width must be pow2");
+    HINTM_ASSERT(num_hashes >= 1, "need at least one hash");
+}
+
+unsigned
+Signature::hash(Addr block_addr, unsigned which) const
+{
+    // PBX: XOR the low (block) bit-field with a higher (page) bit-field.
+    // Different hash functions pick page fields at different offsets so
+    // that a stride aliasing one function rarely aliases the others.
+    const std::uint64_t line = block_addr >> log2i(blockBytes);
+    const std::uint64_t low = line & (bits_ - 1);
+    const std::uint64_t high =
+        (line >> (indexBits_ + which * 3)) & (bits_ - 1);
+    return unsigned(low ^ high);
+}
+
+void
+Signature::insert(Addr block_addr)
+{
+    for (unsigned h = 0; h < numHashes_; ++h) {
+        const unsigned idx = hash(block_addr, h);
+        std::uint64_t &word = words_[idx / 64];
+        const std::uint64_t mask = std::uint64_t(1) << (idx % 64);
+        if (!(word & mask)) {
+            word |= mask;
+            ++popcount_;
+        }
+    }
+}
+
+bool
+Signature::test(Addr block_addr) const
+{
+    // Parallel-Bloom organization: the address must hit under every hash.
+    for (unsigned h = 0; h < numHashes_; ++h) {
+        const unsigned idx = hash(block_addr, h);
+        if (!(words_[idx / 64] & (std::uint64_t(1) << (idx % 64))))
+            return false;
+    }
+    return popcount_ != 0;
+}
+
+void
+Signature::clear()
+{
+    std::fill(words_.begin(), words_.end(), 0);
+    popcount_ = 0;
+}
+
+double
+Signature::occupancy() const
+{
+    return double(popcount_) / bits_;
+}
+
+} // namespace htm
+} // namespace hintm

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Hardware read-signature for the P8S configuration: readset addresses
+ * spilled from the transactional buffer are hashed into a fixed-size
+ * bitvector (the paper models state-of-the-art PBX hashing with a 1kbit
+ * vector [71]). Membership tests may alias, producing false conflicts.
+ */
+
+#ifndef HINTM_HTM_SIGNATURE_HH
+#define HINTM_HTM_SIGNATURE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hintm
+{
+namespace htm
+{
+
+/**
+ * PBX (page-block XOR) signature. Each hash function partitions the block
+ * address into two bit fields — low "block" bits and higher "page" bits —
+ * and XORs them to form an index, decorrelating the strides that defeat
+ * plain bit-selection hashes.
+ */
+class Signature
+{
+  public:
+    /**
+     * @param bits bitvector width (power of two, paper default 1024)
+     * @param num_hashes parallel hash functions (paper-style PBX uses 2)
+     */
+    explicit Signature(unsigned bits = 1024, unsigned num_hashes = 2);
+
+    /** Hash a block address into the bitvector. */
+    void insert(Addr block_addr);
+
+    /** Membership test; may return true for never-inserted addresses. */
+    bool test(Addr block_addr) const;
+
+    /** Reset to empty (TX commit/abort). */
+    void clear();
+
+    bool empty() const { return popcount_ == 0; }
+    unsigned bits() const { return bits_; }
+
+    /** Fraction of set bits — a proxy for expected false-positive rate. */
+    double occupancy() const;
+
+  private:
+    unsigned hash(Addr block_addr, unsigned which) const;
+
+    unsigned bits_;
+    unsigned indexBits_;
+    unsigned numHashes_;
+    std::vector<std::uint64_t> words_;
+    unsigned popcount_ = 0;
+};
+
+} // namespace htm
+} // namespace hintm
+
+#endif // HINTM_HTM_SIGNATURE_HH

@@ -1,0 +1,42 @@
+#include "tx_buffer.hh"
+
+namespace hintm
+{
+namespace htm
+{
+
+bool
+TxBuffer::track(Addr block_addr, AccessType type)
+{
+    auto it = entries_.find(block_addr);
+    if (it == entries_.end()) {
+        if (entries_.size() >= capacity_)
+            return false;
+        it = entries_.emplace(block_addr, TxBufferEntry{}).first;
+    }
+    if (type == AccessType::Read)
+        it->second.read = true;
+    else
+        it->second.written = true;
+    return true;
+}
+
+const TxBufferEntry *
+TxBuffer::find(Addr block_addr) const
+{
+    auto it = entries_.find(block_addr);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+Addr
+TxBuffer::findReadOnlyVictim() const
+{
+    for (const auto &kv : entries_) {
+        if (kv.second.read && !kv.second.written)
+            return kv.first;
+    }
+    return ~Addr(0);
+}
+
+} // namespace htm
+} // namespace hintm

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * POWER8-style dedicated transactional tracking buffer: a small
+ * fully-associative structure recording the cache blocks belonging to the
+ * running transaction's readset and writeset (64 entries in the paper's P8
+ * configuration, one 64B block each).
+ */
+
+#ifndef HINTM_HTM_TX_BUFFER_HH
+#define HINTM_HTM_TX_BUFFER_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace hintm
+{
+namespace htm
+{
+
+/** Per-block tracking record. */
+struct TxBufferEntry
+{
+    bool read = false;
+    bool written = false;
+};
+
+/**
+ * Fully-associative transactional buffer. Insertion beyond capacity fails
+ * (the caller converts that into a capacity abort or a signature spill).
+ */
+class TxBuffer
+{
+  public:
+    explicit TxBuffer(unsigned capacity) : capacity_(capacity) {}
+
+    /**
+     * Track an access to @p block_addr.
+     * @return false when a new entry was needed but the buffer is full
+     * (the access is NOT recorded in that case).
+     */
+    bool track(Addr block_addr, AccessType type);
+
+    /** @return the entry, or nullptr when untracked. */
+    const TxBufferEntry *find(Addr block_addr) const;
+
+    /** Drop one entry (P8S read-to-signature displacement). */
+    void erase(Addr block_addr) { entries_.erase(block_addr); }
+
+    /**
+     * A read-only entry suitable for displacement into a signature, or
+     * ~0 when every entry has been written.
+     */
+    Addr findReadOnlyVictim() const;
+
+    bool full() const { return entries_.size() >= capacity_; }
+    std::size_t size() const { return entries_.size(); }
+    unsigned capacity() const { return capacity_; }
+
+    void clear() { entries_.clear(); }
+
+    const std::unordered_map<Addr, TxBufferEntry> &entries() const
+    {
+        return entries_;
+    }
+
+  private:
+    unsigned capacity_;
+    std::unordered_map<Addr, TxBufferEntry> entries_;
+};
+
+} // namespace htm
+} // namespace hintm
+
+#endif // HINTM_HTM_TX_BUFFER_HH

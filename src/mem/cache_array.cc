@@ -1,0 +1,124 @@
+#include "cache_array.hh"
+
+#include "common/logging.hh"
+
+namespace hintm
+{
+namespace mem
+{
+
+const char *
+coherStateName(CoherState s)
+{
+    switch (s) {
+      case CoherState::Invalid: return "I";
+      case CoherState::Shared: return "S";
+      case CoherState::Exclusive: return "E";
+      case CoherState::Modified: return "M";
+    }
+    return "?";
+}
+
+CacheArray::CacheArray(const CacheGeometry &geom)
+    : geom_(geom), lines_(geom.numLines())
+{
+}
+
+CacheLine *
+CacheArray::findLine(Addr block_addr)
+{
+    const std::uint64_t set = geom_.indexOf(block_addr);
+    const std::uint64_t tag = geom_.tagOf(block_addr);
+    for (unsigned way = 0; way < geom_.assoc(); ++way) {
+        CacheLine &line = lines_[set * geom_.assoc() + way];
+        if (line.valid() && line.tag == tag)
+            return &line;
+    }
+    return nullptr;
+}
+
+CacheLine *
+CacheArray::lookup(Addr block_addr)
+{
+    CacheLine *line = findLine(block_addr);
+    if (line)
+        line->lruStamp = ++clock_;
+    return line;
+}
+
+const CacheLine *
+CacheArray::probe(Addr block_addr) const
+{
+    return const_cast<CacheArray *>(this)->findLine(block_addr);
+}
+
+Eviction
+CacheArray::insert(Addr block_addr, CoherState state,
+                   const PinPredicate *pinned)
+{
+    HINTM_ASSERT(state != CoherState::Invalid, "inserting invalid line");
+    Eviction ev;
+    const std::uint64_t set = geom_.indexOf(block_addr);
+    const std::uint64_t tag = geom_.tagOf(block_addr);
+
+    CacheLine *victim = nullptr;       // preferred: invalid or unpinned
+    CacheLine *pinned_lru = nullptr;   // fallback: LRU among pinned
+    for (unsigned way = 0; way < geom_.assoc(); ++way) {
+        CacheLine &line = lines_[set * geom_.assoc() + way];
+        if (line.valid() && line.tag == tag) {
+            // Re-insert over an existing copy: just update state.
+            line.state = state;
+            line.lruStamp = ++clock_;
+            return ev;
+        }
+        if (!line.valid()) {
+            if (!victim || victim->valid())
+                victim = &line;
+            continue;
+        }
+        if (pinned &&
+            (*pinned)(geom_.blockAddrOf(line.tag, set))) {
+            if (!pinned_lru || line.lruStamp < pinned_lru->lruStamp)
+                pinned_lru = &line;
+            continue;
+        }
+        if (!victim ||
+            (victim->valid() && line.lruStamp < victim->lruStamp)) {
+            victim = &line;
+        }
+    }
+    if (!victim)
+        victim = pinned_lru;
+    HINTM_ASSERT(victim != nullptr, "no victim in set");
+    if (victim->valid()) {
+        ev.happened = true;
+        ev.blockAddr = geom_.blockAddrOf(victim->tag, set);
+        ev.dirty = victim->state == CoherState::Modified;
+    }
+    victim->tag = tag;
+    victim->state = state;
+    victim->lruStamp = ++clock_;
+    return ev;
+}
+
+void
+CacheArray::invalidate(Addr block_addr)
+{
+    CacheLine *line = findLine(block_addr);
+    if (line)
+        line->state = CoherState::Invalid;
+}
+
+std::uint64_t
+CacheArray::countValid() const
+{
+    std::uint64_t n = 0;
+    for (const auto &line : lines_) {
+        if (line.valid())
+            ++n;
+    }
+    return n;
+}
+
+} // namespace mem
+} // namespace hintm

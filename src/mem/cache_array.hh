@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tag-only set-associative cache array with true-LRU replacement. Holds
+ * coherence state but no data: functional values live in the interpreter's
+ * address space, so caches model timing and coherence only.
+ */
+
+#ifndef HINTM_MEM_CACHE_ARRAY_HH
+#define HINTM_MEM_CACHE_ARRAY_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/coherence.hh"
+#include "mem/geometry.hh"
+
+namespace hintm
+{
+namespace mem
+{
+
+/** One cache line's bookkeeping. */
+struct CacheLine
+{
+    std::uint64_t tag = 0;
+    CoherState state = CoherState::Invalid;
+    /** LRU timestamp; larger means more recently used. */
+    std::uint64_t lruStamp = 0;
+
+    bool valid() const { return state != CoherState::Invalid; }
+};
+
+/** Description of a line displaced by an insertion. */
+struct Eviction
+{
+    bool happened = false;
+    Addr blockAddr = 0;
+    /** True when the victim was Modified (requires a writeback). */
+    bool dirty = false;
+};
+
+/**
+ * Set-associative tag array. All lookups take block-aligned addresses.
+ */
+class CacheArray
+{
+  public:
+    explicit CacheArray(const CacheGeometry &geom);
+
+    /**
+     * Find a block. @return pointer into the array (stable until the next
+     * insert in the same set) or nullptr on miss. Updates LRU on hit.
+     */
+    CacheLine *lookup(Addr block_addr);
+
+    /** Find a block without touching LRU state. */
+    const CacheLine *probe(Addr block_addr) const;
+
+    /** Predicate marking blocks whose eviction would abort a TX. */
+    using PinPredicate = std::function<bool(Addr)>;
+
+    /**
+     * Insert a block in the given state, evicting a victim if the set is
+     * full. Victim choice is LRU among non-pinned lines when @p pinned
+     * is provided (transactional lines are sticky, as in L1-tracking
+     * HTMs); only when every valid way is pinned does a pinned line get
+     * displaced. @return the eviction descriptor (may be empty).
+     */
+    Eviction insert(Addr block_addr, CoherState state,
+                    const PinPredicate *pinned = nullptr);
+
+    /** Drop a block (snoop invalidation); no-op when absent. */
+    void invalidate(Addr block_addr);
+
+    /** Iterate all valid lines (used by TX-abort invalidation sweeps). */
+    template <typename Fn>
+    void
+    forEachValid(Fn &&fn)
+    {
+        for (std::uint64_t set = 0; set < geom_.numSets(); ++set) {
+            for (unsigned way = 0; way < geom_.assoc(); ++way) {
+                CacheLine &line = lines_[set * geom_.assoc() + way];
+                if (line.valid())
+                    fn(geom_.blockAddrOf(line.tag, set), line);
+            }
+        }
+    }
+
+    const CacheGeometry &geometry() const { return geom_; }
+
+    /** Number of currently valid lines (testing aid). */
+    std::uint64_t countValid() const;
+
+  private:
+    CacheLine *findLine(Addr block_addr);
+
+    CacheGeometry geom_;
+    std::vector<CacheLine> lines_;
+    std::uint64_t clock_ = 0;
+};
+
+} // namespace mem
+} // namespace hintm
+
+#endif // HINTM_MEM_CACHE_ARRAY_HH

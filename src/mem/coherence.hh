@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Coherence protocol vocabulary shared by the cache arrays and the snoop
+ * bus: MESI line states and bus transaction kinds.
+ */
+
+#ifndef HINTM_MEM_COHERENCE_HH
+#define HINTM_MEM_COHERENCE_HH
+
+#include <cstdint>
+
+namespace hintm
+{
+namespace mem
+{
+
+/** MESI line state. */
+enum class CoherState : std::uint8_t
+{
+    Invalid,
+    Shared,
+    Exclusive,
+    Modified,
+};
+
+/** Kind of transaction placed on the snoop bus. */
+enum class BusOp : std::uint8_t
+{
+    Read,     ///< read miss (GetS)
+    ReadExcl, ///< write miss (GetX / RFO)
+    Upgrade,  ///< write hit on a Shared line (invalidate others)
+};
+
+/** Printable name of a coherence state (debugging aid). */
+const char *coherStateName(CoherState s);
+
+} // namespace mem
+} // namespace hintm
+
+#endif // HINTM_MEM_COHERENCE_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Set-associative cache geometry: size/associativity/block-size and the
+ * derived index/tag decomposition of addresses.
+ */
+
+#ifndef HINTM_MEM_GEOMETRY_HH
+#define HINTM_MEM_GEOMETRY_HH
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace hintm
+{
+namespace mem
+{
+
+/** Static description of a set-associative cache's shape. */
+class CacheGeometry
+{
+  public:
+    /**
+     * @param size_bytes total capacity in bytes
+     * @param assoc ways per set
+     * @param block_bytes line size (must divide size_bytes * assoc)
+     */
+    CacheGeometry(std::uint64_t size_bytes, unsigned assoc,
+                  std::uint64_t block_bytes = blockBytes)
+        : sizeBytes_(size_bytes), assoc_(assoc), blockBytes_(block_bytes)
+    {
+        HINTM_ASSERT(isPowerOfTwo(block_bytes), "block size not pow2");
+        HINTM_ASSERT(assoc >= 1, "associativity must be >= 1");
+        const std::uint64_t lines = size_bytes / block_bytes;
+        HINTM_ASSERT(lines % assoc == 0, "lines not divisible by assoc");
+        sets_ = lines / assoc;
+        HINTM_ASSERT(isPowerOfTwo(sets_), "set count not pow2");
+        blockShift_ = log2i(block_bytes);
+        indexBits_ = log2i(sets_);
+    }
+
+    std::uint64_t sizeBytes() const { return sizeBytes_; }
+    unsigned assoc() const { return assoc_; }
+    std::uint64_t numSets() const { return sets_; }
+    std::uint64_t numLines() const { return sets_ * assoc_; }
+
+    /** Set index of an address. */
+    std::uint64_t
+    indexOf(Addr a) const
+    {
+        return (a >> blockShift_) & (sets_ - 1);
+    }
+
+    /** Tag of an address (everything above index bits). */
+    std::uint64_t
+    tagOf(Addr a) const
+    {
+        return a >> (blockShift_ + indexBits_);
+    }
+
+    /** Rebuild the block base address from tag and set index. */
+    Addr
+    blockAddrOf(std::uint64_t tag, std::uint64_t index) const
+    {
+        return (tag << (blockShift_ + indexBits_)) | (index << blockShift_);
+    }
+
+  private:
+    std::uint64_t sizeBytes_;
+    unsigned assoc_;
+    std::uint64_t blockBytes_;
+    std::uint64_t sets_;
+    unsigned blockShift_;
+    unsigned indexBits_;
+};
+
+} // namespace mem
+} // namespace hintm
+
+#endif // HINTM_MEM_GEOMETRY_HH

@@ -1,0 +1,206 @@
+#include "mem_system.hh"
+
+#include "common/logging.hh"
+
+namespace hintm
+{
+namespace mem
+{
+
+MemorySystem::MemorySystem(const MemConfig &cfg, unsigned num_l1s)
+    : cfg_(cfg)
+{
+    HINTM_ASSERT(num_l1s >= 1, "need at least one L1");
+    const CacheGeometry l1_geom(cfg.l1SizeBytes, cfg.l1Assoc);
+    for (unsigned i = 0; i < num_l1s; ++i)
+        l1s_.push_back(std::make_unique<CacheArray>(l1_geom));
+    pinCheckers_.resize(num_l1s);
+    l2_ = std::make_unique<CacheArray>(
+        CacheGeometry(cfg.l2SizeBytes, cfg.l2Assoc));
+}
+
+ContextId
+MemorySystem::addContext(unsigned l1_id)
+{
+    HINTM_ASSERT(l1_id < l1s_.size(), "bad L1 id ", l1_id);
+    contexts_.push_back(Context{l1_id, nullptr});
+    return ContextId(contexts_.size() - 1);
+}
+
+void
+MemorySystem::setListener(ContextId ctx, SnoopListener *listener)
+{
+    contexts_.at(ctx).listener = listener;
+}
+
+void
+MemorySystem::setPinChecker(unsigned l1_id, CacheArray::PinPredicate pred)
+{
+    HINTM_ASSERT(l1_id < l1s_.size(), "bad L1 id ", l1_id);
+    pinCheckers_[l1_id] = std::move(pred);
+}
+
+const CacheLine *
+MemorySystem::probeL1(ContextId ctx, Addr addr) const
+{
+    return l1s_[contexts_.at(ctx).l1]->probe(blockAlign(addr));
+}
+
+bool
+MemorySystem::snoopPeers(unsigned requester_l1, Addr block, BusOp op)
+{
+    bool peer_had_copy = false;
+    for (unsigned i = 0; i < l1s_.size(); ++i) {
+        if (i == requester_l1)
+            continue;
+        CacheLine *line = l1s_[i]->lookup(block);
+        if (!line)
+            continue;
+        peer_had_copy = true;
+        switch (op) {
+          case BusOp::Read:
+            // Owner supplies data and downgrades; dirty data reaches L2.
+            if (line->state == CoherState::Modified) {
+                ++stats_.counter("writebacks");
+                l2_->insert(block, CoherState::Modified);
+            }
+            line->state = CoherState::Shared;
+            break;
+          case BusOp::ReadExcl:
+          case BusOp::Upgrade:
+            if (line->state == CoherState::Modified) {
+                ++stats_.counter("writebacks");
+                l2_->insert(block, CoherState::Modified);
+            }
+            line->state = CoherState::Invalid;
+            ++stats_.counter("invalidations");
+            break;
+        }
+    }
+    return peer_had_copy;
+}
+
+void
+MemorySystem::notifyBus(ContextId requester, Addr block, AccessType type)
+{
+    // Same-L1 siblings are covered by notifySiblings() on every access;
+    // the bus only reaches the other cores.
+    const unsigned l1 = contexts_[requester].l1;
+    for (ContextId c = 0; c < ContextId(contexts_.size()); ++c) {
+        if (c == requester || contexts_[c].l1 == l1)
+            continue;
+        if (contexts_[c].listener)
+            contexts_[c].listener->onRemoteAccess(block, type, requester);
+    }
+}
+
+void
+MemorySystem::notifySiblings(ContextId requester, Addr block,
+                             AccessType type)
+{
+    const unsigned l1 = contexts_[requester].l1;
+    for (ContextId c = 0; c < ContextId(contexts_.size()); ++c) {
+        if (c == requester || contexts_[c].l1 != l1)
+            continue;
+        if (contexts_[c].listener)
+            contexts_[c].listener->onRemoteAccess(block, type, requester);
+    }
+}
+
+void
+MemorySystem::notifyEviction(unsigned l1, Addr block, bool dirty)
+{
+    for (ContextId c = 0; c < ContextId(contexts_.size()); ++c) {
+        if (contexts_[c].l1 != l1)
+            continue;
+        if (contexts_[c].listener)
+            contexts_[c].listener->onEviction(block, dirty);
+    }
+}
+
+Cycle
+MemorySystem::accessL2(Addr block, bool fill_dirty)
+{
+    Cycle lat = cfg_.l2Latency;
+    CacheLine *line = l2_->lookup(block);
+    if (line) {
+        ++stats_.counter("l2_hits");
+    } else {
+        ++stats_.counter("l2_misses");
+        lat += cfg_.memLatency;
+        l2_->insert(block,
+                    fill_dirty ? CoherState::Modified : CoherState::Shared);
+    }
+    return lat;
+}
+
+AccessResult
+MemorySystem::access(ContextId ctx, Addr addr, AccessType type)
+{
+    HINTM_ASSERT(ctx >= 0 && ctx < ContextId(contexts_.size()),
+                 "bad context ", ctx);
+    const Addr block = blockAlign(addr);
+    const unsigned l1_id = contexts_[ctx].l1;
+    CacheArray &l1 = *l1s_[l1_id];
+
+    AccessResult res;
+    ++stats_.counter(type == AccessType::Read ? "reads" : "writes");
+
+    // SMT siblings sharing this L1 observe every access, hit or miss,
+    // mirroring per-thread transactional CAMs snooping local traffic.
+    notifySiblings(ctx, block, type);
+
+    CacheLine *line = l1.lookup(block);
+    if (line) {
+        res.l1Hit = true;
+        ++stats_.counter("l1_hits");
+        if (type == AccessType::Read ||
+            line->state == CoherState::Modified ||
+            line->state == CoherState::Exclusive) {
+            // Silent hit; writes to E upgrade silently to M.
+            if (type == AccessType::Write)
+                line->state = CoherState::Modified;
+            res.latency = cfg_.l1Latency;
+            return res;
+        }
+        // Write hit on Shared: bus upgrade.
+        ++stats_.counter("upgrades");
+        snoopPeers(l1_id, block, BusOp::Upgrade);
+        notifyBus(ctx, block, type);
+        line->state = CoherState::Modified;
+        res.latency = cfg_.l1Latency + cfg_.upgradeLatency;
+        return res;
+    }
+
+    // L1 miss: place a bus transaction.
+    ++stats_.counter("l1_misses");
+    const BusOp op =
+        type == AccessType::Read ? BusOp::Read : BusOp::ReadExcl;
+    const bool peer_had_copy = snoopPeers(l1_id, block, op);
+    notifyBus(ctx, block, type);
+
+    res.latency = cfg_.l1Latency + accessL2(block, /*fill_dirty=*/false);
+    res.l2Hit = res.latency <= cfg_.l1Latency + cfg_.l2Latency;
+
+    CoherState fill;
+    if (type == AccessType::Write)
+        fill = CoherState::Modified;
+    else
+        fill = peer_had_copy ? CoherState::Shared : CoherState::Exclusive;
+
+    const Eviction ev =
+        l1.insert(block, fill,
+                  pinCheckers_[l1_id] ? &pinCheckers_[l1_id] : nullptr);
+    if (ev.happened) {
+        ++stats_.counter("l1_evictions");
+        if (ev.dirty) {
+            ++stats_.counter("writebacks");
+            l2_->insert(ev.blockAddr, CoherState::Modified);
+        }
+        notifyEviction(l1_id, ev.blockAddr, ev.dirty);
+    }
+    return res;
+}
+
+} // namespace mem
+} // namespace hintm

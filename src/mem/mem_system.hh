@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The memory hierarchy facade: per-core private L1 data caches kept
+ * coherent by a snoopy MESI bus, backed by a shared non-inclusive L2 and a
+ * flat-latency memory (Table II organization).
+ */
+
+#ifndef HINTM_MEM_MEM_SYSTEM_HH
+#define HINTM_MEM_MEM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/cache_array.hh"
+#include "mem/snoop_listener.hh"
+
+namespace hintm
+{
+namespace mem
+{
+
+/** Timing and shape parameters of the hierarchy (paper Table II defaults). */
+struct MemConfig
+{
+    std::uint64_t l1SizeBytes = 32 * 1024;
+    unsigned l1Assoc = 8;
+    Cycle l1Latency = 3;
+
+    std::uint64_t l2SizeBytes = 8 * 1024 * 1024;
+    unsigned l2Assoc = 16;
+    Cycle l2Latency = 12;
+
+    Cycle memLatency = 100;
+    /** Extra cycles for a bus upgrade (invalidate-only) transaction. */
+    Cycle upgradeLatency = 8;
+};
+
+/** Outcome of one memory access, consumed by the core timing model. */
+struct AccessResult
+{
+    Cycle latency = 0;
+    bool l1Hit = false;
+    bool l2Hit = false;
+};
+
+/**
+ * The full memory system. Hardware thread contexts are registered up front
+ * with the L1 they share (SMT siblings share one L1); each access then
+ * flows L1 -> snoop bus -> L2 -> memory with MESI state maintenance,
+ * delivering SnoopListener events along the way.
+ */
+class MemorySystem
+{
+  public:
+    MemorySystem(const MemConfig &cfg, unsigned num_l1s);
+
+    /**
+     * Register a hardware context using L1 @p l1_id.
+     * @return the new context's id
+     */
+    ContextId addContext(unsigned l1_id);
+
+    /** Attach the HTM-side observer for a context (may be null). */
+    void setListener(ContextId ctx, SnoopListener *listener);
+
+    /**
+     * Install a pin predicate on one L1: blocks for which it returns
+     * true are evicted only as a last resort (L1TM keeps transactional
+     * state in the cache, so tracked lines are sticky).
+     */
+    void setPinChecker(unsigned l1_id, CacheArray::PinPredicate pred);
+
+    /**
+     * Perform one access and return its latency. Remote-context listeners
+     * are notified before the call returns, so any conflict abort (and its
+     * functional rollback) is complete when the requester's value is read.
+     */
+    AccessResult access(ContextId ctx, Addr addr, AccessType type);
+
+    /** Number of registered contexts. */
+    unsigned numContexts() const { return unsigned(contexts_.size()); }
+
+    /** L1 id backing a context. */
+    unsigned l1Of(ContextId ctx) const { return contexts_[ctx].l1; }
+
+    /** Probe a context's L1 for a block (testing aid). */
+    const CacheLine *probeL1(ContextId ctx, Addr addr) const;
+
+    stats::StatGroup &statGroup() { return stats_; }
+    const MemConfig &config() const { return cfg_; }
+
+  private:
+    struct Context
+    {
+        unsigned l1;
+        SnoopListener *listener = nullptr;
+    };
+
+    /** Snoop peer L1s for a bus transaction; returns true if any peer had
+     * a valid copy (decides Exclusive vs Shared fill). */
+    bool snoopPeers(unsigned requester_l1, Addr block, BusOp op);
+
+    /** Deliver onRemoteAccess to every context except the requester. */
+    void notifyBus(ContextId requester, Addr block, AccessType type);
+
+    /** Deliver onRemoteAccess to same-L1 siblings only (L1-hit case). */
+    void notifySiblings(ContextId requester, Addr block, AccessType type);
+
+    /** Deliver an eviction to every context sharing the L1. */
+    void notifyEviction(unsigned l1, Addr block, bool dirty);
+
+    /** L2 lookup/fill; returns the resulting latency beyond the L1. */
+    Cycle accessL2(Addr block, bool fill_dirty);
+
+    MemConfig cfg_;
+    std::vector<std::unique_ptr<CacheArray>> l1s_;
+    std::vector<CacheArray::PinPredicate> pinCheckers_;
+    std::unique_ptr<CacheArray> l2_;
+    std::vector<Context> contexts_;
+    stats::StatGroup stats_{"mem"};
+};
+
+} // namespace mem
+} // namespace hintm
+
+#endif // HINTM_MEM_MEM_SYSTEM_HH

@@ -1,0 +1,555 @@
+#include "machine.hh"
+
+#include <algorithm>
+#include <sstream>
+#include <limits>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/trace.hh"
+#include "tir/interp.hh"
+#include "tir/verifier.hh"
+
+namespace hintm
+{
+namespace sim
+{
+
+namespace
+{
+
+/** The software fallback lock lives below the globals region. */
+constexpr Addr fallbackLockAddr = 0xF000;
+
+constexpr Cycle farFuture = std::numeric_limits<Cycle>::max();
+
+/** Per-hardware-context runtime state. */
+struct ContextState
+{
+    std::unique_ptr<tir::ThreadInterp> interp;
+    std::unique_ptr<htm::HtmController> htm;
+    Cycle readyAt = 0;
+    Cycle finishedAt = 0;
+    bool done = false;
+    bool atBarrier = false;
+    unsigned retries = 0;
+    bool mustFallback = false;
+    bool inFallback = false;
+    // Fig. 6 footprints of the in-flight TX, in blocks.
+    std::unordered_set<Addr> fpAll, fpNoStatic, fpUnsafe;
+};
+
+class Machine
+{
+  public:
+    Machine(const MachineConfig &cfg, const tir::Module &module,
+            unsigned num_threads)
+        : cfg_(cfg), prog_(module, num_threads, cfg.seed)
+    {
+        if (auto err = tir::verify(module))
+            HINTM_FATAL("module fails verification: ", *err);
+        HINTM_ASSERT(module.threadFunc >= 0, "module has no threadFunc");
+        HINTM_ASSERT(num_threads >= 1 &&
+                         num_threads <= cfg.numCores * cfg.smtPerCore,
+                     "thread count exceeds hardware contexts");
+        if (cfg.dynamicHints) {
+            HINTM_ASSERT(cfg.vm.dynamicClassification,
+                         "dynamicHints requires vm.dynamicClassification");
+        }
+        prog_.validateSafeStores = cfg.validateSafeStores;
+        trace::enableFromEnvironment();
+
+        mem_ = std::make_unique<mem::MemorySystem>(cfg.mem, cfg.numCores);
+        vm_ = std::make_unique<vm::Vm>(cfg.vm);
+
+        runInitPhase(module);
+        for (unsigned t = 0; t < num_threads; ++t) {
+            const int mem_ctx = mem_->addContext(t % cfg.numCores);
+            const int vm_ctx = vm_->addContext();
+            HINTM_ASSERT(mem_ctx == int(t) && vm_ctx == int(t),
+                         "context id skew");
+            ContextState cs;
+            cs.interp = std::make_unique<tir::ThreadInterp>(
+                prog_, ThreadId(t), module.threadFunc,
+                std::vector<std::int64_t>{std::int64_t(t)});
+            cs.htm = std::make_unique<htm::HtmController>(
+                cfg.htm, mem::ContextId(t), &res_.htm);
+            tir::ThreadInterp *ip = cs.interp.get();
+            cs.htm->setUndoHook([ip] { ip->undoStores(); });
+            mem_->setListener(mem::ContextId(t), cs.htm.get());
+            ctxs_.push_back(std::move(cs));
+        }
+        if (cfg.htm.kind == htm::HtmKind::L1TM) {
+            // Transactional lines are sticky in L1TM: the replacement
+            // policy evicts them only when a set holds nothing else.
+            for (unsigned l1 = 0; l1 < cfg.numCores; ++l1) {
+                mem_->setPinChecker(l1, [this, l1](Addr block) {
+                    for (const ContextState &cs : ctxs_) {
+                        if (mem_->l1Of(
+                                mem::ContextId(&cs - ctxs_.data())) != l1)
+                            continue;
+                        if (cs.htm->inTx() &&
+                            (cs.htm->readsBlock(block) ||
+                             cs.htm->writesBlock(block)))
+                            return true;
+                    }
+                    return false;
+                });
+            }
+        }
+    }
+
+    RunResult
+    run()
+    {
+        Cycle now = 0;
+        unsigned rr = 0;
+        const unsigned n = unsigned(ctxs_.size());
+        while (true) {
+            int best = -1;
+            Cycle best_t = farFuture;
+            unsigned live = 0;
+            for (unsigned i = 0; i < n; ++i) {
+                const unsigned c = (rr + i) % n;
+                const ContextState &cs = ctxs_[c];
+                if (cs.done)
+                    continue;
+                ++live;
+                if (cs.atBarrier)
+                    continue;
+                if (cs.readyAt < best_t) {
+                    best_t = cs.readyAt;
+                    best = int(c);
+                }
+            }
+            if (live == 0)
+                break;
+            HINTM_ASSERT(best >= 0, "deadlock: all live contexts blocked");
+            now = std::max(now, best_t);
+            step(unsigned(best), now);
+            rr = unsigned(best + 1) % n;
+        }
+
+        for (const ContextState &cs : ctxs_) {
+            res_.cycles = std::max(res_.cycles, cs.finishedAt);
+            res_.instructions += cs.interp->instrCount();
+        }
+        res_.safePages = vm_->pageTable().countPages(true);
+        res_.totalPages = vm_->pageTable().totalPages();
+        res_.pageModeOverheadCycles =
+            shootdownCycles_ +
+            res_.htm.cyclesLost[unsigned(htm::AbortReason::PageMode)];
+        if (cfg_.profileSharing) {
+            res_.blockSharing = profiler_.blockSummary();
+            res_.pageSharing = profiler_.pageSummary();
+        }
+        {
+            std::ostringstream os;
+            mem_->statGroup().dump(os);
+            vm_->statGroup().dump(os);
+            res_.rawStats = os.str();
+        }
+        for (const tir::Global &g : prog_.module().globals) {
+            std::vector<std::int64_t> words;
+            for (Addr off = 0; off < g.sizeBytes; off += 8)
+                words.push_back(prog_.space().read(g.addr + off));
+            res_.finalGlobals.emplace(g.name, std::move(words));
+        }
+        return res_;
+    }
+
+  private:
+    Cycle
+    simpleCost(const tir::Step &st) const
+    {
+        return (st.simpleInstrs * cfg_.nonMemCyclesX100 + 99) / 100;
+    }
+
+    /** Execute the init function functionally (no simulated time). */
+    void
+    runInitPhase(const tir::Module &module)
+    {
+        if (module.initFunc < 0)
+            return;
+        tir::ThreadInterp init(prog_, prog_.initTid(), module.initFunc,
+                               {});
+        while (true) {
+            const tir::Step st = init.next();
+            switch (st.kind) {
+              case tir::StepKind::Mem:
+                init.completeMem();
+                break;
+              case tir::StepKind::TxBegin:
+                init.enterTx(false);
+                break;
+              case tir::StepKind::TxEnd:
+                init.completeTxEnd();
+                break;
+              case tir::StepKind::Barrier:
+                HINTM_FATAL("barrier in init function");
+              case tir::StepKind::Annotate:
+                vm_->annotateRange(st.addr, st.annotateLen);
+                init.passAnnotate();
+                break;
+              case tir::StepKind::Done:
+                return;
+              case tir::StepKind::Simple:
+                break;
+            }
+        }
+    }
+
+    void
+    step(unsigned c, Cycle now)
+    {
+        ContextState &cs = ctxs_[c];
+        if (cs.htm->abortPending()) {
+            handleAbort(c, now);
+            return;
+        }
+        const tir::Step st = cs.interp->next();
+        switch (st.kind) {
+          case tir::StepKind::Done:
+            cs.done = true;
+            cs.finishedAt = now + simpleCost(st);
+            cs.readyAt = cs.finishedAt;
+            maybeReleaseBarrier(now);
+            break;
+          case tir::StepKind::Mem:
+            handleMem(c, now, st);
+            break;
+          case tir::StepKind::TxBegin:
+            handleTxBegin(c, now, st);
+            break;
+          case tir::StepKind::TxEnd:
+            handleTxEnd(c, now, st);
+            break;
+          case tir::StepKind::Barrier:
+            cs.atBarrier = true;
+            cs.readyAt = now + simpleCost(st);
+            maybeReleaseBarrier(now);
+            break;
+          case tir::StepKind::Annotate:
+            // Notary-style page annotation: an madvise-like call.
+            vm_->annotateRange(st.addr, st.annotateLen);
+            cs.interp->passAnnotate();
+            cs.readyAt = now + simpleCost(st) + 1;
+            break;
+          case tir::StepKind::Simple:
+            cs.readyAt = now + simpleCost(st);
+            break;
+        }
+    }
+
+    void
+    handleAbort(unsigned c, Cycle now)
+    {
+        ContextState &cs = ctxs_[c];
+        const htm::AbortReason reason = cs.htm->acknowledgeAbort(now);
+        trace::event(trace::Category::Tx, now, "ctx ", c, " abort (",
+                     htm::abortReasonName(reason), "), retry ",
+                     cs.retries + 1);
+        cs.interp->rollbackToTxBegin();
+        cs.fpAll.clear();
+        cs.fpNoStatic.clear();
+        cs.fpUnsafe.clear();
+        if (!htm::abortIsTransient(reason)) {
+            // Capacity aborts recur deterministically: fall back now.
+            cs.mustFallback = true;
+        } else {
+            ++cs.retries;
+            if (cs.retries > cfg_.maxRetries)
+                cs.mustFallback = true;
+        }
+        cs.readyAt = now + cfg_.htm.abortHandlerCycles +
+                     Cycle(cs.retries) * cfg_.backoffCycles;
+    }
+
+    void
+    handleTxBegin(unsigned c, Cycle now, const tir::Step &st)
+    {
+        ContextState &cs = ctxs_[c];
+        Cycle cost = simpleCost(st);
+
+        if (lockHolder_ >= 0) {
+            // Someone is in the software fallback: wait for release.
+            cs.readyAt = now + cost + cfg_.fallbackSpinCycles;
+            return;
+        }
+
+        if (cs.mustFallback) {
+            lockHolder_ = int(c);
+            ++res_.fallbackRuns;
+            trace::event(trace::Category::Tx, now, "ctx ", c,
+                         " acquires the fallback lock");
+            // Abort every running hardware TX (they all subscribed to
+            // the lock), then publish the acquisition.
+            for (unsigned o = 0; o < ctxs_.size(); ++o) {
+                if (o != c && ctxs_[o].htm->inTx())
+                    ctxs_[o].htm->requestAbort(
+                        htm::AbortReason::FallbackLock);
+            }
+            const auto ar =
+                mem_->access(mem::ContextId(c), fallbackLockAddr,
+                             AccessType::Write);
+            cost += ar.latency + cfg_.htm.beginCycles;
+            cs.interp->enterTx(/*htm_mode=*/false);
+            cs.inFallback = true;
+        } else {
+            cs.htm->beginTx(now);
+            trace::event(trace::Category::Tx, now, "ctx ", c,
+                         " begins hardware TX");
+            // Lock subscription: the lock word joins the readset so a
+            // fallback acquisition conflicts this TX out.
+            const auto ar = mem_->access(mem::ContextId(c),
+                                         fallbackLockAddr,
+                                         AccessType::Read);
+            cs.htm->trackAccess(fallbackLockAddr, AccessType::Read,
+                                /*safe=*/false);
+            cost += ar.latency + cfg_.htm.beginCycles;
+            cs.interp->enterTx(/*htm_mode=*/true);
+        }
+        cs.readyAt = now + cost;
+    }
+
+    void
+    handleTxEnd(unsigned c, Cycle now, const tir::Step &st)
+    {
+        ContextState &cs = ctxs_[c];
+        Cycle cost = simpleCost(st) + cfg_.htm.commitCycles;
+
+        if (cs.inFallback) {
+            HINTM_ASSERT(lockHolder_ == int(c), "lock bookkeeping broken");
+            lockHolder_ = -1;
+            trace::event(trace::Category::Tx, now, "ctx ", c,
+                         " releases the fallback lock");
+            const auto ar =
+                mem_->access(mem::ContextId(c), fallbackLockAddr,
+                             AccessType::Write);
+            cost += ar.latency;
+            cs.inFallback = false;
+            cs.mustFallback = false;
+        } else {
+            trace::event(trace::Category::Tx, now, "ctx ", c, " commits (",
+                         cs.htm->trackedBlocks(), " tracked blocks)");
+            cs.htm->commitTx(now);
+            if (cfg_.collectTxSizes) {
+                res_.txSizeAll.sample(cs.fpAll.size());
+                res_.txSizeNoStatic.sample(cs.fpNoStatic.size());
+                res_.txSizeUnsafe.sample(cs.fpUnsafe.size());
+            }
+        }
+        cs.interp->completeTxEnd();
+        cs.retries = 0;
+        cs.fpAll.clear();
+        cs.fpNoStatic.clear();
+        cs.fpUnsafe.clear();
+        ++res_.committedTxs;
+        cs.readyAt = now + cost;
+    }
+
+    void
+    handleMem(unsigned c, Cycle now, const tir::Step &st)
+    {
+        ContextState &cs = ctxs_[c];
+        Cycle cost = simpleCost(st);
+        const bool suspended = cs.interp->suspended();
+        const bool in_htm_tx =
+            cs.interp->inTx() && cs.interp->htmMode() && !suspended;
+        const bool in_any_tx = cs.interp->inTx() && !suspended;
+        if (cs.interp->inTx() && suspended)
+            ++res_.txAccessesSuspended;
+
+        // 1. Address translation + dynamic classification.
+        const vm::TranslateResult tr =
+            vm_->translate(int(c), cs.interp->tid(), st.addr,
+                           st.accessType);
+        cost += tr.cost;
+        if (tr.becameUnsafe) {
+            trace::event(trace::Category::Vm, now, "page ", tr.pageNum,
+                         " became unsafe (ctx ", c, " write), ",
+                         tr.slaveCosts.size(), " shootdown slaves");
+            shootdownCycles_ += cfg_.vm.shootdownInitiatorCycles;
+            for (const auto &[victim, slave] : tr.slaveCosts) {
+                ContextState &vs = ctxs_[std::size_t(victim)];
+                vs.readyAt = std::max(vs.readyAt, now) + slave;
+                shootdownCycles_ += slave;
+            }
+            for (ContextState &other : ctxs_)
+                other.htm->onPageBecameUnsafe(tr.pageNum);
+        }
+        if (cs.htm->abortPending()) {
+            // The transition aborted our own TX: squash this access.
+            cs.readyAt = now + cost;
+            return;
+        }
+
+        // 2. Resolve the safety hint. Statically-hinted instructions
+        // bypass the dynamic mechanism (§IV-B); dynamic hints only ever
+        // cover reads. Programmer annotations are irrevocable hints,
+        // honored under annotationHints or whenever the dynamic
+        // mechanism is active.
+        const bool is_read = st.accessType == AccessType::Read;
+        const bool static_safe = cfg_.staticHints && st.staticSafe;
+        const bool annot_safe =
+            (cfg_.annotationHints || cfg_.dynamicHints) && !static_safe &&
+            is_read && tr.safeRead && !tr.revocable;
+        const bool dyn_safe = cfg_.dynamicHints && !static_safe &&
+                              is_read && tr.safeRead && tr.revocable;
+        const bool safe = static_safe || dyn_safe || annot_safe;
+
+        // 3. HTM tracking (or hint-driven skip).
+        if (in_htm_tx &&
+            cfg_.htm.conflictPolicy ==
+                htm::ConflictPolicy::RequesterLoses &&
+            !safe) {
+            // Requester-loses pre-flight: abort ourselves rather than
+            // disturb a TX already holding the block.
+            const Addr block = blockAlign(st.addr);
+            for (unsigned o = 0; o < ctxs_.size(); ++o) {
+                if (o != c &&
+                    ctxs_[o].htm->conflictsWith(block, st.accessType)) {
+                    cs.htm->requestAbort(htm::AbortReason::Conflict);
+                    cs.readyAt = now + cost;
+                    return;
+                }
+            }
+        }
+        if (in_htm_tx) {
+            cs.htm->trackAccess(st.addr, st.accessType, safe);
+            if (dyn_safe)
+                cs.htm->noteSafePageRead(tr.pageNum);
+            if (cs.htm->capacityPending()) {
+                // Pre-abort handler: convert the overflowing TX into a
+                // critical section when the fallback lock is free,
+                // preserving the work done so far; else abort normally.
+                if (lockHolder_ < 0) {
+                    lockHolder_ = int(c);
+                    trace::event(trace::Category::Tx, now, "ctx ", c,
+                                 " converts overflowing TX to a "
+                                 "critical section");
+                    for (unsigned o = 0; o < ctxs_.size(); ++o) {
+                        if (o != c && ctxs_[o].htm->inTx())
+                            ctxs_[o].htm->requestAbort(
+                                htm::AbortReason::FallbackLock);
+                    }
+                    const auto lr = mem_->access(mem::ContextId(c),
+                                                 fallbackLockAddr,
+                                                 AccessType::Write);
+                    cost += lr.latency;
+                    cs.htm->convertToCriticalSection();
+                    cs.interp->convertToFallback();
+                    cs.inFallback = true;
+                    // Fall through: the access proceeds untracked.
+                } else {
+                    cs.htm->declineConversion();
+                    cs.readyAt = now + cost;
+                    return;
+                }
+            }
+            if (cs.htm->abortPending()) {
+                cs.readyAt = now + cost; // capacity: squash
+                return;
+            }
+            if (is_read) {
+                if (static_safe)
+                    ++res_.txReadsStaticSafe;
+                else if (dyn_safe)
+                    ++res_.txReadsDynSafe;
+                else if (annot_safe)
+                    ++res_.txReadsAnnotated;
+                else
+                    ++res_.txReadsUnsafe;
+            } else {
+                if (static_safe)
+                    ++res_.txWritesStaticSafe;
+                else
+                    ++res_.txWritesUnsafe;
+            }
+            if (cfg_.collectTxSizes) {
+                const Addr blk = blockNumber(st.addr);
+                cs.fpAll.insert(blk);
+                if (!static_safe)
+                    cs.fpNoStatic.insert(blk);
+                if (!safe)
+                    cs.fpUnsafe.insert(blk);
+            }
+        } else if (in_any_tx) {
+            // Fallback-mode TX: everything is effectively unsafe.
+            if (st.accessType == AccessType::Read)
+                ++res_.txReadsUnsafe;
+            else
+                ++res_.txWritesUnsafe;
+        }
+
+        // 4. Timing + coherence (may abort other contexts; their undo
+        // hooks run before we read). Under L1TM this access can also
+        // abort *us*: filling the L1 may evict one of our own tracked
+        // lines (set-conflict capacity abort). Squash in that case.
+        const auto ar =
+            mem_->access(mem::ContextId(c), st.addr, st.accessType);
+        cost += ar.latency;
+        if (cs.htm->abortPending()) {
+            cs.readyAt = now + cost;
+            return;
+        }
+
+        // 5. Architectural effect.
+        cs.interp->completeMem();
+
+        if (cfg_.profileSharing) {
+            profiler_.record(cs.interp->tid(), st.addr, st.accessType,
+                             in_any_tx);
+        }
+        cs.readyAt = now + cost;
+    }
+
+    void
+    maybeReleaseBarrier(Cycle now)
+    {
+        unsigned live = 0, waiting = 0;
+        for (const ContextState &cs : ctxs_) {
+            if (cs.done)
+                continue;
+            ++live;
+            if (cs.atBarrier)
+                ++waiting;
+        }
+        if (live == 0 || waiting < live)
+            return;
+        trace::event(trace::Category::Sched, now, "barrier releases ",
+                     waiting, " contexts");
+        for (ContextState &cs : ctxs_) {
+            if (cs.done || !cs.atBarrier)
+                continue;
+            cs.interp->passBarrier();
+            cs.atBarrier = false;
+            cs.readyAt = std::max(cs.readyAt, now) + 1;
+        }
+    }
+
+    MachineConfig cfg_;
+    tir::Program prog_;
+    std::unique_ptr<mem::MemorySystem> mem_;
+    std::unique_ptr<vm::Vm> vm_;
+    std::vector<ContextState> ctxs_;
+    int lockHolder_ = -1;
+    std::uint64_t shootdownCycles_ = 0;
+    SharingProfiler profiler_;
+    RunResult res_;
+};
+
+} // namespace
+
+RunResult
+runMachine(const MachineConfig &cfg, const tir::Module &module,
+           unsigned num_threads)
+{
+    Machine m(cfg, module, num_threads);
+    return m.run();
+}
+
+} // namespace sim
+} // namespace hintm

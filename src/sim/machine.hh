@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The simulated machine: an SMP of in-order hardware thread contexts
+ * interpreting a TxIR program against the MESI memory hierarchy, the
+ * HinTM virtual-memory subsystem and per-context HTM controllers.
+ * Implements the transactional runtime — begin/retry/fallback policy,
+ * global fallback lock with readset subscription, barriers — and collects
+ * every statistic the paper's figures need.
+ */
+
+#ifndef HINTM_SIM_MACHINE_HH
+#define HINTM_SIM_MACHINE_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "htm/controller.hh"
+#include "mem/mem_system.hh"
+#include "sim/profiler.hh"
+#include "tir/ir.hh"
+#include "vm/vm.hh"
+
+namespace hintm
+{
+namespace sim
+{
+
+/** Everything needed to instantiate a machine (Table II defaults). */
+struct MachineConfig
+{
+    unsigned numCores = 8;
+    unsigned smtPerCore = 1;
+
+    mem::MemConfig mem;
+    vm::VmConfig vm;
+    htm::HtmConfig htm;
+
+    /** Consume compiler safety hints (HinTM-st). */
+    bool staticHints = false;
+    /** Consume dynamic page-classification hints (HinTM-dyn). */
+    bool dynamicHints = false;
+    /** Consume Notary-style programmer page annotations even without
+     * the dynamic mechanism (annotations are also honored whenever
+     * dynamicHints is on). */
+    bool annotationHints = false;
+
+    /** Transient-abort retries before taking the fallback lock. */
+    unsigned maxRetries = 8;
+    /** Linear backoff per retry after a transient abort. */
+    Cycle backoffCycles = 64;
+    /** Spin re-check interval while the fallback lock is held. */
+    Cycle fallbackSpinCycles = 64;
+    /** Cycles charged per non-memory instruction (x100: 100 = CPI 1). */
+    unsigned nonMemCyclesX100 = 100;
+
+    std::uint64_t seed = 1;
+
+    /** Record the three per-TX footprint CDFs of Fig. 6. */
+    bool collectTxSizes = false;
+    /** Record Fig. 1 sharing metrics (adds per-access overhead). */
+    bool profileSharing = false;
+    /** Check the initializing property of safe stores across aborts. */
+    bool validateSafeStores = false;
+};
+
+/** Everything a run produces. */
+struct RunResult
+{
+    /** Makespan of the measured parallel region. */
+    Cycle cycles = 0;
+    std::uint64_t instructions = 0;
+
+    htm::HtmStats htm;
+
+    // Fig. 5 access breakdown (accesses inside TX regions).
+    std::uint64_t txReadsStaticSafe = 0;
+    std::uint64_t txReadsDynSafe = 0;
+    std::uint64_t txReadsAnnotated = 0;
+    std::uint64_t txWritesStaticSafe = 0;
+    std::uint64_t txReadsUnsafe = 0;
+    std::uint64_t txWritesUnsafe = 0;
+    /** Accesses inside suspend/resume escape windows (untracked). */
+    std::uint64_t txAccessesSuspended = 0;
+
+    /** All cycles burnt on page-mode transitions: shootdown initiator +
+     * slaves + TX work lost to page-mode aborts. */
+    std::uint64_t pageModeOverheadCycles = 0;
+    std::uint64_t fallbackRuns = 0;
+    std::uint64_t committedTxs = 0;
+
+    std::uint64_t safePages = 0;
+    std::uint64_t totalPages = 0;
+
+    // Fig. 6 CDFs (collectTxSizes only): committed-TX footprint in
+    // blocks, as tracked by baseline / HinTM-st / HinTM.
+    stats::Distribution txSizeAll{1, 513};
+    stats::Distribution txSizeNoStatic{1, 513};
+    stats::Distribution txSizeUnsafe{1, 513};
+
+    // Fig. 1 metrics (profileSharing only).
+    SharingSummary blockSharing;
+    SharingSummary pageSharing;
+
+    /** Final architectural value of every global word, for correctness
+     * checks (key = global name). */
+    std::map<std::string, std::vector<std::int64_t>> finalGlobals;
+
+    /** Raw "group.name value" dump of the memory-system and VM stat
+     * groups (cache hits/misses, writebacks, TLB activity, faults,
+     * shootdowns), gem5-stats style. */
+    std::string rawStats;
+
+    std::uint64_t
+    txAccessesTotal() const
+    {
+        return txReadsStaticSafe + txReadsDynSafe + txReadsAnnotated +
+               txWritesStaticSafe + txReadsUnsafe + txWritesUnsafe;
+    }
+};
+
+/**
+ * Run @p module (already safety-annotated if static hints are on) on a
+ * machine built from @p cfg with @p num_threads worker threads.
+ *
+ * The init function executes functionally (zero simulated time); the
+ * measured region spans thread start to the last thread's completion.
+ */
+RunResult runMachine(const MachineConfig &cfg, const tir::Module &module,
+                     unsigned num_threads);
+
+} // namespace sim
+} // namespace hintm
+
+#endif // HINTM_SIM_MACHINE_HH

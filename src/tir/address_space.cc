@@ -1,0 +1,35 @@
+#include "address_space.hh"
+
+#include "common/logging.hh"
+
+namespace hintm
+{
+namespace tir
+{
+
+std::int64_t
+AddressSpace::read(Addr a) const
+{
+    HINTM_ASSERT((a & 7) == 0, "misaligned read at ", a);
+    HINTM_ASSERT(a != 0, "null dereference (read)");
+    auto it = pages_.find(pageNumber(a));
+    if (it == pages_.end())
+        return 0;
+    return (*it->second)[pageOffset(a) / 8];
+}
+
+void
+AddressSpace::write(Addr a, std::int64_t v)
+{
+    HINTM_ASSERT((a & 7) == 0, "misaligned write at ", a);
+    HINTM_ASSERT(a != 0, "null dereference (write)");
+    auto it = pages_.find(pageNumber(a));
+    if (it == pages_.end()) {
+        it = pages_.emplace(pageNumber(a), std::make_unique<Page>()).first;
+        it->second->fill(0);
+    }
+    (*it->second)[pageOffset(a) / 8] = v;
+}
+
+} // namespace tir
+} // namespace hintm

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Flat functional memory for TxIR programs: a paged sparse store of 64-bit
+ * words. Caches in src/mem are tag-only; every architectural value lives
+ * here, which keeps transactional rollback purely functional.
+ */
+
+#ifndef HINTM_TIR_ADDRESS_SPACE_HH
+#define HINTM_TIR_ADDRESS_SPACE_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace hintm
+{
+namespace tir
+{
+
+/** Sparse, page-granular word store. Accesses must be 8-byte aligned. */
+class AddressSpace
+{
+  public:
+    /** Read the word at @p a (untouched memory reads as zero). */
+    std::int64_t read(Addr a) const;
+
+    /** Write the word at @p a. */
+    void write(Addr a, std::int64_t v);
+
+    /** Number of materialized pages (testing/profiling aid). */
+    std::size_t pageCount() const { return pages_.size(); }
+
+  private:
+    static constexpr std::size_t wordsPerPage = pageBytes / 8;
+    using Page = std::array<std::int64_t, wordsPerPage>;
+
+    std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+/**
+ * Fixed virtual-memory layout of a loaded TxIR program. Regions are far
+ * apart so that stacks, per-thread heap arenas and globals never share
+ * pages — mirroring a real process image with per-thread malloc arenas.
+ */
+namespace layout
+{
+constexpr Addr globalsBase = 0x0001'0000;
+constexpr Addr stacksBase = 0x2000'0000;
+constexpr Addr stackStride = 0x0020'0000; ///< 2MB per thread
+constexpr Addr arenasBase = 0x8000'0000;
+constexpr Addr arenaStride = 0x0400'0000; ///< 64MB per arena
+
+constexpr Addr
+stackBase(ThreadId tid)
+{
+    return stacksBase + Addr(tid) * stackStride;
+}
+} // namespace layout
+
+} // namespace tir
+} // namespace hintm
+
+#endif // HINTM_TIR_ADDRESS_SPACE_HH

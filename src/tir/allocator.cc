@@ -1,0 +1,63 @@
+#include "allocator.hh"
+
+#include "common/logging.hh"
+#include "tir/address_space.hh"
+
+namespace hintm
+{
+namespace tir
+{
+
+Allocator::Allocator(unsigned num_arenas)
+{
+    HINTM_ASSERT(num_arenas >= 1, "need at least one arena");
+    for (unsigned i = 0; i < num_arenas; ++i) {
+        const Addr base = layout::arenasBase + Addr(i) * layout::arenaStride;
+        arenas_.push_back(Arena{base, base, base + layout::arenaStride, {}});
+    }
+}
+
+Addr
+Allocator::alloc(unsigned arena, std::uint64_t bytes)
+{
+    HINTM_ASSERT(arena < arenas_.size(), "bad arena ", arena);
+    HINTM_ASSERT(bytes > 0, "zero-size allocation");
+    Arena &a = arenas_[arena];
+    const std::uint64_t size = (bytes + 7) & ~std::uint64_t(7);
+
+    Addr p = 0;
+    auto fl = a.freeLists.find(size);
+    if (fl != a.freeLists.end() && !fl->second.empty()) {
+        p = fl->second.back();
+        fl->second.pop_back();
+    } else {
+        HINTM_ASSERT(a.bump + size <= a.limit, "arena ", arena,
+                     " exhausted");
+        p = a.bump;
+        a.bump += size;
+    }
+    live_.emplace(p, Allocation{arena, size});
+    liveBytes_ += size;
+    return p;
+}
+
+void
+Allocator::release(Addr p)
+{
+    auto it = live_.find(p);
+    HINTM_ASSERT(it != live_.end(), "free of unknown pointer ", p);
+    const Allocation alloc = it->second;
+    live_.erase(it);
+    liveBytes_ -= alloc.size;
+    arenas_[alloc.arena].freeLists[alloc.size].push_back(p);
+}
+
+std::uint64_t
+Allocator::sizeOf(Addr p) const
+{
+    auto it = live_.find(p);
+    return it == live_.end() ? 0 : it->second.size;
+}
+
+} // namespace tir
+} // namespace hintm

@@ -1,0 +1,498 @@
+#include "builder.hh"
+
+#include "common/logging.hh"
+
+namespace hintm
+{
+namespace tir
+{
+
+int
+declareFunction(Module &mod, const std::string &name, unsigned num_params)
+{
+    HINTM_ASSERT(mod.findFunction(name) < 0, "duplicate function ", name);
+    Function fn;
+    fn.name = name;
+    fn.numParams = num_params;
+    fn.numRegs = num_params;
+    mod.functions.push_back(std::move(fn));
+    return int(mod.functions.size() - 1);
+}
+
+FunctionBuilder::FunctionBuilder(Module &mod, std::string name,
+                                 unsigned num_params)
+    : mod_(mod)
+{
+    // Reserve the module slot immediately so recursive calls resolve.
+    int idx = mod.findFunction(name);
+    if (idx < 0)
+        idx = declareFunction(mod, name, num_params);
+    fn_ = mod.functions[idx];
+    HINTM_ASSERT(fn_.blocks.empty(), "function ", name, " already built");
+    HINTM_ASSERT(fn_.numParams == num_params, "declaration mismatch");
+    fn_.blocks.emplace_back();
+    cur_ = 0;
+}
+
+int
+FunctionBuilder::finish()
+{
+    HINTM_ASSERT(!finished_, "finish() called twice");
+    finished_ = true;
+    const int idx = mod_.findFunction(fn_.name);
+    HINTM_ASSERT(idx >= 0, "lost module slot");
+    mod_.functions[idx] = std::move(fn_);
+    return idx;
+}
+
+Reg
+FunctionBuilder::newReg()
+{
+    return int(fn_.numRegs++);
+}
+
+Instr &
+FunctionBuilder::emit(Instr ins)
+{
+    fn_.blocks[cur_].instrs.push_back(std::move(ins));
+    return fn_.blocks[cur_].instrs.back();
+}
+
+Reg
+FunctionBuilder::emitBin(Opcode op, Reg a, Reg b)
+{
+    Instr ins;
+    ins.op = op;
+    ins.dst = newReg();
+    ins.a = a;
+    ins.b = b;
+    emit(ins);
+    return ins.dst;
+}
+
+Reg
+FunctionBuilder::param(unsigned i)
+{
+    HINTM_ASSERT(i < fn_.numParams, "bad param index");
+    return Reg(i);
+}
+
+Reg
+FunctionBuilder::constI(std::int64_t v)
+{
+    Instr ins;
+    ins.op = Opcode::Const;
+    ins.dst = newReg();
+    ins.imm = v;
+    emit(ins);
+    return ins.dst;
+}
+
+Reg
+FunctionBuilder::freshVar()
+{
+    return newReg();
+}
+
+void
+FunctionBuilder::set(Reg var, Reg value)
+{
+    Instr ins;
+    ins.op = Opcode::Mov;
+    ins.dst = var;
+    ins.a = value;
+    emit(ins);
+}
+
+void
+FunctionBuilder::setI(Reg var, std::int64_t value)
+{
+    Instr ins;
+    ins.op = Opcode::Const;
+    ins.dst = var;
+    ins.imm = value;
+    emit(ins);
+}
+
+Reg FunctionBuilder::add(Reg a, Reg b) { return emitBin(Opcode::Add, a, b); }
+Reg FunctionBuilder::sub(Reg a, Reg b) { return emitBin(Opcode::Sub, a, b); }
+Reg FunctionBuilder::mul(Reg a, Reg b) { return emitBin(Opcode::Mul, a, b); }
+Reg FunctionBuilder::div(Reg a, Reg b) { return emitBin(Opcode::Div, a, b); }
+Reg FunctionBuilder::mod(Reg a, Reg b) { return emitBin(Opcode::Mod, a, b); }
+Reg FunctionBuilder::andOp(Reg a, Reg b)
+{
+    return emitBin(Opcode::And, a, b);
+}
+Reg FunctionBuilder::xorOp(Reg a, Reg b)
+{
+    return emitBin(Opcode::Xor, a, b);
+}
+Reg FunctionBuilder::cmpEq(Reg a, Reg b)
+{
+    return emitBin(Opcode::CmpEq, a, b);
+}
+Reg FunctionBuilder::cmpNe(Reg a, Reg b)
+{
+    return emitBin(Opcode::CmpNe, a, b);
+}
+Reg FunctionBuilder::cmpLt(Reg a, Reg b)
+{
+    return emitBin(Opcode::CmpLt, a, b);
+}
+Reg FunctionBuilder::cmpGe(Reg a, Reg b)
+{
+    return emitBin(Opcode::CmpGe, a, b);
+}
+
+Reg FunctionBuilder::addI(Reg a, std::int64_t i)
+{
+    return add(a, constI(i));
+}
+Reg FunctionBuilder::subI(Reg a, std::int64_t i)
+{
+    return sub(a, constI(i));
+}
+Reg FunctionBuilder::mulI(Reg a, std::int64_t i)
+{
+    return mul(a, constI(i));
+}
+Reg FunctionBuilder::modI(Reg a, std::int64_t i)
+{
+    return mod(a, constI(i));
+}
+Reg FunctionBuilder::shl(Reg a, Reg b)
+{
+    return emitBin(Opcode::Shl, a, b);
+}
+Reg FunctionBuilder::shlI(Reg a, std::int64_t i)
+{
+    return emitBin(Opcode::Shl, a, constI(i));
+}
+Reg FunctionBuilder::shrI(Reg a, std::int64_t i)
+{
+    return emitBin(Opcode::Shr, a, constI(i));
+}
+Reg FunctionBuilder::cmpLtI(Reg a, std::int64_t i)
+{
+    return cmpLt(a, constI(i));
+}
+Reg FunctionBuilder::cmpEqI(Reg a, std::int64_t i)
+{
+    return cmpEq(a, constI(i));
+}
+Reg FunctionBuilder::cmpNeI(Reg a, std::int64_t i)
+{
+    return cmpNe(a, constI(i));
+}
+
+Reg
+FunctionBuilder::allocaBytes(std::uint64_t bytes)
+{
+    Instr ins;
+    ins.op = Opcode::Alloca;
+    ins.dst = newReg();
+    ins.imm = std::int64_t(bytes);
+    emit(ins);
+    return ins.dst;
+}
+
+Reg
+FunctionBuilder::mallocBytes(Reg size)
+{
+    Instr ins;
+    ins.op = Opcode::Malloc;
+    ins.dst = newReg();
+    ins.a = size;
+    emit(ins);
+    return ins.dst;
+}
+
+Reg
+FunctionBuilder::mallocI(std::uint64_t bytes)
+{
+    return mallocBytes(constI(std::int64_t(bytes)));
+}
+
+void
+FunctionBuilder::freePtr(Reg p)
+{
+    Instr ins;
+    ins.op = Opcode::Free;
+    ins.a = p;
+    emit(ins);
+}
+
+Reg
+FunctionBuilder::load(Reg addr, std::int64_t off)
+{
+    Instr ins;
+    ins.op = Opcode::Load;
+    ins.dst = newReg();
+    ins.a = addr;
+    ins.imm = off;
+    emit(ins);
+    return ins.dst;
+}
+
+void
+FunctionBuilder::store(Reg addr, Reg val, std::int64_t off)
+{
+    Instr ins;
+    ins.op = Opcode::Store;
+    ins.a = addr;
+    ins.b = val;
+    ins.imm = off;
+    emit(ins);
+}
+
+void
+FunctionBuilder::storeI(Reg addr, std::int64_t val, std::int64_t off)
+{
+    store(addr, constI(val), off);
+}
+
+Reg
+FunctionBuilder::gep(Reg base, Reg idx, std::int64_t scale,
+                     std::int64_t off)
+{
+    Instr ins;
+    ins.op = Opcode::Gep;
+    ins.dst = newReg();
+    ins.a = base;
+    ins.b = idx;
+    ins.imm = scale;
+    ins.imm2 = off;
+    emit(ins);
+    return ins.dst;
+}
+
+Reg
+FunctionBuilder::globalAddr(const std::string &name)
+{
+    const int g = mod_.findGlobal(name);
+    HINTM_ASSERT(g >= 0, "unknown global ", name);
+    Instr ins;
+    ins.op = Opcode::GlobalAddr;
+    ins.dst = newReg();
+    ins.imm = g;
+    emit(ins);
+    return ins.dst;
+}
+
+Reg
+FunctionBuilder::call(const std::string &fn, std::vector<Reg> args)
+{
+    const int callee = mod_.findFunction(fn);
+    HINTM_ASSERT(callee >= 0, "unknown function ", fn);
+    Instr ins;
+    ins.op = Opcode::Call;
+    ins.dst = newReg();
+    ins.imm = callee;
+    ins.args = std::move(args);
+    emit(ins);
+    return ins.dst;
+}
+
+void
+FunctionBuilder::callVoid(const std::string &fn, std::vector<Reg> args)
+{
+    call(fn, std::move(args));
+}
+
+void
+FunctionBuilder::ret(Reg v)
+{
+    Instr ins;
+    ins.op = Opcode::Ret;
+    ins.a = v;
+    emit(ins);
+}
+
+void
+FunctionBuilder::txBegin()
+{
+    Instr ins;
+    ins.op = Opcode::TxBegin;
+    emit(ins);
+}
+
+void
+FunctionBuilder::txEnd()
+{
+    Instr ins;
+    ins.op = Opcode::TxEnd;
+    emit(ins);
+}
+
+void
+FunctionBuilder::txSuspend()
+{
+    Instr ins;
+    ins.op = Opcode::TxSuspend;
+    emit(ins);
+}
+
+void
+FunctionBuilder::txResume()
+{
+    Instr ins;
+    ins.op = Opcode::TxResume;
+    emit(ins);
+}
+
+void
+FunctionBuilder::annotateSafe(Reg addr, Reg len)
+{
+    Instr ins;
+    ins.op = Opcode::Annotate;
+    ins.a = addr;
+    ins.b = len;
+    emit(ins);
+}
+
+Reg
+FunctionBuilder::threadId()
+{
+    Instr ins;
+    ins.op = Opcode::ThreadId;
+    ins.dst = newReg();
+    emit(ins);
+    return ins.dst;
+}
+
+Reg
+FunctionBuilder::rand(Reg bound)
+{
+    Instr ins;
+    ins.op = Opcode::Rand;
+    ins.dst = newReg();
+    ins.a = bound;
+    emit(ins);
+    return ins.dst;
+}
+
+Reg
+FunctionBuilder::randI(std::int64_t bound)
+{
+    return rand(constI(bound));
+}
+
+void
+FunctionBuilder::barrier()
+{
+    Instr ins;
+    ins.op = Opcode::Barrier;
+    emit(ins);
+}
+
+void
+FunctionBuilder::print(Reg v)
+{
+    Instr ins;
+    ins.op = Opcode::Print;
+    ins.a = v;
+    emit(ins);
+}
+
+int
+FunctionBuilder::newBlock()
+{
+    fn_.blocks.emplace_back();
+    return int(fn_.blocks.size() - 1);
+}
+
+void
+FunctionBuilder::setBlock(int b)
+{
+    HINTM_ASSERT(b >= 0 && b < int(fn_.blocks.size()), "bad block");
+    cur_ = b;
+}
+
+void
+FunctionBuilder::br(int target)
+{
+    Instr ins;
+    ins.op = Opcode::Br;
+    ins.imm = target;
+    emit(ins);
+}
+
+void
+FunctionBuilder::condBr(Reg cond, int if_true, int if_false)
+{
+    Instr ins;
+    ins.op = Opcode::CondBr;
+    ins.a = cond;
+    ins.imm = if_true;
+    ins.imm2 = if_false;
+    emit(ins);
+}
+
+void
+FunctionBuilder::ifThen(Reg cond, const std::function<void()> &then_fn)
+{
+    const int then_b = newBlock();
+    const int join_b = newBlock();
+    condBr(cond, then_b, join_b);
+    setBlock(then_b);
+    then_fn();
+    br(join_b);
+    setBlock(join_b);
+}
+
+void
+FunctionBuilder::ifThenElse(Reg cond, const std::function<void()> &then_fn,
+                            const std::function<void()> &else_fn)
+{
+    const int then_b = newBlock();
+    const int else_b = newBlock();
+    const int join_b = newBlock();
+    condBr(cond, then_b, else_b);
+    setBlock(then_b);
+    then_fn();
+    br(join_b);
+    setBlock(else_b);
+    else_fn();
+    br(join_b);
+    setBlock(join_b);
+}
+
+void
+FunctionBuilder::whileLoop(const std::function<Reg()> &cond_fn,
+                           const std::function<void()> &body_fn)
+{
+    const int head_b = newBlock();
+    br(head_b);
+    setBlock(head_b);
+    const Reg c = cond_fn();
+    const int body_b = newBlock();
+    const int exit_b = newBlock();
+    condBr(c, body_b, exit_b);
+    setBlock(body_b);
+    body_fn();
+    br(head_b);
+    setBlock(exit_b);
+}
+
+void
+FunctionBuilder::forRange(Reg lo, Reg hi,
+                          const std::function<void(Reg)> &body_fn)
+{
+    const Reg i = freshVar();
+    set(i, lo);
+    whileLoop([&] { return cmpLt(i, hi); },
+              [&] {
+                  body_fn(i);
+                  set(i, addI(i, 1));
+              });
+}
+
+void
+FunctionBuilder::forRangeI(std::int64_t lo, std::int64_t hi,
+                           const std::function<void(Reg)> &body_fn)
+{
+    forRange(constI(lo), constI(hi), body_fn);
+}
+
+} // namespace tir
+} // namespace hintm

@@ -1,0 +1,491 @@
+#include "interp.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hintm
+{
+namespace tir
+{
+
+Program::Program(Module mod, unsigned num_threads, std::uint64_t seed)
+    : mod_(std::move(mod)), numThreads_(num_threads),
+      allocator_(num_threads + 1)
+{
+    HINTM_ASSERT(num_threads >= 1, "need at least one thread");
+    // Globals live block-aligned in a dedicated region, like a .data
+    // section: distinct variables never share a cache block, but they do
+    // share pages (which dynamic classification will see as shared).
+    Addr next = layout::globalsBase;
+    for (auto &g : mod_.globals) {
+        g.addr = next;
+        const Addr sz = (g.sizeBytes + blockBytes - 1) & ~(blockBytes - 1);
+        next += sz;
+    }
+    for (unsigned t = 0; t <= num_threads; ++t)
+        rngs_.emplace_back(seed + 7919 * (t + 1));
+}
+
+Addr
+Program::globalAddr(int global_id) const
+{
+    HINTM_ASSERT(global_id >= 0 &&
+                     global_id < int(mod_.globals.size()),
+                 "bad global id ", global_id);
+    return mod_.globals[global_id].addr;
+}
+
+Addr
+Program::globalAddrByName(const std::string &name) const
+{
+    const int g = mod_.findGlobal(name);
+    HINTM_ASSERT(g >= 0, "unknown global ", name);
+    return mod_.globals[g].addr;
+}
+
+ThreadInterp::ThreadInterp(Program &prog, ThreadId tid, int entry_func,
+                           std::vector<std::int64_t> args)
+    : prog_(prog), tid_(tid), stackPtr_(layout::stackBase(tid))
+{
+    const auto &fns = prog.module().functions;
+    HINTM_ASSERT(entry_func >= 0 && entry_func < int(fns.size()),
+                 "bad entry function");
+    const Function &fn = fns[entry_func];
+    HINTM_ASSERT(args.size() == fn.numParams, "entry arity mismatch for ",
+                 fn.name);
+    Frame f;
+    f.fn = entry_func;
+    f.regs.assign(fn.numRegs, 0);
+    std::copy(args.begin(), args.end(), f.regs.begin());
+    f.stackOnEntry = stackPtr_;
+    frames_.push_back(std::move(f));
+}
+
+const Instr &
+ThreadInterp::currentInstr() const
+{
+    HINTM_ASSERT(!frames_.empty(), "no active frame");
+    const Frame &f = frames_.back();
+    const Function &fn = prog_.module().functions[f.fn];
+    HINTM_ASSERT(f.block < int(fn.blocks.size()), "bad block in ",
+                 fn.name);
+    const auto &instrs = fn.blocks[f.block].instrs;
+    HINTM_ASSERT(f.ip < int(instrs.size()), "fell off block ", f.block,
+                 " of ", fn.name);
+    return instrs[f.ip];
+}
+
+std::int64_t
+ThreadInterp::reg(int r) const
+{
+    const Frame &f = frames_.back();
+    HINTM_ASSERT(r >= 0 && r < int(f.regs.size()), "bad register r", r);
+    return f.regs[r];
+}
+
+void
+ThreadInterp::setReg(int r, std::int64_t v)
+{
+    Frame &f = frames_.back();
+    HINTM_ASSERT(r >= 0 && r < int(f.regs.size()), "bad register r", r);
+    f.regs[r] = v;
+}
+
+void
+ThreadInterp::advance()
+{
+    ++frames_.back().ip;
+}
+
+Step
+ThreadInterp::next()
+{
+    Step st;
+    if (done_) {
+        st.kind = StepKind::Done;
+        return st;
+    }
+    HINTM_ASSERT(!memPending_, "next() with unfinished memory access");
+
+    while (true) {
+        const Instr &ins = currentInstr();
+        switch (ins.op) {
+          case Opcode::Load:
+          case Opcode::Store:
+            pendingAddr_ = Addr(reg(ins.a) + ins.imm);
+            memPending_ = true;
+            st.kind = StepKind::Mem;
+            st.addr = pendingAddr_;
+            st.accessType = ins.op == Opcode::Load ? AccessType::Read
+                                                   : AccessType::Write;
+            st.staticSafe = ins.safe;
+            return st;
+          case Opcode::TxBegin:
+            st.kind = StepKind::TxBegin;
+            return st;
+          case Opcode::TxEnd:
+            st.kind = StepKind::TxEnd;
+            return st;
+          case Opcode::Barrier:
+            st.kind = StepKind::Barrier;
+            return st;
+          case Opcode::Annotate:
+            st.kind = StepKind::Annotate;
+            st.addr = Addr(reg(ins.a));
+            st.annotateLen = std::uint64_t(reg(ins.b));
+            return st;
+          default:
+            execute(ins);
+            ++st.simpleInstrs;
+            ++instrCount_;
+            if (done_) {
+                st.kind = StepKind::Done;
+                return st;
+            }
+            HINTM_ASSERT(st.simpleInstrs < 500000000ull,
+                         "runaway non-memory loop");
+        }
+    }
+}
+
+void
+ThreadInterp::execute(const Instr &ins)
+{
+    auto shift_amount = [&] { return unsigned(reg(ins.b)) & 63u; };
+    switch (ins.op) {
+      case Opcode::Const:
+        setReg(ins.dst, ins.imm);
+        advance();
+        break;
+      case Opcode::Mov:
+        setReg(ins.dst, reg(ins.a));
+        advance();
+        break;
+      case Opcode::Add:
+        setReg(ins.dst, reg(ins.a) + reg(ins.b));
+        advance();
+        break;
+      case Opcode::Sub:
+        setReg(ins.dst, reg(ins.a) - reg(ins.b));
+        advance();
+        break;
+      case Opcode::Mul:
+        setReg(ins.dst, reg(ins.a) * reg(ins.b));
+        advance();
+        break;
+      case Opcode::Div:
+        HINTM_ASSERT(reg(ins.b) != 0, "division by zero");
+        setReg(ins.dst, reg(ins.a) / reg(ins.b));
+        advance();
+        break;
+      case Opcode::Mod:
+        HINTM_ASSERT(reg(ins.b) != 0, "modulo by zero");
+        setReg(ins.dst, reg(ins.a) % reg(ins.b));
+        advance();
+        break;
+      case Opcode::And:
+        setReg(ins.dst, reg(ins.a) & reg(ins.b));
+        advance();
+        break;
+      case Opcode::Or:
+        setReg(ins.dst, reg(ins.a) | reg(ins.b));
+        advance();
+        break;
+      case Opcode::Xor:
+        setReg(ins.dst, reg(ins.a) ^ reg(ins.b));
+        advance();
+        break;
+      case Opcode::Shl:
+        setReg(ins.dst, reg(ins.a) << shift_amount());
+        advance();
+        break;
+      case Opcode::Shr:
+        setReg(ins.dst,
+               std::int64_t(std::uint64_t(reg(ins.a)) >> shift_amount()));
+        advance();
+        break;
+      case Opcode::CmpEq:
+        setReg(ins.dst, reg(ins.a) == reg(ins.b));
+        advance();
+        break;
+      case Opcode::CmpNe:
+        setReg(ins.dst, reg(ins.a) != reg(ins.b));
+        advance();
+        break;
+      case Opcode::CmpLt:
+        setReg(ins.dst, reg(ins.a) < reg(ins.b));
+        advance();
+        break;
+      case Opcode::CmpLe:
+        setReg(ins.dst, reg(ins.a) <= reg(ins.b));
+        advance();
+        break;
+      case Opcode::CmpGt:
+        setReg(ins.dst, reg(ins.a) > reg(ins.b));
+        advance();
+        break;
+      case Opcode::CmpGe:
+        setReg(ins.dst, reg(ins.a) >= reg(ins.b));
+        advance();
+        break;
+
+      case Opcode::Alloca: {
+        const Addr size = (Addr(ins.imm) + 7) & ~Addr(7);
+        const Addr base = stackPtr_;
+        stackPtr_ += size;
+        HINTM_ASSERT(stackPtr_ <
+                         layout::stackBase(tid_) + layout::stackStride,
+                     "stack overflow on thread ", tid_);
+        setReg(ins.dst, std::int64_t(base));
+        advance();
+        break;
+      }
+      case Opcode::Malloc: {
+        const std::int64_t size = reg(ins.a);
+        HINTM_ASSERT(size > 0, "malloc of non-positive size");
+        const Addr p =
+            prog_.allocator().alloc(unsigned(tid_), std::uint64_t(size));
+        if (inTx_ && htmMode_)
+            txAllocs_.push_back(p);
+        setReg(ins.dst, std::int64_t(p));
+        advance();
+        break;
+      }
+      case Opcode::Free: {
+        const Addr p = Addr(reg(ins.a));
+        if (inTx_)
+            deferredFrees_.push_back(p);
+        else
+            prog_.allocator().release(p);
+        advance();
+        break;
+      }
+      case Opcode::Gep: {
+        std::int64_t v = reg(ins.a);
+        if (ins.b >= 0)
+            v += reg(ins.b) * ins.imm;
+        v += ins.imm2;
+        setReg(ins.dst, v);
+        advance();
+        break;
+      }
+      case Opcode::GlobalAddr:
+        setReg(ins.dst, std::int64_t(prog_.globalAddr(int(ins.imm))));
+        advance();
+        break;
+
+      case Opcode::Br: {
+        Frame &f = frames_.back();
+        f.block = int(ins.imm);
+        f.ip = 0;
+        break;
+      }
+      case Opcode::CondBr: {
+        const bool taken = reg(ins.a) != 0;
+        Frame &f = frames_.back();
+        f.block = int(taken ? ins.imm : ins.imm2);
+        f.ip = 0;
+        break;
+      }
+      case Opcode::Call: {
+        const Function &callee =
+            prog_.module().functions[std::size_t(ins.imm)];
+        HINTM_ASSERT(ins.args.size() == callee.numParams,
+                     "arity mismatch calling ", callee.name);
+        HINTM_ASSERT(!callee.blocks.empty(), "call of undefined function ",
+                     callee.name);
+        Frame nf;
+        nf.fn = int(ins.imm);
+        nf.regs.assign(callee.numRegs, 0);
+        for (std::size_t i = 0; i < ins.args.size(); ++i)
+            nf.regs[i] = reg(ins.args[i]);
+        nf.stackOnEntry = stackPtr_;
+        nf.retDst = ins.dst;
+        advance(); // resume after the call on return
+        frames_.push_back(std::move(nf));
+        HINTM_ASSERT(frames_.size() < 512, "call stack overflow");
+        break;
+      }
+      case Opcode::Ret: {
+        const std::int64_t v = ins.a >= 0 ? reg(ins.a) : 0;
+        const int ret_dst = frames_.back().retDst;
+        stackPtr_ = frames_.back().stackOnEntry;
+        frames_.pop_back();
+        if (frames_.empty()) {
+            done_ = true;
+        } else if (ret_dst >= 0) {
+            setReg(ret_dst, v);
+        }
+        break;
+      }
+
+      case Opcode::ThreadId:
+        setReg(ins.dst, tid_);
+        advance();
+        break;
+      case Opcode::Rand: {
+        const std::int64_t bound = reg(ins.a);
+        setReg(ins.dst,
+               std::int64_t(prog_.rng(tid_).below(
+                   bound > 0 ? std::uint64_t(bound) : 1)));
+        advance();
+        break;
+      }
+      case Opcode::Print:
+        inform("thread ", tid_, ": ", reg(ins.a));
+        advance();
+        break;
+      case Opcode::Nop:
+        advance();
+        break;
+
+      case Opcode::TxSuspend:
+        HINTM_ASSERT(inTx_, "suspend outside TX");
+        suspended_ = true;
+        advance();
+        break;
+      case Opcode::TxResume:
+        HINTM_ASSERT(inTx_ && suspended_, "resume without suspend");
+        suspended_ = false;
+        advance();
+        break;
+
+      case Opcode::Load:
+      case Opcode::Store:
+      case Opcode::TxBegin:
+      case Opcode::TxEnd:
+      case Opcode::Barrier:
+      case Opcode::Annotate:
+        HINTM_PANIC("boundary opcode reached execute()");
+    }
+}
+
+void
+ThreadInterp::completeMem()
+{
+    HINTM_ASSERT(memPending_, "no pending memory access");
+    const Instr &ins = currentInstr();
+    AddressSpace &space = prog_.space();
+
+    if (ins.op == Opcode::Load) {
+        if (prog_.validateSafeStores && !staleSafeStores_.empty() &&
+            staleSafeStores_.count(pendingAddr_)) {
+            HINTM_PANIC("read of stale safe-stored location ", pendingAddr_,
+                        ": safe store was not initializing");
+        }
+        setReg(ins.dst, space.read(pendingAddr_));
+    } else {
+        // Suspended-window stores are non-transactional: no undo.
+        if (inTx_ && htmMode_ && !suspended_) {
+            if (ins.safe) {
+                if (prog_.validateSafeStores)
+                    safeStoreAddrs_.insert(pendingAddr_);
+            } else {
+                undoLog_.emplace_back(pendingAddr_,
+                                      space.read(pendingAddr_));
+            }
+        }
+        if (prog_.validateSafeStores && !staleSafeStores_.empty())
+            staleSafeStores_.erase(pendingAddr_);
+        space.write(pendingAddr_, reg(ins.b));
+    }
+    memPending_ = false;
+    ++instrCount_;
+    advance();
+}
+
+void
+ThreadInterp::enterTx(bool htm_mode)
+{
+    HINTM_ASSERT(currentInstr().op == Opcode::TxBegin, "not at TxBegin");
+    HINTM_ASSERT(!inTx_, "nested transaction");
+    inTx_ = true;
+    htmMode_ = htm_mode;
+    if (htm_mode) {
+        checkpoint_.frames = frames_;
+        checkpoint_.stackPtr = stackPtr_;
+    }
+    ++instrCount_;
+    advance();
+}
+
+void
+ThreadInterp::completeTxEnd()
+{
+    HINTM_ASSERT(currentInstr().op == Opcode::TxEnd, "not at TxEnd");
+    HINTM_ASSERT(inTx_, "TxEnd outside transaction");
+    for (const Addr p : deferredFrees_)
+        prog_.allocator().release(p);
+    deferredFrees_.clear();
+    txAllocs_.clear();
+    undoLog_.clear();
+    safeStoreAddrs_.clear();
+    inTx_ = false;
+    htmMode_ = false;
+    suspended_ = false;
+    ++instrCount_;
+    advance();
+}
+
+void
+ThreadInterp::convertToFallback()
+{
+    HINTM_ASSERT(inTx_ && htmMode_, "conversion outside hardware TX");
+    HINTM_ASSERT(!suspended_, "conversion inside escape window");
+    htmMode_ = false;
+    undoLog_.clear();
+    txAllocs_.clear();
+    safeStoreAddrs_.clear();
+}
+
+void
+ThreadInterp::passBarrier()
+{
+    HINTM_ASSERT(currentInstr().op == Opcode::Barrier, "not at Barrier");
+    ++instrCount_;
+    advance();
+}
+
+void
+ThreadInterp::passAnnotate()
+{
+    HINTM_ASSERT(currentInstr().op == Opcode::Annotate,
+                 "not at Annotate");
+    ++instrCount_;
+    advance();
+}
+
+void
+ThreadInterp::undoStores()
+{
+    for (auto it = undoLog_.rbegin(); it != undoLog_.rend(); ++it)
+        prog_.space().write(it->first, it->second);
+    undoLog_.clear();
+}
+
+void
+ThreadInterp::rollbackToTxBegin()
+{
+    HINTM_ASSERT(inTx_ && htmMode_, "rollback outside hardware TX");
+    HINTM_ASSERT(undoLog_.empty(),
+                 "rollback before the undo hook ran");
+    frames_ = checkpoint_.frames;
+    stackPtr_ = checkpoint_.stackPtr;
+    for (const Addr p : txAllocs_)
+        prog_.allocator().release(p);
+    txAllocs_.clear();
+    deferredFrees_.clear();
+    if (prog_.validateSafeStores) {
+        staleSafeStores_.insert(safeStoreAddrs_.begin(),
+                                safeStoreAddrs_.end());
+        safeStoreAddrs_.clear();
+    }
+    memPending_ = false;
+    inTx_ = false;
+    htmMode_ = false;
+    suspended_ = false;
+}
+
+} // namespace tir
+} // namespace hintm

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * The TxIR interpreter. A Program holds the loaded module plus all shared
+ * functional state (address space, allocator, per-thread RNGs); one
+ * ThreadInterp per software thread steps the program to its next
+ * simulation-visible boundary (memory access, TX begin/end, barrier) so
+ * the timing layer can interleave threads, drive the memory hierarchy and
+ * coordinate the HTM.
+ *
+ * Transactional semantics are split: this layer provides functional
+ * checkpoint/rollback (registers, stack, heap allocations, store undo
+ * log); abort *decisions* belong to the HTM controller.
+ */
+
+#ifndef HINTM_TIR_INTERP_HH
+#define HINTM_TIR_INTERP_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "tir/address_space.hh"
+#include "tir/allocator.hh"
+#include "tir/ir.hh"
+
+namespace hintm
+{
+namespace tir
+{
+
+/** Shared runtime image of a module. */
+class Program
+{
+  public:
+    /**
+     * Lay out globals and create per-thread resources.
+     * @param num_threads worker threads (the init phase gets one extra
+     * arena and runs with tid == num_threads)
+     */
+    Program(Module mod, unsigned num_threads, std::uint64_t seed = 1);
+
+    const Module &module() const { return mod_; }
+    unsigned numThreads() const { return numThreads_; }
+    ThreadId initTid() const { return ThreadId(numThreads_); }
+
+    AddressSpace &space() { return space_; }
+    Allocator &allocator() { return allocator_; }
+    Rng &rng(ThreadId tid) { return rngs_.at(std::size_t(tid)); }
+
+    Addr globalAddr(int global_id) const;
+    Addr globalAddrByName(const std::string &name) const;
+
+    /** When true, safe stores that survive an abort are checked for the
+     * initializing property on the retry (§III: written-before-read). */
+    bool validateSafeStores = false;
+
+  private:
+    Module mod_;
+    unsigned numThreads_;
+    AddressSpace space_;
+    Allocator allocator_;
+    std::vector<Rng> rngs_;
+};
+
+/** What a thread is stopped at. */
+enum class StepKind : std::uint8_t
+{
+    Simple,   ///< executed only non-memory instructions (simpleInstrs)
+    Mem,      ///< at a Load/Store: complete with completeMem()
+    TxBegin,  ///< at a TxBegin: advance with enterTx()
+    TxEnd,    ///< at a TxEnd: advance with completeTxEnd()
+    Barrier,  ///< at a Barrier: advance with passBarrier()
+    Annotate, ///< at an Annotate: advance with passAnnotate()
+    Done,     ///< entry function returned
+};
+
+/** Boundary event returned by ThreadInterp::next(). */
+struct Step
+{
+    StepKind kind = StepKind::Simple;
+    /** Non-memory instructions executed before reaching the boundary. */
+    std::uint64_t simpleInstrs = 0;
+    // Valid when kind == Mem (addr also for Annotate):
+    Addr addr = 0;
+    AccessType accessType = AccessType::Read;
+    /** The instruction carries a compiler safety hint. */
+    bool staticSafe = false;
+    /** Annotate only: region length in bytes. */
+    std::uint64_t annotateLen = 0;
+};
+
+/** Interpreter state for one software thread. */
+class ThreadInterp
+{
+  public:
+    /**
+     * @param entry_func function index to run
+     * @param args values for the entry function's parameters
+     */
+    ThreadInterp(Program &prog, ThreadId tid, int entry_func,
+                 std::vector<std::int64_t> args);
+
+    /**
+     * Run to the next boundary. Non-memory instructions execute inline
+     * (their count is reported for cycle accounting). The boundary
+     * instruction itself is NOT executed; use the matching complete call.
+     */
+    Step next();
+
+    /** Perform the pending Load/Store functionally and advance. */
+    void completeMem();
+
+    /**
+     * Advance past TxBegin. @p htm_mode selects hardware transactional
+     * execution (checkpoint + undo logging) versus fallback-lock mode
+     * (plain execution; TxEnd releases the lock at the runtime layer).
+     */
+    void enterTx(bool htm_mode);
+
+    /** Advance past TxEnd; applies deferred frees. */
+    void completeTxEnd();
+
+    /**
+     * Pre-abort conversion: the running hardware TX becomes a
+     * lock-protected critical section. All effects so far stand; undo
+     * state is discarded; execution continues from the current point
+     * in fallback mode (TxEnd releases the lock at the runtime layer).
+     */
+    void convertToFallback();
+
+    /** Advance past Barrier (runtime releases the barrier). */
+    void passBarrier();
+
+    /** Advance past Annotate (runtime applied the page annotation). */
+    void passAnnotate();
+
+    /**
+     * Undo the TX's tracked stores in reverse order. Invoked by the HTM
+     * controller's abort hook the moment an abort fires — other threads
+     * must observe pre-TX data immediately.
+     */
+    void undoStores();
+
+    /**
+     * Thread-side abort completion: restore registers/stack to the
+     * checkpoint (execution resumes AT the TxBegin) and roll back heap
+     * allocations made inside the TX.
+     */
+    void rollbackToTxBegin();
+
+    bool done() const { return done_; }
+    ThreadId tid() const { return tid_; }
+    bool inTx() const { return inTx_; }
+    bool htmMode() const { return htmMode_; }
+    /** Inside a suspend/resume escape window (accesses untracked). */
+    bool suspended() const { return suspended_; }
+
+    /** Total instructions executed (all kinds). */
+    std::uint64_t instrCount() const { return instrCount_; }
+
+  private:
+    struct Frame
+    {
+        int fn;
+        int block = 0;
+        int ip = 0;
+        std::vector<std::int64_t> regs;
+        Addr stackOnEntry;
+        int retDst = -1;
+    };
+
+    struct Checkpoint
+    {
+        std::vector<Frame> frames;
+        Addr stackPtr;
+    };
+
+    const Instr &currentInstr() const;
+    void advance();
+    /** Execute a non-boundary instruction. */
+    void execute(const Instr &ins);
+    std::int64_t reg(int r) const;
+    void setReg(int r, std::int64_t v);
+
+    Program &prog_;
+    ThreadId tid_;
+    std::vector<Frame> frames_;
+    Addr stackPtr_;
+    bool done_ = false;
+
+    bool inTx_ = false;
+    bool htmMode_ = false;
+    bool suspended_ = false;
+    Checkpoint checkpoint_;
+    /** (address, previous value) of tracked transactional stores. */
+    std::vector<std::pair<Addr, std::int64_t>> undoLog_;
+    /** Heap allocations made inside the active TX (freed on abort). */
+    std::vector<Addr> txAllocs_;
+    /** Frees requested inside the active TX (applied at commit). */
+    std::vector<Addr> deferredFrees_;
+    /** Targets of safe stores in the current TX (validation mode only). */
+    std::unordered_set<Addr> safeStoreAddrs_;
+    /** Safe-store targets of an aborted TX awaiting re-initialization
+     * (validation mode only). */
+    std::unordered_set<Addr> staleSafeStores_;
+
+    bool memPending_ = false;
+    Addr pendingAddr_ = 0;
+
+    std::uint64_t instrCount_ = 0;
+};
+
+} // namespace tir
+} // namespace hintm
+
+#endif // HINTM_TIR_INTERP_HH

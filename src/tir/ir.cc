@@ -1,0 +1,116 @@
+#include "ir.hh"
+
+#include <sstream>
+
+namespace hintm
+{
+namespace tir
+{
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Const: return "const";
+      case Opcode::Mov: return "mov";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::Mul: return "mul";
+      case Opcode::Div: return "div";
+      case Opcode::Mod: return "mod";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::CmpEq: return "cmpeq";
+      case Opcode::CmpNe: return "cmpne";
+      case Opcode::CmpLt: return "cmplt";
+      case Opcode::CmpLe: return "cmple";
+      case Opcode::CmpGt: return "cmpgt";
+      case Opcode::CmpGe: return "cmpge";
+      case Opcode::Alloca: return "alloca";
+      case Opcode::Malloc: return "malloc";
+      case Opcode::Free: return "free";
+      case Opcode::Load: return "load";
+      case Opcode::Store: return "store";
+      case Opcode::Gep: return "gep";
+      case Opcode::GlobalAddr: return "globaladdr";
+      case Opcode::Br: return "br";
+      case Opcode::CondBr: return "condbr";
+      case Opcode::Call: return "call";
+      case Opcode::Ret: return "ret";
+      case Opcode::TxBegin: return "txbegin";
+      case Opcode::TxEnd: return "txend";
+      case Opcode::TxSuspend: return "txsuspend";
+      case Opcode::TxResume: return "txresume";
+      case Opcode::Annotate: return "annotate";
+      case Opcode::ThreadId: return "threadid";
+      case Opcode::Rand: return "rand";
+      case Opcode::Barrier: return "barrier";
+      case Opcode::Print: return "print";
+      case Opcode::Nop: return "nop";
+    }
+    return "?";
+}
+
+int
+Module::findFunction(const std::string &name) const
+{
+    for (std::size_t i = 0; i < functions.size(); ++i) {
+        if (functions[i].name == name)
+            return int(i);
+    }
+    return -1;
+}
+
+int
+Module::findGlobal(const std::string &name) const
+{
+    for (std::size_t i = 0; i < globals.size(); ++i) {
+        if (globals[i].name == name)
+            return int(i);
+    }
+    return -1;
+}
+
+std::string
+Module::print() const
+{
+    std::ostringstream os;
+    for (const auto &g : globals)
+        os << "global @" << g.name << " [" << g.sizeBytes << "B]\n";
+    for (const auto &fn : functions) {
+        os << "fn " << fn.name << "(params=" << fn.numParams
+           << ", regs=" << fn.numRegs << ")\n";
+        for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+            os << "  bb" << b << ":\n";
+            for (const auto &ins : fn.blocks[b].instrs) {
+                os << "    " << opcodeName(ins.op);
+                if (ins.safe)
+                    os << ".safe";
+                if (ins.dst >= 0)
+                    os << " r" << ins.dst << " <-";
+                if (ins.a >= 0)
+                    os << " r" << ins.a;
+                if (ins.b >= 0)
+                    os << " r" << ins.b;
+                if (ins.op == Opcode::Call) {
+                    os << " fn#" << ins.imm << "(";
+                    for (std::size_t i = 0; i < ins.args.size(); ++i)
+                        os << (i ? ", r" : "r") << ins.args[i];
+                    os << ")";
+                } else if (ins.imm || ins.imm2) {
+                    os << " imm=" << ins.imm;
+                    if (ins.imm2)
+                        os << " imm2=" << ins.imm2;
+                }
+                os << "\n";
+            }
+        }
+    }
+    return os.str();
+}
+
+} // namespace tir
+} // namespace hintm

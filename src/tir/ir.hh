@@ -1,0 +1,136 @@
+/**
+ * @file
+ * TxIR: a small register-based intermediate representation in which the
+ * transactional workloads are written. It plays the role LLVM IR plays in
+ * the paper: HinTM's static safety analyses (capture tracking, escape
+ * analysis, Algorithm 1, read-only detection) run over TxIR and rewrite
+ * load/store instructions into their safe-hinted counterparts.
+ *
+ * Model: non-SSA virtual registers holding 64-bit integers; functions of
+ * basic blocks; a flat byte-addressed memory with 8-byte accesses; TX
+ * boundaries as explicit instructions; structured thread entry points
+ * (an init function run single-threaded, a thread function run by every
+ * worker).
+ */
+
+#ifndef HINTM_TIR_IR_HH
+#define HINTM_TIR_IR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hintm
+{
+namespace tir
+{
+
+/** Instruction opcodes. */
+enum class Opcode : std::uint8_t
+{
+    // Values and arithmetic: dst = a <op> b (registers), Const: dst = imm.
+    Const,
+    Mov,
+    Add, Sub, Mul, Div, Mod,
+    And, Or, Xor, Shl, Shr,
+    CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe,
+
+    // Memory. Addresses are byte addresses; every access moves 8 bytes.
+    Alloca,     ///< dst = address of a fresh imm-byte stack slot
+    Malloc,     ///< dst = heap allocation of a[=size] bytes
+    Free,       ///< release heap allocation at a
+    Load,       ///< dst = mem[a + imm]; `safe` flag = compiler hint
+    Store,      ///< mem[a + imm] = b; `safe` flag = compiler hint
+    Gep,        ///< dst = a + b*imm + imm2 (pointer arithmetic; b may be -1)
+    GlobalAddr, ///< dst = address of global #imm
+
+    // Control flow.
+    Br,         ///< goto block imm
+    CondBr,     ///< if a != 0 goto block imm else block imm2
+    Call,       ///< dst = call function #imm with `args`
+    Ret,        ///< return a (a = -1 for void)
+
+    // Transactions, threading, miscellany.
+    TxBegin,    ///< enter a transaction
+    TxEnd,      ///< commit
+    TxSuspend,  ///< escape action: pause HTM tracking (§VII-style)
+    TxResume,   ///< end the escape window
+    Annotate,   ///< Notary-style hint: pages [a, a+b) are thread-private
+    ThreadId,   ///< dst = software thread id
+    Rand,       ///< dst = uniform value in [0, a)
+    Barrier,    ///< block until all threads arrive
+    Print,      ///< debug-print register a
+    Nop,
+};
+
+const char *opcodeName(Opcode op);
+
+/** True for instructions that perform a data memory access. */
+constexpr bool
+isMemAccess(Opcode op)
+{
+    return op == Opcode::Load || op == Opcode::Store;
+}
+
+/** One TxIR instruction. */
+struct Instr
+{
+    Opcode op = Opcode::Nop;
+    int dst = -1;
+    int a = -1;
+    int b = -1;
+    std::int64_t imm = 0;
+    std::int64_t imm2 = 0;
+    /** Call arguments (registers in the caller). */
+    std::vector<int> args;
+    /** HinTM static safety hint on Load/Store (the safe-opcode analogue). */
+    bool safe = false;
+};
+
+/** Straight-line run of instructions ending in a terminator. */
+struct BasicBlock
+{
+    std::vector<Instr> instrs;
+};
+
+/** A TxIR function. Parameters arrive in registers [0, numParams). */
+struct Function
+{
+    std::string name;
+    unsigned numParams = 0;
+    unsigned numRegs = 0;
+    std::vector<BasicBlock> blocks;
+};
+
+/** A module-level variable living in the shared globals region. */
+struct Global
+{
+    std::string name;
+    std::uint64_t sizeBytes = 8;
+    /** Assigned by the loader when the address space is laid out. */
+    Addr addr = 0;
+};
+
+/** A whole program. */
+struct Module
+{
+    std::vector<Function> functions;
+    std::vector<Global> globals;
+    /** Run once, single-threaded, before the measured parallel region. */
+    int initFunc = -1;
+    /** Run by every worker thread: threadFunc(tid). */
+    int threadFunc = -1;
+
+    int findFunction(const std::string &name) const;
+    int findGlobal(const std::string &name) const;
+
+    /** Human-readable dump of the whole module (debugging aid). */
+    std::string print() const;
+};
+
+} // namespace tir
+} // namespace hintm
+
+#endif // HINTM_TIR_IR_HH

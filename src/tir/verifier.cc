@@ -1,0 +1,356 @@
+#include "verifier.hh"
+
+#include <sstream>
+#include <vector>
+
+namespace hintm
+{
+namespace tir
+{
+
+namespace
+{
+
+bool
+isTerminator(Opcode op)
+{
+    return op == Opcode::Br || op == Opcode::CondBr || op == Opcode::Ret;
+}
+
+std::string
+at(const Function &fn, int block, int ip)
+{
+    std::ostringstream os;
+    os << " [" << fn.name << " bb" << block << ":" << ip << "]";
+    return os.str();
+}
+
+/** Per-function structural checks. */
+std::optional<std::string>
+verifyFunction(const Module &mod, const Function &fn)
+{
+    if (fn.blocks.empty())
+        return "function " + fn.name + " has no body";
+    if (fn.numParams > fn.numRegs)
+        return "function " + fn.name + " has more params than regs";
+
+    auto check_reg = [&](int r, bool required, int b,
+                         int i) -> std::optional<std::string> {
+        if (!required && r < 0)
+            return std::nullopt;
+        if (r < 0 || r >= int(fn.numRegs))
+            return "bad register r" + std::to_string(r) + at(fn, b, i);
+        return std::nullopt;
+    };
+    auto check_block = [&](std::int64_t b, int cb,
+                           int i) -> std::optional<std::string> {
+        if (b < 0 || b >= std::int64_t(fn.blocks.size()))
+            return "bad block target " + std::to_string(b) + at(fn, cb, i);
+        return std::nullopt;
+    };
+
+    for (int b = 0; b < int(fn.blocks.size()); ++b) {
+        const auto &instrs = fn.blocks[b].instrs;
+        if (instrs.empty())
+            return "empty block" + at(fn, b, 0);
+        for (int i = 0; i < int(instrs.size()); ++i) {
+            const Instr &ins = instrs[i];
+            const bool last = i == int(instrs.size()) - 1;
+            if (isTerminator(ins.op) && !last)
+                return "terminator mid-block" + at(fn, b, i);
+            if (!isTerminator(ins.op) && last)
+                return "block lacks terminator" + at(fn, b, i);
+
+            switch (ins.op) {
+              case Opcode::Const:
+              case Opcode::Alloca:
+              case Opcode::ThreadId:
+                if (auto e = check_reg(ins.dst, true, b, i))
+                    return e;
+                break;
+              case Opcode::GlobalAddr:
+                if (auto e = check_reg(ins.dst, true, b, i))
+                    return e;
+                if (ins.imm < 0 ||
+                    ins.imm >= std::int64_t(mod.globals.size()))
+                    return "bad global id" + at(fn, b, i);
+                break;
+              case Opcode::Mov:
+              case Opcode::Malloc:
+              case Opcode::Rand:
+                if (auto e = check_reg(ins.dst, true, b, i))
+                    return e;
+                if (auto e = check_reg(ins.a, true, b, i))
+                    return e;
+                break;
+              case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+              case Opcode::Div: case Opcode::Mod: case Opcode::And:
+              case Opcode::Or: case Opcode::Xor: case Opcode::Shl:
+              case Opcode::Shr: case Opcode::CmpEq: case Opcode::CmpNe:
+              case Opcode::CmpLt: case Opcode::CmpLe: case Opcode::CmpGt:
+              case Opcode::CmpGe:
+                if (auto e = check_reg(ins.dst, true, b, i))
+                    return e;
+                if (auto e = check_reg(ins.a, true, b, i))
+                    return e;
+                if (auto e = check_reg(ins.b, true, b, i))
+                    return e;
+                break;
+              case Opcode::Gep:
+                if (auto e = check_reg(ins.dst, true, b, i))
+                    return e;
+                if (auto e = check_reg(ins.a, true, b, i))
+                    return e;
+                if (auto e = check_reg(ins.b, false, b, i))
+                    return e;
+                break;
+              case Opcode::Load:
+                if (auto e = check_reg(ins.dst, true, b, i))
+                    return e;
+                if (auto e = check_reg(ins.a, true, b, i))
+                    return e;
+                break;
+              case Opcode::Store:
+              case Opcode::Annotate:
+                if (auto e = check_reg(ins.a, true, b, i))
+                    return e;
+                if (auto e = check_reg(ins.b, true, b, i))
+                    return e;
+                break;
+              case Opcode::Free:
+              case Opcode::Print:
+                if (auto e = check_reg(ins.a, true, b, i))
+                    return e;
+                break;
+              case Opcode::Br:
+                if (auto e = check_block(ins.imm, b, i))
+                    return e;
+                break;
+              case Opcode::CondBr:
+                if (auto e = check_reg(ins.a, true, b, i))
+                    return e;
+                if (auto e = check_block(ins.imm, b, i))
+                    return e;
+                if (auto e = check_block(ins.imm2, b, i))
+                    return e;
+                break;
+              case Opcode::Call: {
+                if (ins.imm < 0 ||
+                    ins.imm >= std::int64_t(mod.functions.size()))
+                    return "bad callee" + at(fn, b, i);
+                const Function &callee = mod.functions[ins.imm];
+                if (callee.blocks.empty())
+                    return "call of undefined function " + callee.name +
+                           at(fn, b, i);
+                if (ins.args.size() != callee.numParams)
+                    return "arity mismatch calling " + callee.name +
+                           at(fn, b, i);
+                for (int arg : ins.args) {
+                    if (auto e = check_reg(arg, true, b, i))
+                        return e;
+                }
+                if (auto e = check_reg(ins.dst, false, b, i))
+                    return e;
+                break;
+              }
+              case Opcode::Ret:
+                if (auto e = check_reg(ins.a, false, b, i))
+                    return e;
+                break;
+              case Opcode::TxBegin:
+              case Opcode::TxEnd:
+              case Opcode::TxSuspend:
+              case Opcode::TxResume:
+              case Opcode::Barrier:
+              case Opcode::Nop:
+                break;
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+/**
+ * TX-region dataflow over three states (0 = outside, 1 = inside,
+ * 2 = suspended): each block must be reached with a consistent state;
+ * TxBegin requires outside, TxEnd requires inside (not suspended),
+ * suspend/resume must pair, and barriers/returns only happen outside.
+ */
+std::optional<std::string>
+verifyTxRegions(const Function &fn)
+{
+    constexpr int unknown = -1;
+    std::vector<int> state(fn.blocks.size(), unknown);
+    std::vector<int> work;
+    state[0] = 0;
+    work.push_back(0);
+
+    auto propagate = [&](std::int64_t target, int tx,
+                         int b, int i) -> std::optional<std::string> {
+        const auto t = std::size_t(target);
+        if (state[t] == unknown) {
+            state[t] = tx;
+            work.push_back(int(t));
+        } else if (state[t] != tx) {
+            return "inconsistent TX state entering bb" +
+                   std::to_string(target) + at(fn, b, i);
+        }
+        return std::nullopt;
+    };
+
+    while (!work.empty()) {
+        const int b = work.back();
+        work.pop_back();
+        int tx = state[b];
+        const auto &instrs = fn.blocks[b].instrs;
+        for (int i = 0; i < int(instrs.size()); ++i) {
+            const Instr &ins = instrs[i];
+            switch (ins.op) {
+              case Opcode::TxBegin:
+                if (tx != 0)
+                    return "nested TxBegin" + at(fn, b, i);
+                tx = 1;
+                break;
+              case Opcode::TxEnd:
+                if (tx == 2)
+                    return "TxEnd while suspended" + at(fn, b, i);
+                if (tx != 1)
+                    return "TxEnd outside TX" + at(fn, b, i);
+                tx = 0;
+                break;
+              case Opcode::TxSuspend:
+                if (tx != 1)
+                    return "TxSuspend outside TX" + at(fn, b, i);
+                tx = 2;
+                break;
+              case Opcode::TxResume:
+                if (tx != 2)
+                    return "TxResume without suspend" + at(fn, b, i);
+                tx = 1;
+                break;
+              case Opcode::Barrier:
+                if (tx != 0)
+                    return "barrier inside TX" + at(fn, b, i);
+                break;
+              case Opcode::Ret:
+                if (tx != 0)
+                    return "return inside TX" + at(fn, b, i);
+                break;
+              case Opcode::Br:
+                if (auto e = propagate(ins.imm, tx, b, i))
+                    return e;
+                break;
+              case Opcode::CondBr:
+                if (auto e = propagate(ins.imm, tx, b, i))
+                    return e;
+                if (auto e = propagate(ins.imm2, tx, b, i))
+                    return e;
+                break;
+              default:
+                break;
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+/** Functions containing TxBegin must not be callable from inside a TX. */
+std::optional<std::string>
+verifyNoNestedTxCalls(const Module &mod)
+{
+    // Compute, per function, whether it (transitively) begins a TX.
+    const std::size_t n = mod.functions.size();
+    std::vector<bool> begins(n, false);
+    for (std::size_t f = 0; f < n; ++f) {
+        for (const auto &bb : mod.functions[f].blocks) {
+            for (const auto &ins : bb.instrs) {
+                if (ins.op == Opcode::TxBegin)
+                    begins[f] = true;
+            }
+        }
+    }
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t f = 0; f < n; ++f) {
+            if (begins[f])
+                continue;
+            for (const auto &bb : mod.functions[f].blocks) {
+                for (const auto &ins : bb.instrs) {
+                    if (ins.op == Opcode::Call &&
+                        begins[std::size_t(ins.imm)]) {
+                        begins[f] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    // Any call inside a TX region to a TX-beginning function is an error.
+    for (const auto &fn : mod.functions) {
+        std::vector<int> state(fn.blocks.size(), -1);
+        std::vector<int> work{0};
+        if (fn.blocks.empty())
+            continue;
+        state[0] = 0;
+        while (!work.empty()) {
+            const int b = work.back();
+            work.pop_back();
+            int tx = state[b];
+            const auto &instrs = fn.blocks[b].instrs;
+            for (int i = 0; i < int(instrs.size()); ++i) {
+                const Instr &ins = instrs[i];
+                if (ins.op == Opcode::TxBegin)
+                    tx = 1;
+                else if (ins.op == Opcode::TxEnd)
+                    tx = 0;
+                else if (ins.op == Opcode::Call && tx &&
+                         begins[std::size_t(ins.imm)])
+                    return "call to TX-beginning function " +
+                           mod.functions[std::size_t(ins.imm)].name +
+                           " inside a TX" + at(fn, b, i);
+                else if (ins.op == Opcode::Br || ins.op == Opcode::CondBr) {
+                    auto push = [&](std::int64_t t) {
+                        if (state[std::size_t(t)] == -1) {
+                            state[std::size_t(t)] = tx;
+                            work.push_back(int(t));
+                        }
+                    };
+                    push(ins.imm);
+                    if (ins.op == Opcode::CondBr)
+                        push(ins.imm2);
+                }
+            }
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+std::optional<std::string>
+verify(const Module &mod)
+{
+    if (mod.threadFunc >= 0) {
+        if (mod.threadFunc >= int(mod.functions.size()))
+            return "bad threadFunc index";
+        if (mod.functions[std::size_t(mod.threadFunc)].numParams != 1)
+            return "threadFunc must take exactly one parameter (tid)";
+    }
+    if (mod.initFunc >= int(mod.functions.size()))
+        return "bad initFunc index";
+
+    for (const auto &fn : mod.functions) {
+        if (fn.blocks.empty())
+            continue; // declared but never built: caught when called
+        if (auto e = verifyFunction(mod, fn))
+            return e;
+        if (auto e = verifyTxRegions(fn))
+            return e;
+    }
+    return verifyNoNestedTxCalls(mod);
+}
+
+} // namespace tir
+} // namespace hintm

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Structural and transactional well-formedness checks for TxIR modules,
+ * run before analysis and execution: terminator discipline, operand
+ * bounds, call arity, and TX-region consistency along the CFG.
+ */
+
+#ifndef HINTM_TIR_VERIFIER_HH
+#define HINTM_TIR_VERIFIER_HH
+
+#include <optional>
+#include <string>
+
+#include "tir/ir.hh"
+
+namespace hintm
+{
+namespace tir
+{
+
+/**
+ * Verify a module.
+ * @return std::nullopt when well-formed, otherwise a diagnostic message
+ * describing the first problem found.
+ */
+std::optional<std::string> verify(const Module &mod);
+
+} // namespace tir
+} // namespace hintm
+
+#endif // HINTM_TIR_VERIFIER_HH

@@ -1,0 +1,130 @@
+#include "page_table.hh"
+
+#include "common/logging.hh"
+
+namespace hintm
+{
+namespace vm
+{
+
+const char *
+pageStateName(PageState s)
+{
+    switch (s) {
+      case PageState::Untouched: return "untouched";
+      case PageState::PrivateRo: return "private-ro";
+      case PageState::PrivateRw: return "private-rw";
+      case PageState::SharedRo: return "shared-ro";
+      case PageState::SharedRw: return "shared-rw";
+      case PageState::Annotated: return "annotated";
+    }
+    return "?";
+}
+
+PageTransition
+PageTable::touch(ThreadId tid, Addr addr, AccessType type)
+{
+    Entry &e = entries_[pageNumber(addr)];
+    PageTransition tr;
+    tr.before = e.state;
+
+    const bool is_write = type == AccessType::Write;
+    switch (e.state) {
+      case PageState::Untouched:
+        e.owner = tid;
+        e.state = is_write ? PageState::PrivateRw : PageState::PrivateRo;
+        tr.stateChanged = true;
+        break;
+
+      case PageState::PrivateRo:
+        if (tid == e.owner) {
+            if (is_write) {
+                // Owner upgrades its own page: minor page fault.
+                e.state = PageState::PrivateRw;
+                tr.minorFault = true;
+                tr.stateChanged = true;
+            }
+        } else if (!is_write) {
+            // Second reader: page becomes shared read-only, still safe.
+            e.state = PageState::SharedRo;
+            tr.stateChanged = true;
+        } else {
+            e.state = PageState::SharedRw;
+            tr.becameUnsafe = true;
+            tr.stateChanged = true;
+        }
+        break;
+
+      case PageState::PrivateRw:
+        if (tid != e.owner) {
+            if (!is_write && preserveReadOnly_) {
+                // Preserve policy: demote to shared-ro, revoking the
+                // owner's write permission (its next write faults).
+                e.state = PageState::SharedRo;
+                tr.minorFault = true;
+                tr.stateChanged = true;
+            } else {
+                e.state = PageState::SharedRw;
+                tr.becameUnsafe = true;
+                tr.stateChanged = true;
+            }
+        }
+        break;
+
+      case PageState::SharedRo:
+        if (is_write) {
+            e.state = PageState::SharedRw;
+            tr.becameUnsafe = true;
+            tr.stateChanged = true;
+        }
+        break;
+
+      case PageState::SharedRw:
+      case PageState::Annotated:
+        break;
+    }
+
+    tr.after = e.state;
+    return tr;
+}
+
+void
+PageTable::annotateRange(Addr base, std::uint64_t len)
+{
+    HINTM_ASSERT(len > 0, "empty annotation range");
+    const Addr first = pageNumber(base);
+    const Addr last = pageNumber(base + len - 1);
+    for (Addr page = first; page <= last; ++page) {
+        Entry &e = entries_[page];
+        e.state = PageState::Annotated;
+    }
+    hasAnnotations_ = true;
+}
+
+PageState
+PageTable::stateOf(Addr addr) const
+{
+    auto it = entries_.find(pageNumber(addr));
+    return it == entries_.end() ? PageState::Untouched : it->second.state;
+}
+
+ThreadId
+PageTable::ownerOf(Addr addr) const
+{
+    auto it = entries_.find(pageNumber(addr));
+    return it == entries_.end() ? invalidThreadId : it->second.owner;
+}
+
+std::uint64_t
+PageTable::countPages(bool safe_only) const
+{
+    std::uint64_t n = 0;
+    for (const auto &kv : entries_) {
+        if (!safe_only || pageStateSafe(kv.second.state))
+            ++n;
+    }
+    return n;
+}
+
+} // namespace vm
+} // namespace hintm

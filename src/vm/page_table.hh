@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Thread-level page sharing tracker: the paper's Fig. 2 state machine.
+ * Each page-table entry is extended with a first-toucher thread id, a
+ * read-only bit and a shared bit; reads to <private,*> and <shared,ro>
+ * pages are safe and may skip HTM tracking.
+ */
+
+#ifndef HINTM_VM_PAGE_TABLE_HH
+#define HINTM_VM_PAGE_TABLE_HH
+
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace hintm
+{
+namespace vm
+{
+
+/** Safety state of a page (combination of shared and ro bits). */
+enum class PageState : std::uint8_t
+{
+    Untouched, ///< never accessed
+    PrivateRo, ///< single thread, reads only so far
+    PrivateRw, ///< single thread, has been written
+    SharedRo,  ///< multiple threads, reads only
+    SharedRw,  ///< read-write shared: permanently unsafe
+    Annotated, ///< programmer-declared safe (Notary-style): immutable
+};
+
+const char *pageStateName(PageState s);
+
+/** True when reads to a page in this state are safe. */
+constexpr bool
+pageStateSafe(PageState s)
+{
+    return s == PageState::PrivateRo || s == PageState::PrivateRw ||
+           s == PageState::SharedRo || s == PageState::Annotated;
+}
+
+/** Result of recording one access in the page table. */
+struct PageTransition
+{
+    PageState before = PageState::Untouched;
+    PageState after = PageState::Untouched;
+    /** Page moved from a safe state to SharedRw: shootdown + TX aborts. */
+    bool becameUnsafe = false;
+    /** <private,ro> -> <private,rw> (or preserve-mode write fault). */
+    bool minorFault = false;
+    /** Any state change that must be propagated to remote TLBs. */
+    bool stateChanged = false;
+};
+
+/**
+ * Process-wide page table tracking per-page safety state. Purely
+ * functional: costs (faults, shootdowns) are modeled by vm::Vm.
+ */
+class PageTable
+{
+  public:
+    /**
+     * @param preserve_read_only when true, a second thread reading a
+     * <private,rw> page demotes it to <shared,ro> (revoking the owner's
+     * write permission) instead of declaring it unsafe — the paper's
+     * "HinTM + preserve" policy studied for vacation (§VI-B).
+     */
+    explicit PageTable(bool preserve_read_only = false)
+        : preserveReadOnly_(preserve_read_only)
+    {
+    }
+
+    /** Record an access by @p tid to the page containing @p addr. */
+    PageTransition touch(ThreadId tid, Addr addr, AccessType type);
+
+    /**
+     * Notary-style programmer annotation: declare every page covering
+     * [base, base+len) thread-private. Annotated pages are permanently
+     * safe for reads and never transition — the programmer vouches for
+     * the absence of racing accesses (unchecked, as in Notary).
+     */
+    void annotateRange(Addr base, std::uint64_t len);
+
+    /** True when any page was ever annotated. */
+    bool hasAnnotations() const { return hasAnnotations_; }
+
+    /** Current state of a page (Untouched if never seen). */
+    PageState stateOf(Addr addr) const;
+
+    /** First-toucher of a page (invalidThreadId if untouched). */
+    ThreadId ownerOf(Addr addr) const;
+
+    /** Number of pages currently in each safety class (Fig. 1 metric). */
+    std::uint64_t countPages(bool safe_only) const;
+
+    /** Total distinct pages ever touched. */
+    std::uint64_t totalPages() const { return entries_.size(); }
+
+    bool preserveReadOnly() const { return preserveReadOnly_; }
+
+  private:
+    struct Entry
+    {
+        PageState state = PageState::Untouched;
+        ThreadId owner = invalidThreadId;
+    };
+
+    std::unordered_map<Addr, Entry> entries_;
+    bool preserveReadOnly_;
+    bool hasAnnotations_ = false;
+};
+
+} // namespace vm
+} // namespace hintm
+
+#endif // HINTM_VM_PAGE_TABLE_HH

@@ -1,0 +1,63 @@
+#include "tlb.hh"
+
+#include "common/logging.hh"
+
+namespace hintm
+{
+namespace vm
+{
+
+bool
+Tlb::lookup(Addr page_num, PageState *state_out)
+{
+    auto it = entries_.find(page_num);
+    if (it == entries_.end())
+        return false;
+    it->second.lruStamp = ++clock_;
+    if (state_out)
+        *state_out = it->second.state;
+    return true;
+}
+
+void
+Tlb::insert(Addr page_num, PageState state)
+{
+    auto it = entries_.find(page_num);
+    if (it != entries_.end()) {
+        it->second.state = state;
+        it->second.lruStamp = ++clock_;
+        return;
+    }
+    if (entries_.size() >= capacity_)
+        evictLru();
+    entries_.emplace(page_num, Entry{state, ++clock_});
+}
+
+bool
+Tlb::invalidate(Addr page_num)
+{
+    return entries_.erase(page_num) != 0;
+}
+
+void
+Tlb::updateState(Addr page_num, PageState state)
+{
+    auto it = entries_.find(page_num);
+    if (it != entries_.end())
+        it->second.state = state;
+}
+
+void
+Tlb::evictLru()
+{
+    HINTM_ASSERT(!entries_.empty(), "evicting from empty TLB");
+    auto victim = entries_.begin();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+        if (it->second.lruStamp < victim->second.lruStamp)
+            victim = it;
+    }
+    entries_.erase(victim);
+}
+
+} // namespace vm
+} // namespace hintm

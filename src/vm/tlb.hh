@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Per-context data TLB holding each cached translation's page safety bits.
+ * Fully associative with true LRU; sized per config (default 64 entries).
+ */
+
+#ifndef HINTM_VM_TLB_HH
+#define HINTM_VM_TLB_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+#include "vm/page_table.hh"
+
+namespace hintm
+{
+namespace vm
+{
+
+/** Small fully-associative TLB. Keys are page numbers. */
+class Tlb
+{
+  public:
+    explicit Tlb(unsigned num_entries = 64) : capacity_(num_entries) {}
+
+    /** @return true on hit; hit refreshes LRU and exposes the state. */
+    bool lookup(Addr page_num, PageState *state_out = nullptr);
+
+    /** Install (or refresh) a translation with its safety state. */
+    void insert(Addr page_num, PageState state);
+
+    /** Drop one translation (shootdown); @return true if it was present. */
+    bool invalidate(Addr page_num);
+
+    /** Update the cached state in place if the translation is present. */
+    void updateState(Addr page_num, PageState state);
+
+    /** Presence probe without LRU effects. */
+    bool contains(Addr page_num) const
+    {
+        return entries_.count(page_num) != 0;
+    }
+
+    std::size_t size() const { return entries_.size(); }
+    unsigned capacity() const { return capacity_; }
+
+  private:
+    struct Entry
+    {
+        PageState state;
+        std::uint64_t lruStamp;
+    };
+
+    void evictLru();
+
+    unsigned capacity_;
+    std::uint64_t clock_ = 0;
+    std::unordered_map<Addr, Entry> entries_;
+};
+
+} // namespace vm
+} // namespace hintm
+
+#endif // HINTM_VM_TLB_HH

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * bayes: Bayesian network structure learning (STAMP). Each TX scores a
+ * candidate edge: it scans a scattered slice of the shared adjacency
+ * matrix, consults a read-only conditional-probability table (the small
+ * statically-safe fraction the paper reports), mixes in a
+ * registry-published per-thread score cache (dynamic-safe), and commits
+ * an adjacency update. Footprints hover around P8's capacity.
+ */
+
+#include "workloads.hh"
+
+#include "tir/builder.hh"
+
+namespace hintm
+{
+namespace workloads
+{
+
+using tir::FunctionBuilder;
+using tir::Module;
+using tir::Reg;
+
+namespace
+{
+
+struct Params
+{
+    std::int64_t vars;       ///< network variables (adjacency vars^2)
+    std::int64_t probWords;  ///< read-only CPT size
+    std::int64_t probReads;  ///< CPT lookups per TX
+    std::int64_t adjReads;   ///< adjacency reads per TX
+    std::int64_t cacheWords;
+    std::int64_t cacheReads;
+    std::int64_t work;       ///< candidate edges
+};
+
+Params
+paramsFor(Scale s)
+{
+    switch (s) {
+      case Scale::Tiny: return {32, 512, 2, 8, 1024, 8, 24};
+      case Scale::Small: return {96, 4096, 4, 34, 8192, 52, 2000};
+      case Scale::Large: return {128, 8192, 5, 44, 16384, 80, 1800};
+    }
+    return {};
+}
+
+} // namespace
+
+Workload
+buildBayes(Scale s)
+{
+    const Params p = paramsFor(s);
+    const unsigned threads = 8;
+
+    Module m;
+    m.globals.push_back({"g_adj", 8, 0});
+    m.globals.push_back({"g_probs", 8, 0});
+    m.globals.push_back({"g_whead", 8, 0});
+    m.globals.push_back({"g_registry", 8 * 8, 0});
+    m.globals.push_back({"g_accepted", 8 * 64, 0});
+
+    {
+        FunctionBuilder f(m, "init", 0);
+        const Reg adj = f.mallocI(std::uint64_t(p.vars * p.vars) * 8);
+        f.forRangeI(0, p.vars * p.vars,
+                    [&](Reg i) { f.storeI(f.gep(adj, i, 8), 0); });
+        f.store(f.globalAddr("g_adj"), adj);
+
+        // Conditional probability table: never written after init.
+        const Reg probs = f.mallocI(std::uint64_t(p.probWords) * 8);
+        f.forRangeI(0, p.probWords, [&](Reg i) {
+            f.store(f.gep(probs, i, 8), f.addI(f.randI(1000), 1));
+        });
+        f.store(f.globalAddr("g_probs"), probs);
+        f.storeI(f.globalAddr("g_whead"), 0);
+        f.retVoid();
+        m.initFunc = f.finish();
+    }
+
+    {
+        FunctionBuilder f(m, "worker", 1);
+        const Reg tid = f.param(0);
+        const Reg adj = f.load(f.globalAddr("g_adj"));
+        const Reg probs = f.load(f.globalAddr("g_probs"));
+
+        const Reg cache = f.mallocI(std::uint64_t(p.cacheWords) * 8);
+        f.store(f.gep(f.globalAddr("g_registry"), tid, 8), cache);
+        f.forRangeI(0, p.cacheWords, [&](Reg i) {
+            f.store(f.gep(cache, i, 8), f.randI(1 << 12));
+        });
+
+        const Reg accepted = f.freshVar();
+        f.setI(accepted, 0);
+        const Reg running = f.freshVar();
+        f.setI(running, 1);
+        f.whileLoop([&] { return running; }, [&] {
+            const Reg h = f.freshVar();
+            f.txBegin();
+            const Reg whead = f.globalAddr("g_whead");
+            f.set(h, f.load(whead));
+            f.store(whead, f.addI(h, 1));
+            f.txEnd();
+            f.ifThenElse(
+                f.cmpGe(h, f.constI(p.work)),
+                [&] { f.setI(running, 0); },
+                [&] {
+                    const Reg u = f.modI(f.mulI(h, 31), p.vars);
+                    const Reg v = f.modI(f.mulI(h, 17), p.vars);
+                    f.txBegin();
+                    const Reg score = f.freshVar();
+                    f.setI(score, 0);
+                    // Scan a scattered slice of u's adjacency row-space.
+                    f.forRangeI(0, p.adjReads, [&](Reg i) {
+                        const Reg idx = f.modI(
+                            f.add(f.mulI(i, 151), f.mulI(u, p.vars)),
+                            p.vars * p.vars);
+                        f.set(score,
+                              f.add(score, f.load(f.gep(adj, idx, 8))));
+                    });
+                    // Read-only CPT lookups (static-safe).
+                    f.forRangeI(0, p.probReads, [&](Reg i) {
+                        const Reg idx = f.modI(
+                            f.add(f.mul(score, f.addI(i, 3)), h),
+                            p.probWords);
+                        f.set(score,
+                              f.add(score,
+                                    f.load(f.gep(probs, idx, 8))));
+                    });
+                    // Per-thread score cache (dynamic-safe).
+                    f.forRangeI(0, p.cacheReads, [&](Reg) {
+                        const Reg idx = f.randI(p.cacheWords);
+                        f.set(score,
+                              f.add(score,
+                                    f.load(f.gep(cache, idx, 8))));
+                    });
+                    // Commit the candidate if the score qualifies.
+                    f.ifThen(f.cmpEqI(f.modI(score, 4), 0), [&] {
+                        f.store(f.gep(adj,
+                                      f.add(f.mulI(u, p.vars), v), 8),
+                                f.constI(1));
+                        f.set(accepted, f.addI(accepted, 1));
+                    });
+                    f.txEnd();
+                });
+        });
+        f.store(f.gep(f.globalAddr("g_accepted"), tid, 64), accepted);
+        f.retVoid();
+        m.threadFunc = f.finish();
+    }
+
+    return Workload{"bayes", std::move(m), threads};
+}
+
+} // namespace workloads
+} // namespace hintm

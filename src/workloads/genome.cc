@@ -1,0 +1,178 @@
+/**
+ * @file
+ * genome: gene sequencing (STAMP), 4 threads per the paper. Phase 1
+ * deduplicates segments into a shared open-addressing hash set (small
+ * TXs); phase 2 performs overlap matching with large readsets over a
+ * per-thread scratch buffer. The scratch buffer is *published into a
+ * shared registry*, so static analysis must conservatively reject it
+ * (the paper reports zero statically-safe accesses for genome), while
+ * the dynamic page classifier sees its pages stay thread-private and
+ * strips most of the TX footprint.
+ */
+
+#include "workloads.hh"
+
+#include "tir/builder.hh"
+
+namespace hintm
+{
+namespace workloads
+{
+
+using tir::FunctionBuilder;
+using tir::Module;
+using tir::Reg;
+
+namespace
+{
+
+struct Params
+{
+    std::int64_t segments;
+    std::int64_t segWords;
+    std::int64_t tableSize; ///< power of two
+    std::int64_t bufWords;
+    std::int64_t matchIters; ///< phase-2 TXs per thread
+    std::int64_t matchReads; ///< private-buffer reads per phase-2 TX
+};
+
+Params
+paramsFor(Scale s)
+{
+    switch (s) {
+      case Scale::Tiny: return {128, 4, 512, 1024, 20, 24};
+      case Scale::Small: return {768, 4, 2048, 8192, 220, 96};
+      case Scale::Large: return {1536, 4, 4096, 16384, 320, 300};
+    }
+    return {};
+}
+
+} // namespace
+
+Workload
+buildGenome(Scale s)
+{
+    const Params p = paramsFor(s);
+    const unsigned threads = 4;
+    const std::int64_t per_thread = p.segments / threads;
+
+    Module m;
+    m.globals.push_back({"g_segs", 8, 0});
+    m.globals.push_back({"g_table", 8, 0});
+    m.globals.push_back({"g_links", 8, 0});
+    m.globals.push_back({"g_registry", 8 * 8, 0});
+    m.globals.push_back({"g_inserted", 8 * 64, 0});
+
+    {
+        FunctionBuilder f(m, "init", 0);
+        const Reg segs =
+            f.mallocI(std::uint64_t(p.segments * p.segWords) * 8);
+        f.forRangeI(0, p.segments, [&](Reg i) {
+            const Reg base = f.gep(segs, f.mulI(i, p.segWords), 8);
+            f.store(f.gep(base, f.constI(0), 8),
+                    f.addI(f.randI(1 << 20), 1));
+            f.forRangeI(1, p.segWords, [&](Reg w) {
+                f.store(f.gep(base, w, 8), f.randI(1 << 16));
+            });
+        });
+        f.store(f.globalAddr("g_segs"), segs);
+
+        const Reg table = f.mallocI(std::uint64_t(p.tableSize) * 8);
+        f.forRangeI(0, p.tableSize,
+                    [&](Reg i) { f.storeI(f.gep(table, i, 8), 0); });
+        f.store(f.globalAddr("g_table"), table);
+
+        const Reg links = f.mallocI(std::uint64_t(p.segments * 2) * 8);
+        f.store(f.globalAddr("g_links"), links);
+        f.retVoid();
+        m.initFunc = f.finish();
+    }
+
+    {
+        FunctionBuilder f(m, "worker", 1);
+        const Reg tid = f.param(0);
+        const Reg segs = f.load(f.globalAddr("g_segs"));
+        const Reg table = f.load(f.globalAddr("g_table"));
+        const Reg links = f.load(f.globalAddr("g_links"));
+
+        // Scratch buffer, published to the registry: thread-private at
+        // runtime, escaped for the compiler.
+        const Reg buf = f.mallocI(std::uint64_t(p.bufWords) * 8);
+        f.store(f.gep(f.globalAddr("g_registry"), tid, 8), buf);
+        f.forRangeI(0, p.bufWords, [&](Reg i) {
+            f.store(f.gep(buf, i, 8), f.randI(1 << 16));
+        });
+
+        // Phase 1: segment deduplication into the shared hash set.
+        const Reg lo = f.mulI(tid, per_thread);
+        const Reg hi = f.addI(lo, per_thread);
+        f.forRange(lo, hi, [&](Reg i) {
+            const Reg sbase = f.gep(segs, f.mulI(i, p.segWords), 8);
+            f.txBegin();
+            const Reg key = f.load(sbase);
+            const Reg slot = f.freshVar();
+            f.set(slot, f.modI(key, p.tableSize));
+            const Reg probing = f.freshVar();
+            f.setI(probing, 1);
+            f.whileLoop([&] { return probing; }, [&] {
+                const Reg cur = f.load(f.gep(table, slot, 8));
+                f.ifThenElse(
+                    f.cmpEqI(cur, 0),
+                    [&] {
+                        f.store(f.gep(table, slot, 8), key);
+                        // Mark the segment used: this write is what makes
+                        // the segment array non-read-only for the static
+                        // pass (matching genome's 0% static result).
+                        f.store(f.gep(sbase, f.constI(1), 8),
+                                f.constI(1));
+                        f.setI(probing, 0);
+                    },
+                    [&] {
+                        f.ifThenElse(
+                            f.cmpEq(cur, key),
+                            [&] { f.setI(probing, 0); },
+                            [&] {
+                                f.set(slot,
+                                      f.modI(f.addI(slot, 1),
+                                             p.tableSize));
+                            });
+                    });
+            });
+            f.txEnd();
+        });
+        f.barrier();
+
+        // Phase 2: overlap matching with big private readsets.
+        f.forRangeI(0, p.matchIters, [&](Reg) {
+            f.txBegin();
+            const Reg acc = f.freshVar();
+            f.setI(acc, 0);
+            f.forRangeI(0, p.matchReads, [&](Reg) {
+                const Reg idx = f.randI(p.bufWords);
+                f.set(acc, f.add(acc, f.load(f.gep(buf, idx, 8))));
+            });
+            // Consult the shared hash set for the overlap candidate.
+            const Reg h = f.freshVar();
+            f.set(h, f.modI(acc, p.tableSize));
+            f.forRangeI(0, 4, [&](Reg) {
+                const Reg v = f.load(f.gep(table, h, 8));
+                f.set(h, f.modI(f.add(f.addI(v, 1), h), p.tableSize));
+            });
+            // Record the chosen link (scattered shared writes).
+            const Reg li = f.randI(p.segments);
+            f.store(f.gep(links, li, 16, 0), acc);
+            f.store(f.gep(links, li, 16, 8), h);
+            f.txEnd();
+        });
+        // Per-thread progress counter (block-strided, outside TXs).
+        const Reg ins = f.gep(f.globalAddr("g_inserted"), tid, 64);
+        f.store(ins, f.constI(1));
+        f.retVoid();
+        m.threadFunc = f.finish();
+    }
+
+    return Workload{"genome", std::move(m), threads};
+}
+
+} // namespace workloads
+} // namespace hintm

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * intruder: network intrusion detection (STAMP). Threads pop packet
+ * descriptors from a shared queue (tiny hot TX), decode each packet into
+ * a registry-published per-thread buffer, then run a detection TX whose
+ * readset size follows the packet's fragment count — a variable
+ * footprint that occasionally exceeds P8's 64 blocks. Static analysis
+ * finds nothing (the decode buffer escapes via the registry); dynamic
+ * classification reclaims the decode-buffer reads.
+ */
+
+#include "workloads.hh"
+
+#include "tir/builder.hh"
+
+namespace hintm
+{
+namespace workloads
+{
+
+using tir::FunctionBuilder;
+using tir::Module;
+using tir::Reg;
+
+namespace
+{
+
+struct Params
+{
+    std::int64_t packets;
+    std::int64_t flows;    ///< power-of-two flow-state table
+    std::int64_t bufWords; ///< decode buffer words
+    std::int64_t minFrags;
+    std::int64_t maxFrags;
+};
+
+Params
+paramsFor(Scale s)
+{
+    switch (s) {
+      case Scale::Tiny: return {64, 256, 1024, 8, 16};
+      case Scale::Small: return {2400, 1024, 8192, 16, 88};
+      case Scale::Large: return {2600, 2048, 16384, 32, 152};
+    }
+    return {};
+}
+
+} // namespace
+
+Workload
+buildIntruder(Scale s)
+{
+    const Params p = paramsFor(s);
+    const unsigned threads = 8;
+
+    Module m;
+    m.globals.push_back({"g_pkts", 8, 0});
+    m.globals.push_back({"g_head", 8, 0});
+    m.globals.push_back({"g_flows", 8, 0});
+    m.globals.push_back({"g_registry", 8 * 8, 0});
+    m.globals.push_back({"g_attacks", 8 * 64, 0});
+
+    {
+        FunctionBuilder f(m, "init", 0);
+        const Reg pkts = f.mallocI(std::uint64_t(p.packets * 2) * 8);
+        f.forRangeI(0, p.packets, [&](Reg i) {
+            f.store(f.gep(pkts, i, 16, 0), f.randI(p.flows));
+            f.store(f.gep(pkts, i, 16, 8),
+                    f.addI(f.randI(p.maxFrags - p.minFrags), p.minFrags));
+        });
+        f.store(f.globalAddr("g_pkts"), pkts);
+
+        const Reg flows = f.mallocI(std::uint64_t(p.flows * 2) * 8);
+        f.forRangeI(0, p.flows * 2,
+                    [&](Reg i) { f.storeI(f.gep(flows, i, 8), 0); });
+        f.store(f.globalAddr("g_flows"), flows);
+        f.storeI(f.globalAddr("g_head"), 0);
+        f.retVoid();
+        m.initFunc = f.finish();
+    }
+
+    {
+        FunctionBuilder f(m, "worker", 1);
+        const Reg tid = f.param(0);
+        const Reg pkts = f.load(f.globalAddr("g_pkts"));
+        const Reg flows = f.load(f.globalAddr("g_flows"));
+
+        const Reg buf = f.mallocI(std::uint64_t(p.bufWords) * 8);
+        f.store(f.gep(f.globalAddr("g_registry"), tid, 8), buf);
+
+        const Reg attacks = f.freshVar();
+        f.setI(attacks, 0);
+        const Reg running = f.freshVar();
+        f.setI(running, 1);
+        f.whileLoop([&] { return running; }, [&] {
+            // Hot pop TX.
+            const Reg h = f.freshVar();
+            f.txBegin();
+            const Reg head = f.globalAddr("g_head");
+            f.set(h, f.load(head));
+            f.store(head, f.addI(h, 1));
+            f.txEnd();
+            f.ifThenElse(
+                f.cmpGe(h, f.constI(p.packets)),
+                [&] { f.setI(running, 0); },
+                [&] {
+                    const Reg flow = f.load(f.gep(pkts, h, 16, 0));
+                    const Reg frags = f.load(f.gep(pkts, h, 16, 8));
+                    // Decode: scatter fragment payloads into the private
+                    // buffer (non-transactional writes).
+                    f.forRangeI(0, p.maxFrags, [&](Reg i) {
+                        f.store(f.gep(buf,
+                                      f.modI(f.add(f.mulI(h, 131), i),
+                                             p.bufWords),
+                                      8),
+                                f.add(flow, i));
+                    });
+                    // Detection TX: reassemble (scattered private reads,
+                    // footprint = frags blocks) + flow-state update.
+                    f.txBegin();
+                    const Reg acc = f.freshVar();
+                    f.setI(acc, 0);
+                    f.forRange(f.constI(0), frags, [&](Reg i) {
+                        const Reg idx = f.modI(
+                            f.add(f.mul(i, f.constI(67)), f.mulI(h, 13)),
+                            p.bufWords);
+                        f.set(acc, f.add(acc, f.load(f.gep(buf, idx, 8))));
+                    });
+                    const Reg fslot = f.gep(flows, flow, 16, 0);
+                    const Reg fstate = f.load(fslot);
+                    f.store(fslot, f.add(fstate, acc));
+                    f.store(f.gep(flows, flow, 16, 8), frags);
+                    f.txEnd();
+                    f.ifThen(f.cmpEqI(f.modI(acc, 64), 0),
+                             [&] { f.set(attacks, f.addI(attacks, 1)); });
+                });
+        });
+        f.store(f.gep(f.globalAddr("g_attacks"), tid, 64), attacks);
+        f.retVoid();
+        m.threadFunc = f.finish();
+    }
+
+    return Workload{"intruder", std::move(m), threads};
+}
+
+} // namespace workloads
+} // namespace hintm

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * kmeans: iterative clustering with tiny transactions (STAMP). Each
+ * thread assigns its partition of points to the nearest centroid and
+ * transactionally folds the point into that centroid's accumulator —
+ * a 1-2 block TX that never pressures capacity but conflicts on the
+ * small accumulator table. Point data is read-only in the parallel
+ * region, so the static pass marks those loads safe.
+ */
+
+#include "workloads.hh"
+
+#include "tir/builder.hh"
+
+namespace hintm
+{
+namespace workloads
+{
+
+using tir::FunctionBuilder;
+using tir::Module;
+using tir::Reg;
+
+namespace
+{
+
+struct Params
+{
+    std::int64_t points;
+    std::int64_t clusters;
+    std::int64_t dims;
+    std::int64_t iters;
+};
+
+Params
+paramsFor(Scale s)
+{
+    switch (s) {
+      case Scale::Tiny: return {256, 8, 4, 1};
+      case Scale::Small: return {2048, 16, 4, 2};
+      case Scale::Large: return {6144, 16, 4, 2};
+    }
+    return {};
+}
+
+} // namespace
+
+Workload
+buildKmeans(Scale s)
+{
+    const Params p = paramsFor(s);
+    const unsigned threads = 8;
+    const std::int64_t per_thread = p.points / threads;
+
+    Module m;
+    m.globals.push_back({"g_points", 8, 0});
+    m.globals.push_back({"g_cent", 8, 0});
+    m.globals.push_back({"g_acc", 8, 0});
+
+    {
+        FunctionBuilder f(m, "init", 0);
+        const Reg pts = f.mallocI(std::uint64_t(p.points * p.dims) * 8);
+        f.forRangeI(0, p.points * p.dims, [&](Reg i) {
+            f.store(f.gep(pts, i, 8), f.randI(1000));
+        });
+        f.store(f.globalAddr("g_points"), pts);
+
+        const Reg cent = f.mallocI(std::uint64_t(p.clusters * p.dims) * 8);
+        f.forRangeI(0, p.clusters * p.dims, [&](Reg i) {
+            f.store(f.gep(cent, i, 8), f.randI(1000));
+        });
+        f.store(f.globalAddr("g_cent"), cent);
+
+        const Reg acc =
+            f.mallocI(std::uint64_t(p.clusters * (p.dims + 1)) * 8);
+        f.forRangeI(0, p.clusters * (p.dims + 1), [&](Reg i) {
+            f.storeI(f.gep(acc, i, 8), 0);
+        });
+        f.store(f.globalAddr("g_acc"), acc);
+        f.retVoid();
+        m.initFunc = f.finish();
+    }
+
+    {
+        FunctionBuilder f(m, "worker", 1);
+        const Reg tid = f.param(0);
+        const Reg pts = f.load(f.globalAddr("g_points"));
+        const Reg cent = f.load(f.globalAddr("g_cent"));
+        const Reg acc = f.load(f.globalAddr("g_acc"));
+        const Reg lo = f.mulI(tid, per_thread);
+        const Reg hi = f.addI(lo, per_thread);
+
+        f.forRangeI(0, p.iters, [&](Reg) {
+            f.forRange(lo, hi, [&](Reg i) {
+                const Reg pbase = f.gep(pts, f.mulI(i, p.dims), 8);
+                // Nearest centroid by squared distance.
+                const Reg best = f.freshVar();
+                const Reg bestd = f.freshVar();
+                f.setI(best, 0);
+                f.setI(bestd, std::int64_t(1) << 60);
+                f.forRangeI(0, p.clusters, [&](Reg k) {
+                    const Reg dist = f.freshVar();
+                    f.setI(dist, 0);
+                    f.forRangeI(0, p.dims, [&](Reg d) {
+                        const Reg pv = f.load(f.gep(pbase, d, 8));
+                        const Reg cv = f.load(f.gep(
+                            cent, f.add(f.mulI(k, p.dims), d), 8));
+                        const Reg diff = f.sub(pv, cv);
+                        f.set(dist, f.add(dist, f.mul(diff, diff)));
+                    });
+                    f.ifThen(f.cmpLt(dist, bestd), [&] {
+                        f.set(bestd, dist);
+                        f.set(best, k);
+                    });
+                });
+                // Fold the point into the winner's accumulator.
+                f.txBegin();
+                const Reg row =
+                    f.gep(acc, f.mulI(best, p.dims + 1), 8);
+                f.forRangeI(0, p.dims, [&](Reg d) {
+                    const Reg slot = f.gep(row, d, 8);
+                    f.store(slot,
+                            f.add(f.load(slot), f.load(f.gep(pbase, d, 8))));
+                });
+                const Reg cnt = f.gep(row, f.constI(p.dims), 8);
+                f.store(cnt, f.addI(f.load(cnt), 1));
+                f.txEnd();
+            });
+            f.barrier();
+            // Thread 0 recomputes centroids and clears accumulators.
+            f.ifThen(f.cmpEqI(tid, 0), [&] {
+                f.forRangeI(0, p.clusters, [&](Reg k) {
+                    const Reg row = f.gep(acc, f.mulI(k, p.dims + 1), 8);
+                    const Reg n = f.load(f.gep(row, f.constI(p.dims), 8));
+                    f.ifThen(f.cmpNeI(n, 0), [&] {
+                        f.forRangeI(0, p.dims, [&](Reg d) {
+                            const Reg sum = f.load(f.gep(row, d, 8));
+                            f.store(f.gep(cent,
+                                          f.add(f.mulI(k, p.dims), d), 8),
+                                    f.div(sum, n));
+                        });
+                    });
+                    f.forRangeI(0, p.dims + 1, [&](Reg d) {
+                        f.storeI(f.gep(row, d, 8), 0);
+                    });
+                });
+            });
+            f.barrier();
+        });
+        f.retVoid();
+        m.threadFunc = f.finish();
+    }
+
+    return Workload{"kmeans", std::move(m), threads};
+}
+
+} // namespace workloads
+} // namespace hintm

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * labyrinth: transactional maze routing (STAMP), the paper's flagship
+ * capacity workload. Each routing TX copies the operative region of the
+ * shared grid into a thread-private scratch grid, runs an expansion
+ * sweep on the private copy, then validates and commits an L-shaped path
+ * back to the shared grid. The private grids are heap allocations that
+ * never escape and are freed at thread end — exactly the structure
+ * Algorithm 1 detects — so HinTM-st strips the bulk of the footprint:
+ * the private copy stores, expansion accesses and route probing all
+ * become safe, leaving only the shared-grid reads and path writes
+ * tracked.
+ */
+
+#include "workloads.hh"
+
+#include "tir/builder.hh"
+
+namespace hintm
+{
+namespace workloads
+{
+
+using tir::FunctionBuilder;
+using tir::Module;
+using tir::Reg;
+
+namespace
+{
+
+struct Params
+{
+    std::int64_t n;      ///< grid is n x n cells
+    std::int64_t margin; ///< bbox margin around src/dst
+    std::int64_t items;  ///< routing work items
+};
+
+Params
+paramsFor(Scale s)
+{
+    switch (s) {
+      case Scale::Tiny: return {12, 2, 10};
+      case Scale::Small: return {28, 3, 96};
+      case Scale::Large: return {40, 4, 144};
+    }
+    return {};
+}
+
+} // namespace
+
+Workload
+buildLabyrinth(Scale s)
+{
+    const Params p = paramsFor(s);
+    const unsigned threads = 8;
+    const std::int64_t n = p.n;
+
+    Module m;
+    m.globals.push_back({"g_grid", 8, 0});
+    m.globals.push_back({"g_queue", 8, 0});
+    m.globals.push_back({"g_qhead", 8, 0});
+    // Per-thread result slots, one cache block apart so the counters
+    // never create TX conflicts or false sharing.
+    m.globals.push_back({"g_routed", 8 * 64, 0});
+    m.globals.push_back({"g_failed", 8 * 64, 0});
+
+    {
+        FunctionBuilder f(m, "init", 0);
+        const Reg grid = f.mallocI(std::uint64_t(n * n) * 8);
+        f.forRangeI(0, n * n,
+                    [&](Reg i) { f.storeI(f.gep(grid, i, 8), 0); });
+        f.store(f.globalAddr("g_grid"), grid);
+
+        const Reg queue = f.mallocI(std::uint64_t(p.items * 2) * 8);
+        f.forRangeI(0, p.items, [&](Reg i) {
+            f.store(f.gep(queue, i, 16, 0), f.randI(n * n));
+            f.store(f.gep(queue, i, 16, 8), f.randI(n * n));
+        });
+        f.store(f.globalAddr("g_queue"), queue);
+        f.storeI(f.globalAddr("g_qhead"), 0);
+        f.retVoid();
+        m.initFunc = f.finish();
+    }
+
+    // min/max helpers.
+    {
+        FunctionBuilder f(m, "imin", 2);
+        const Reg r = f.freshVar();
+        f.set(r, f.param(0));
+        f.ifThen(f.cmpLt(f.param(1), f.param(0)),
+                 [&] { f.set(r, f.param(1)); });
+        f.ret(r);
+        f.finish();
+    }
+    {
+        FunctionBuilder f(m, "imax", 2);
+        const Reg r = f.freshVar();
+        f.set(r, f.param(0));
+        f.ifThen(f.cmpLt(f.param(0), f.param(1)),
+                 [&] { f.set(r, f.param(1)); });
+        f.ret(r);
+        f.finish();
+    }
+
+    /**
+     * Copy the shared grid's bounding box into the private grid.
+     * params: (priv, grid, r0, r1, c0, c1). Loads of the shared grid are
+     * unsafe; stores to the private grid are initializing, hence safe.
+     */
+    {
+        FunctionBuilder f(m, "grid_copy", 6);
+        const Reg priv = f.param(0), grid = f.param(1);
+        f.forRange(f.param(2), f.addI(f.param(3), 1), [&](Reg r) {
+            f.forRange(f.param(4), f.addI(f.param(5), 1), [&](Reg c) {
+                const Reg idx = f.add(f.mulI(r, n), c);
+                f.store(f.gep(priv, idx, 8), f.load(f.gep(grid, idx, 8)));
+            });
+        });
+        f.retVoid();
+        f.finish();
+    }
+
+    /**
+     * Expansion sweep: derive wavefront costs over the bbox from the
+     * private copy into the private dist grid (all accesses safe).
+     * params: (dist, priv, r0, r1, c0, c1)
+     */
+    {
+        FunctionBuilder f(m, "expand", 6);
+        const Reg dist = f.param(0), priv = f.param(1);
+        f.forRange(f.param(2), f.addI(f.param(3), 1), [&](Reg r) {
+            f.forRange(f.param(4), f.addI(f.param(5), 1), [&](Reg c) {
+                const Reg idx = f.add(f.mulI(r, n), c);
+                const Reg occ = f.load(f.gep(priv, idx, 8));
+                f.store(f.gep(dist, idx, 8),
+                        f.add(f.mulI(occ, 1000), f.add(r, c)));
+            });
+        });
+        f.retVoid();
+        f.finish();
+    }
+
+    {
+        FunctionBuilder f(m, "worker", 1);
+        const Reg tid = f.param(0);
+        const Reg grid = f.load(f.globalAddr("g_grid"));
+        const Reg queue = f.load(f.globalAddr("g_queue"));
+        const Reg priv = f.mallocI(std::uint64_t(n * n) * 8);
+        const Reg dist = f.mallocI(std::uint64_t(n * n) * 8);
+
+        const Reg running = f.freshVar();
+        f.setI(running, 1);
+        f.whileLoop([&] { return running; }, [&] {
+            // Tiny pop TX, separate from the routing TX (STAMP style).
+            const Reg h = f.freshVar();
+            f.txBegin();
+            const Reg qh = f.globalAddr("g_qhead");
+            f.set(h, f.load(qh));
+            f.store(qh, f.addI(h, 1));
+            f.txEnd();
+            f.ifThenElse(
+                f.cmpGe(h, f.constI(p.items)),
+                [&] { f.setI(running, 0); },
+                [&] {
+                    const Reg src = f.load(f.gep(queue, h, 16, 0));
+                    const Reg dst = f.load(f.gep(queue, h, 16, 8));
+                    const Reg nn = f.constI(n);
+                    const Reg sr = f.div(src, nn), sc = f.mod(src, nn);
+                    const Reg dr = f.div(dst, nn), dc = f.mod(dst, nn);
+                    const Reg zero = f.constI(0);
+                    const Reg nmax = f.constI(n - 1);
+                    const Reg r0 = f.call(
+                        "imax",
+                        {zero, f.subI(f.call("imin", {sr, dr}), p.margin)});
+                    const Reg r1 = f.call(
+                        "imin",
+                        {nmax, f.addI(f.call("imax", {sr, dr}), p.margin)});
+                    const Reg c0 = f.call(
+                        "imax",
+                        {zero, f.subI(f.call("imin", {sc, dc}), p.margin)});
+                    const Reg c1 = f.call(
+                        "imin",
+                        {nmax, f.addI(f.call("imax", {sc, dc}), p.margin)});
+
+                    f.txBegin();
+                    f.callVoid("grid_copy", {priv, grid, r0, r1, c0, c1});
+                    f.callVoid("expand", {dist, priv, r0, r1, c0, c1});
+
+                    // Validate an L path on the private snapshot: along
+                    // row sr from sc to dc, then along column dc to dr.
+                    const Reg ok = f.freshVar();
+                    f.setI(ok, 1);
+                    const Reg clo = f.call("imin", {sc, dc});
+                    const Reg chi = f.call("imax", {sc, dc});
+                    f.forRange(clo, f.addI(chi, 1), [&](Reg c) {
+                        const Reg cell =
+                            f.load(f.gep(priv, f.add(f.mulI(sr, n), c), 8));
+                        f.ifThen(f.cmpNeI(cell, 0),
+                                 [&] { f.setI(ok, 0); });
+                    });
+                    const Reg rlo = f.call("imin", {sr, dr});
+                    const Reg rhi = f.call("imax", {sr, dr});
+                    f.forRange(rlo, f.addI(rhi, 1), [&](Reg r) {
+                        const Reg cell =
+                            f.load(f.gep(priv, f.add(f.mulI(r, n), dc), 8));
+                        f.ifThen(f.cmpNeI(cell, 0),
+                                 [&] { f.setI(ok, 0); });
+                    });
+
+                    f.ifThen(ok, [&] {
+                        const Reg mark = f.addI(tid, 1);
+                        f.forRange(clo, f.addI(chi, 1), [&](Reg c) {
+                            f.store(f.gep(grid,
+                                          f.add(f.mulI(sr, n), c), 8),
+                                    mark);
+                        });
+                        f.forRange(rlo, f.addI(rhi, 1), [&](Reg r) {
+                            f.store(f.gep(grid,
+                                          f.add(f.mulI(r, n), dc), 8),
+                                    mark);
+                        });
+                    });
+                    f.txEnd();
+                    // Outcome counters live outside the TX in per-thread
+                    // block-strided slots: no conflict hotspot.
+                    f.ifThenElse(
+                        ok,
+                        [&] {
+                            const Reg g = f.gep(f.globalAddr("g_routed"),
+                                                tid, 64);
+                            f.store(g, f.addI(f.load(g), 1));
+                        },
+                        [&] {
+                            const Reg g = f.gep(f.globalAddr("g_failed"),
+                                                tid, 64);
+                            f.store(g, f.addI(f.load(g), 1));
+                        });
+                });
+        });
+        f.freePtr(priv);
+        f.freePtr(dist);
+        f.retVoid();
+        m.threadFunc = f.finish();
+    }
+
+    return Workload{"labyrinth", std::move(m), threads};
+}
+
+} // namespace workloads
+} // namespace hintm

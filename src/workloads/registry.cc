@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Workload registry: name-based lookup used by the benchmark harnesses
+ * and examples.
+ */
+
+#include "workloads.hh"
+
+#include "common/logging.hh"
+
+namespace hintm
+{
+namespace workloads
+{
+
+const std::vector<std::string> &
+allNames()
+{
+    static const std::vector<std::string> names = {
+        "bayes",  "genome",   "intruder", "kmeans",  "labyrinth",
+        "ssca2",  "vacation", "yada",     "tpcc-no", "tpcc-p",
+    };
+    return names;
+}
+
+Workload
+byName(const std::string &name, Scale s)
+{
+    if (name == "bayes")
+        return buildBayes(s);
+    if (name == "genome")
+        return buildGenome(s);
+    if (name == "intruder")
+        return buildIntruder(s);
+    if (name == "kmeans")
+        return buildKmeans(s);
+    if (name == "labyrinth")
+        return buildLabyrinth(s);
+    if (name == "ssca2")
+        return buildSsca2(s);
+    if (name == "vacation")
+        return buildVacation(s);
+    if (name == "yada")
+        return buildYada(s);
+    if (name == "tpcc-no")
+        return buildTpccNo(s);
+    if (name == "tpcc-p")
+        return buildTpccP(s);
+    HINTM_FATAL("unknown workload '", name, "'");
+}
+
+} // namespace workloads
+} // namespace hintm

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * TPC-C's two dominant queries as transactional kernels (§V): new_order
+ * (tpcc-no) and payment (tpcc-p).
+ *
+ * new_order reads the read-only item catalog (the ~18% of loads the
+ * static pass proves safe), decrements scattered stock rows, and appends
+ * order lines; conflicts concentrate on the per-district next-order-id
+ * counters. payment updates hot warehouse/district YTD totals (the
+ * dominant conflict source — the paper reports 85% of its aborts are
+ * conflicts) and occasionally scans the customer table by last name,
+ * producing the capacity-abort tail.
+ */
+
+#include "workloads.hh"
+
+#include "tir/builder.hh"
+
+namespace hintm
+{
+namespace workloads
+{
+
+using tir::FunctionBuilder;
+using tir::Module;
+using tir::Reg;
+
+namespace
+{
+
+struct Params
+{
+    std::int64_t warehouses;
+    std::int64_t districts;   ///< per warehouse
+    std::int64_t items;
+    std::int64_t customers;
+    std::int64_t txPerThread;
+    std::int64_t maxLines;    ///< order lines per new_order
+    std::int64_t scanLen;     ///< customer rows touched by a name scan
+};
+
+Params
+paramsFor(Scale s)
+{
+    switch (s) {
+      case Scale::Tiny: return {2, 4, 256, 256, 12, 6, 16};
+      case Scale::Small: return {2, 10, 4096, 2048, 400, 30, 72};
+      case Scale::Large: return {4, 10, 8192, 4096, 500, 34, 100};
+    }
+    return {};
+}
+
+/** Shared schema: emits init laying out all tables. */
+void
+emitInit(Module &m, const Params &p)
+{
+    FunctionBuilder f(m, "init", 0);
+
+    const Reg wh = f.mallocI(std::uint64_t(p.warehouses * 8) * 8);
+    f.forRangeI(0, p.warehouses * 8,
+                [&](Reg i) { f.store(f.gep(wh, i, 8), f.addI(i, 1)); });
+    f.store(f.globalAddr("g_wh"), wh);
+
+    // Read-only warehouse/item metadata (tax rates, names, prices).
+    const Reg info = f.mallocI(std::uint64_t(p.warehouses * 16) * 8);
+    f.forRangeI(0, p.warehouses * 16, [&](Reg i) {
+        f.store(f.gep(info, i, 8), f.addI(f.randI(100), 1));
+    });
+    f.store(f.globalAddr("g_info"), info);
+
+    const std::int64_t wd = p.warehouses * p.districts;
+    const Reg dist = f.mallocI(std::uint64_t(wd * 4) * 8);
+    f.forRangeI(0, wd, [&](Reg d) {
+        const Reg base = f.gep(dist, f.mulI(d, 4), 8);
+        f.storeI(f.gep(base, f.constI(0), 8), 1); // next_o_id
+        f.storeI(f.gep(base, f.constI(1), 8), 0); // ytd
+    });
+    f.store(f.globalAddr("g_dist"), dist);
+
+    const Reg item = f.mallocI(std::uint64_t(p.items * 4) * 8);
+    f.forRangeI(0, p.items, [&](Reg i) {
+        const Reg base = f.gep(item, f.mulI(i, 4), 8);
+        f.store(f.gep(base, f.constI(0), 8), i);
+        f.store(f.gep(base, f.constI(1), 8), f.addI(f.randI(90), 10));
+        f.store(f.gep(base, f.constI(2), 8), f.randI(1 << 12));
+    });
+    f.store(f.globalAddr("g_item"), item);
+
+    const Reg stock = f.mallocI(
+        std::uint64_t(p.warehouses * p.items * 2) * 8);
+    f.forRangeI(0, p.warehouses * p.items, [&](Reg i) {
+        f.storeI(f.gep(stock, f.mulI(i, 2), 8), 1000);
+    });
+    f.store(f.globalAddr("g_stock"), stock);
+
+    const Reg cust =
+        f.mallocI(std::uint64_t(p.customers * 8) * 8);
+    f.forRangeI(0, p.customers, [&](Reg c) {
+        const Reg base = f.gep(cust, f.mulI(c, 8), 8);
+        f.storeI(f.gep(base, f.constI(0), 8), 0);      // balance
+        f.store(f.gep(base, f.constI(1), 8),
+                f.modI(c, 32));                        // last-name bucket
+    });
+    f.store(f.globalAddr("g_cust"), cust);
+
+    // Customer last-name index: names never change, so this stays
+    // read-only for the whole parallel region (static- and dynamic-safe
+    // under HinTM — the source of payment's capacity-abort relief).
+    const Reg nameidx = f.mallocI(std::uint64_t(p.customers) * 8);
+    f.forRangeI(0, p.customers, [&](Reg c) {
+        f.store(f.gep(nameidx, c, 8), f.modI(c, 32));
+    });
+    f.store(f.globalAddr("g_nameidx"), nameidx);
+
+    // Order / order-line / history append regions (per-thread layout).
+    const std::int64_t orders =
+        (p.txPerThread * 8 + 1) * (p.maxLines + 2) + 64;
+    const Reg ol = f.mallocI(std::uint64_t(orders * 2) * 8);
+    f.store(f.globalAddr("g_ol"), ol);
+    const Reg hist = f.mallocI(std::uint64_t(orders * 2) * 8);
+    f.store(f.globalAddr("g_hist"), hist);
+    f.storeI(f.globalAddr("g_hcnt"), 0);
+    f.retVoid();
+    m.initFunc = f.finish();
+}
+
+void
+pushGlobals(Module &m)
+{
+    m.globals.push_back({"g_wh", 8, 0});
+    m.globals.push_back({"g_info", 8, 0});
+    m.globals.push_back({"g_dist", 8, 0});
+    m.globals.push_back({"g_item", 8, 0});
+    m.globals.push_back({"g_stock", 8, 0});
+    m.globals.push_back({"g_cust", 8, 0});
+    m.globals.push_back({"g_ol", 8, 0});
+    m.globals.push_back({"g_hist", 8, 0});
+    m.globals.push_back({"g_hcnt", 8, 0});
+    m.globals.push_back({"g_nameidx", 8, 0});
+    m.globals.push_back({"g_done", 8 * 64, 0});
+}
+
+} // namespace
+
+Workload
+buildTpccNo(Scale s)
+{
+    const Params p = paramsFor(s);
+    const unsigned threads = 8;
+    Module m;
+    pushGlobals(m);
+    emitInit(m, p);
+
+    FunctionBuilder f(m, "worker", 1);
+    const Reg tid = f.param(0);
+    const Reg wh = f.load(f.globalAddr("g_wh"));
+    const Reg dist = f.load(f.globalAddr("g_dist"));
+    const Reg item = f.load(f.globalAddr("g_item"));
+    const Reg stock = f.load(f.globalAddr("g_stock"));
+    const Reg ol = f.load(f.globalAddr("g_ol"));
+    const std::int64_t ol_stride = p.maxLines + 2;
+
+    f.forRangeI(0, p.txPerThread, [&](Reg n) {
+        const Reg w = f.randI(p.warehouses);
+        const Reg d = f.randI(p.districts);
+        // Orders are mostly small with an occasional bulk order — the
+        // bulk tail is what brushes against P8's capacity.
+        const Reg lines = f.freshVar();
+        f.set(lines, f.addI(f.randI(10), 5));
+        f.ifThen(f.cmpLtI(f.randI(100), 5), [&] {
+            f.set(lines, f.addI(lines, p.maxLines - 14));
+        });
+        f.txBegin();
+        const Reg wtax = f.load(f.gep(wh, f.mulI(w, 8), 8));
+        const Reg total = f.freshVar();
+        f.set(total, wtax);
+        const Reg order_base =
+            f.mulI(f.add(f.mulI(tid, p.txPerThread), n), ol_stride);
+        f.forRange(f.constI(0), lines, [&](Reg i) {
+            const Reg it = f.randI(p.items);
+            const Reg irow = f.gep(item, f.mulI(it, 4), 8);
+            // Item catalog lookups: read-only, statically safe.
+            const Reg price = f.load(f.gep(irow, f.constI(1), 8));
+            const Reg idata = f.load(f.gep(irow, f.constI(2), 8));
+            f.set(total, f.add(total, f.add(price, idata)));
+            // Stock decrement (scattered unsafe read+write).
+            const Reg srow = f.gep(
+                stock, f.mulI(f.add(f.mulI(w, p.items), it), 2), 8);
+            const Reg q = f.load(srow);
+            f.store(srow, f.subI(q, 1));
+            // Order line append: fresh per-order blocks.
+            const Reg slot = f.add(order_base, i);
+            f.store(f.gep(ol, slot, 16, 0), it);
+            f.store(f.gep(ol, slot, 16, 8), price);
+        });
+        // Order header, then the district order counter — the conflict
+        // hotspot — touched last to keep its window short.
+        const Reg hdr = f.add(order_base, f.constI(p.maxLines));
+        f.store(f.gep(ol, hdr, 16, 0), total);
+        f.store(f.gep(ol, hdr, 16, 8), n);
+        const Reg drow =
+            f.gep(dist, f.mulI(f.add(f.mulI(w, p.districts), d), 4), 8);
+        f.store(drow, f.addI(f.load(drow), 1));
+        f.txEnd();
+    });
+    f.store(f.gep(f.globalAddr("g_done"), tid, 64), f.constI(1));
+    f.retVoid();
+    m.threadFunc = f.finish();
+
+    return Workload{"tpcc-no", std::move(m), threads};
+}
+
+Workload
+buildTpccP(Scale s)
+{
+    const Params p = paramsFor(s);
+    const unsigned threads = 8;
+    Module m;
+    pushGlobals(m);
+    emitInit(m, p);
+
+    FunctionBuilder f(m, "worker", 1);
+    const Reg tid = f.param(0);
+    const Reg wh = f.load(f.globalAddr("g_wh"));
+    const Reg info = f.load(f.globalAddr("g_info"));
+    const Reg dist = f.load(f.globalAddr("g_dist"));
+    const Reg cust = f.load(f.globalAddr("g_cust"));
+    const Reg hist = f.load(f.globalAddr("g_hist"));
+
+    f.forRangeI(0, p.txPerThread, [&](Reg n) {
+        const Reg w = f.randI(p.warehouses);
+        const Reg d = f.randI(p.districts);
+        const Reg amount = f.addI(f.randI(500), 1);
+        const Reg by_name = f.cmpLtI(f.randI(100), 4); // 4% name scans
+        f.txBegin();
+        // Read-only warehouse metadata (the small static-safe slice).
+        const Reg tax1 = f.load(f.gep(info, f.mulI(w, 16), 8));
+        const Reg tax2 = f.load(f.gep(info, f.mulI(w, 16), 8, 8));
+
+        // Customer selection: usually direct, occasionally a last-name
+        // scan over many rows (the capacity tail).
+        const Reg cid = f.freshVar();
+        f.set(cid, f.randI(p.customers));
+        f.ifThen(by_name, [&] {
+            // Scan the read-only last-name index: a large footprint that
+            // HinTM classifies safe, eliminating the capacity tail.
+            const Reg nameidx = f.load(f.globalAddr("g_nameidx"));
+            const Reg bucket = f.modI(cid, 32);
+            const Reg cursor = f.freshVar();
+            f.set(cursor, cid);
+            f.forRangeI(0, p.scanLen, [&](Reg) {
+                const Reg b = f.load(f.gep(nameidx, cursor, 8));
+                f.ifThen(f.cmpEq(b, bucket), [&] { f.set(cid, cursor); });
+                f.set(cursor,
+                      f.modI(f.addI(cursor, 17), p.customers));
+            });
+        });
+        const Reg crow = f.gep(cust, f.mulI(cid, 8), 8);
+        f.store(crow, f.sub(f.load(crow), amount));
+        f.store(f.gep(crow, f.constI(2), 8),
+                f.add(tax1, tax2));
+
+        // History append into a per-thread region (the usual TPC-C
+        // trick: the history table has no primary key, so every
+        // implementation partitions the inserts).
+        const Reg hslot =
+            f.add(f.mulI(tid, p.txPerThread + 1), n);
+        f.store(f.gep(hist, hslot, 16, 0), amount);
+        f.store(f.gep(hist, hslot, 16, 8), n);
+
+        // Hot YTD updates last: warehouse then district. Touching the
+        // contended rows at the end shortens the conflict window but
+        // still produces payment's conflict-dominated abort mix.
+        const Reg wrow = f.gep(wh, f.mulI(w, 8), 8, 8);
+        f.store(wrow, f.add(f.load(wrow), amount));
+        const Reg drow = f.gep(
+            dist, f.mulI(f.add(f.mulI(w, p.districts), d), 4), 8, 8);
+        f.store(drow, f.add(f.load(drow), amount));
+        f.txEnd();
+    });
+    f.store(f.gep(f.globalAddr("g_done"), tid, 64), f.constI(1));
+    f.retVoid();
+    m.threadFunc = f.finish();
+
+    return Workload{"tpcc-p", std::move(m), threads};
+}
+
+} // namespace workloads
+} // namespace hintm

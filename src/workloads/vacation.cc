@@ -1,0 +1,164 @@
+/**
+ * @file
+ * vacation: travel reservation system (STAMP). Client sessions issue a
+ * variable number of queries against shared reservation tables
+ * (cars/flights/rooms) with hash-chain probing, reserving in roughly
+ * 60% of queries. Long sessions put the TX footprint past P8's 64
+ * blocks for a small tail of TXs — the paper's 2% — while the heavy
+ * write traffic to table pages makes most pages read-write shared,
+ * which is exactly what drives vacation's outlier page-mode abort cost
+ * under HinTM-dyn. A small per-TX stack scratchpad provides the 2-3%
+ * statically-safe accesses the paper reports.
+ */
+
+#include "workloads.hh"
+
+#include "tir/builder.hh"
+
+namespace hintm
+{
+namespace workloads
+{
+
+using tir::FunctionBuilder;
+using tir::Module;
+using tir::Reg;
+
+namespace
+{
+
+struct Params
+{
+    std::int64_t records;   ///< rows per table (3 tables)
+    std::int64_t customers;
+    std::int64_t sessions;  ///< TXs per thread
+    std::int64_t minQ;
+    std::int64_t maxQ;
+    std::int64_t probeHops;
+};
+
+Params
+paramsFor(Scale s)
+{
+    switch (s) {
+      case Scale::Tiny: return {512, 128, 12, 2, 6, 2};
+      case Scale::Small: return {4096, 1024, 130, 6, 21, 3};
+      case Scale::Large: return {8192, 2048, 170, 8, 40, 4};
+    }
+    return {};
+}
+
+} // namespace
+
+Workload
+buildVacation(Scale s)
+{
+    const Params p = paramsFor(s);
+    const unsigned threads = 8;
+    const std::int64_t row = 4; // words per record
+
+    Module m;
+    m.globals.push_back({"g_tables", 8, 0});
+    m.globals.push_back({"g_cust", 8, 0});
+    m.globals.push_back({"g_sold", 8 * 64, 0});
+
+    {
+        FunctionBuilder f(m, "init", 0);
+        const Reg tabs =
+            f.mallocI(std::uint64_t(3 * p.records * row) * 8);
+        f.forRangeI(0, 3 * p.records, [&](Reg r) {
+            const Reg base = f.gep(tabs, f.mulI(r, row), 8);
+            f.store(f.gep(base, f.constI(0), 8), r);             // key
+            f.storeI(f.gep(base, f.constI(1), 8), 100);          // avail
+            f.store(f.gep(base, f.constI(2), 8),
+                    f.addI(f.randI(400), 50));                   // price
+            f.storeI(f.gep(base, f.constI(3), 8), 0);            // sold
+        });
+        f.store(f.globalAddr("g_tables"), tabs);
+
+        const Reg cust = f.mallocI(std::uint64_t(p.customers * row) * 8);
+        f.forRangeI(0, p.customers * row,
+                    [&](Reg i) { f.storeI(f.gep(cust, i, 8), 0); });
+        f.store(f.globalAddr("g_cust"), cust);
+        f.retVoid();
+        m.initFunc = f.finish();
+    }
+
+    {
+        FunctionBuilder f(m, "worker", 1);
+        const Reg tid = f.param(0);
+        const Reg tabs = f.load(f.globalAddr("g_tables"));
+        const Reg cust = f.load(f.globalAddr("g_cust"));
+        const Reg sold = f.freshVar();
+        f.setI(sold, 0);
+
+        f.forRangeI(0, p.sessions, [&](Reg) {
+            const Reg q =
+                f.addI(f.randI(p.maxQ - p.minQ), p.minQ);
+            const Reg cid = f.randI(p.customers);
+            f.txBegin();
+            // Session scratchpad on the stack: the statically-safe
+            // sliver (captured, TX-local, initializing stores). The
+            // entries are block-strided, so a handful of safe accesses
+            // covers twelve tracking entries — the paper's explanation
+            // for why 2-3% static-safe accesses halve vacation's
+            // capacity aborts ("safe accesses are to unique cache
+            // blocks, while unsafe accesses have high spatio-temporal
+            // locality").
+            const Reg plan = f.allocaBytes(12 * 64);
+            f.forRangeI(0, 12, [&](Reg i) {
+                f.store(f.gep(plan, i, 64), i);
+            });
+            const Reg spent = f.freshVar();
+            f.setI(spent, 0);
+            f.forRange(f.constI(0), q, [&](Reg) {
+                const Reg t = f.randI(3);
+                const Reg idx = f.freshVar();
+                f.set(idx, f.randI(p.records));
+                // Hash-chain probe across the table.
+                f.forRangeI(0, p.probeHops, [&](Reg) {
+                    const Reg rec = f.gep(
+                        tabs,
+                        f.mulI(f.add(f.mulI(t, p.records), idx), row), 8);
+                    const Reg key = f.load(rec);
+                    f.set(idx,
+                          f.modI(f.add(f.mulI(idx, 5), f.addI(key, 7)),
+                                 p.records));
+                });
+                const Reg rec = f.gep(
+                    tabs, f.mulI(f.add(f.mulI(t, p.records), idx), row),
+                    8);
+                const Reg avail = f.load(f.gep(rec, f.constI(1), 8));
+                const Reg price = f.load(f.gep(rec, f.constI(2), 8));
+                const Reg want = f.randI(10);
+                f.ifThen(f.andOp(f.cmpLtI(want, 6),
+                                 f.cmpLtI(f.constI(0), avail)),
+                         [&] {
+                             // Reserve: decrement availability, charge
+                             // the customer.
+                             f.store(f.gep(rec, f.constI(1), 8),
+                                     f.subI(avail, 1));
+                             const Reg srec =
+                                 f.gep(rec, f.constI(3), 8);
+                             f.store(srec, f.addI(f.load(srec), 1));
+                             f.set(spent, f.add(spent, price));
+                         });
+            });
+            const Reg crec = f.gep(cust, f.mulI(cid, row), 8);
+            f.store(crec, f.add(f.load(crec), spent));
+            // Read one plan summary slot back (safe load).
+            const Reg chk = f.load(f.gep(plan, f.modI(spent, 12), 64));
+            (void)chk;
+            f.txEnd();
+            f.set(sold, f.addI(sold, 1));
+        });
+        f.store(f.gep(f.globalAddr("g_sold"), tid, 64), sold);
+        f.retVoid();
+        m.threadFunc = f.finish();
+    }
+
+    return Workload{"vacation", std::move(m), threads};
+}
+
+} // namespace workloads
+} // namespace hintm

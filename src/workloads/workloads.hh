@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The transactional workload suite (§V): TxIR re-implementations of the
+ * STAMP kernels plus TPC-C's new_order and payment queries, engineered to
+ * reproduce each application's published memory behaviour — TX footprint
+ * distribution, thread-private scratchpads, sharing pattern and conflict
+ * profile. See DESIGN.md for the substitution rationale.
+ *
+ * Scales: Tiny is for unit tests; Small drives the P8 experiments
+ * (Fig. 1/4/5/6); Large adds footprint pressure for the P8S and L1TM
+ * studies (Fig. 7/8), mirroring the paper's use of larger inputs there.
+ */
+
+#ifndef HINTM_WORKLOADS_WORKLOADS_HH
+#define HINTM_WORKLOADS_WORKLOADS_HH
+
+#include <string>
+#include <vector>
+
+#include "tir/ir.hh"
+
+namespace hintm
+{
+namespace workloads
+{
+
+enum class Scale : std::uint8_t
+{
+    Tiny,
+    Small,
+    Large,
+};
+
+/** A ready-to-compile workload. */
+struct Workload
+{
+    std::string name;
+    tir::Module module;
+    /** Worker threads the paper deploys (4 for genome/yada, else 8). */
+    unsigned threads = 8;
+};
+
+Workload buildBayes(Scale s);
+Workload buildGenome(Scale s);
+Workload buildIntruder(Scale s);
+Workload buildKmeans(Scale s);
+Workload buildLabyrinth(Scale s);
+Workload buildSsca2(Scale s);
+Workload buildVacation(Scale s);
+Workload buildYada(Scale s);
+Workload buildTpccNo(Scale s);
+Workload buildTpccP(Scale s);
+
+/** Every workload name, in the paper's presentation order. */
+const std::vector<std::string> &allNames();
+
+/** Build a workload by name; fatals on unknown names. */
+Workload byName(const std::string &name, Scale s);
+
+} // namespace workloads
+} // namespace hintm
+
+#endif // HINTM_WORKLOADS_WORKLOADS_HH

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * yada: Delaunay mesh refinement (STAMP), 4 threads per the paper.
+ * Worklist of bad triangles popped in a tiny TX; the refinement TX
+ * gathers a cavity by chasing neighbor links through the shared
+ * triangle store (scattered unsafe reads), consults a registry-published
+ * per-thread geometry cache (dynamic-safe reads, opaque to the static
+ * pass), and appends new triangles into a slot range pre-reserved by a
+ * small counter TX so the append itself stays conflict-free.
+ */
+
+#include "workloads.hh"
+
+#include "tir/builder.hh"
+
+namespace hintm
+{
+namespace workloads
+{
+
+using tir::FunctionBuilder;
+using tir::Module;
+using tir::Reg;
+
+namespace
+{
+
+struct Params
+{
+    std::int64_t triangles;   ///< initial mesh size
+    std::int64_t spareSlots;  ///< growth room for appends
+    std::int64_t work;        ///< refinement items
+    std::int64_t cavity;      ///< shared reads per refinement
+    std::int64_t cacheWords;  ///< private geometry cache
+    std::int64_t cacheReads;  ///< private reads per refinement
+    std::int64_t newTris;     ///< triangles appended per refinement
+};
+
+Params
+paramsFor(Scale s)
+{
+    switch (s) {
+      case Scale::Tiny: return {256, 512, 16, 8, 1024, 12, 4};
+      case Scale::Small: return {4096, 24576, 1400, 26, 8192, 70, 6};
+      case Scale::Large: return {8192, 49152, 2000, 34, 16384, 110, 8};
+    }
+    return {};
+}
+
+} // namespace
+
+Workload
+buildYada(Scale s)
+{
+    const Params p = paramsFor(s);
+    const unsigned threads = 4;
+    const std::int64_t row = 4; // words per triangle
+
+    Module m;
+    m.globals.push_back({"g_tri", 8, 0});
+    m.globals.push_back({"g_tcnt", 8, 0});
+    m.globals.push_back({"g_work", 8, 0});
+    m.globals.push_back({"g_whead", 8, 0});
+    m.globals.push_back({"g_registry", 8 * 8, 0});
+    m.globals.push_back({"g_refined", 8 * 64, 0});
+
+    {
+        FunctionBuilder f(m, "init", 0);
+        const Reg tri = f.mallocI(
+            std::uint64_t((p.triangles + p.spareSlots) * row) * 8);
+        f.forRangeI(0, p.triangles, [&](Reg i) {
+            const Reg base = f.gep(tri, f.mulI(i, row), 8);
+            f.store(f.gep(base, f.constI(0), 8), f.randI(1 << 16));
+            f.store(f.gep(base, f.constI(1), 8), f.randI(p.triangles));
+            f.store(f.gep(base, f.constI(2), 8), f.randI(p.triangles));
+            f.storeI(f.gep(base, f.constI(3), 8), 0);
+        });
+        f.store(f.globalAddr("g_tri"), tri);
+        f.store(f.globalAddr("g_tcnt"), f.constI(p.triangles));
+
+        const Reg work = f.mallocI(std::uint64_t(p.work) * 8);
+        f.forRangeI(0, p.work, [&](Reg i) {
+            f.store(f.gep(work, i, 8), f.randI(p.triangles));
+        });
+        f.store(f.globalAddr("g_work"), work);
+        f.storeI(f.globalAddr("g_whead"), 0);
+        f.retVoid();
+        m.initFunc = f.finish();
+    }
+
+    {
+        FunctionBuilder f(m, "worker", 1);
+        const Reg tid = f.param(0);
+        const Reg tri = f.load(f.globalAddr("g_tri"));
+        const Reg work = f.load(f.globalAddr("g_work"));
+
+        const Reg cache = f.mallocI(std::uint64_t(p.cacheWords) * 8);
+        f.store(f.gep(f.globalAddr("g_registry"), tid, 8), cache);
+        f.forRangeI(0, p.cacheWords, [&](Reg i) {
+            f.store(f.gep(cache, i, 8), f.randI(1 << 16));
+        });
+
+        const Reg refined = f.freshVar();
+        f.setI(refined, 0);
+        const Reg local = f.freshVar();
+        f.setI(local, 0);
+        const Reg running = f.freshVar();
+        f.setI(running, 1);
+        f.whileLoop([&] { return running; }, [&] {
+            // Pop a work item in a tiny TX; new triangles go into a
+            // per-thread slice of the spare region, so the append never
+            // touches a shared counter and spare pages stay single-
+            // writer (mesh codes commonly partition allocation this
+            // way).
+            const Reg h = f.freshVar();
+            f.txBegin();
+            const Reg whead = f.globalAddr("g_whead");
+            f.set(h, f.load(whead));
+            f.store(whead, f.addI(h, 1));
+            f.txEnd();
+            const Reg slot = f.add(
+                f.constI(p.triangles),
+                f.add(f.mulI(tid, p.spareSlots / 4),
+                      f.mul(local, f.constI(p.newTris))));
+            f.ifThenElse(
+                f.cmpGe(h, f.constI(p.work)),
+                [&] { f.setI(running, 0); },
+                [&] {
+                    const Reg seed = f.load(f.gep(work, h, 8));
+                    f.txBegin();
+                    // Gather the cavity: chase neighbor links through
+                    // the shared triangle store.
+                    const Reg cur = f.freshVar();
+                    f.set(cur, seed);
+                    const Reg acc = f.freshVar();
+                    f.setI(acc, 0);
+                    f.forRangeI(0, p.cavity, [&](Reg) {
+                        const Reg base = f.gep(tri, f.mulI(cur, row), 8);
+                        const Reg qual = f.load(base);
+                        const Reg n1 =
+                            f.load(f.gep(base, f.constI(1), 8));
+                        f.set(acc, f.add(acc, qual));
+                        f.set(cur, f.modI(f.addI(n1, 1),
+                                          p.triangles));
+                    });
+                    // Geometry recomputation against the private cache.
+                    f.forRangeI(0, p.cacheReads, [&](Reg) {
+                        const Reg idx = f.randI(p.cacheWords);
+                        f.set(acc,
+                              f.add(acc, f.load(f.gep(cache, idx, 8))));
+                    });
+                    // Retriangulate: append into the reserved slots.
+                    f.forRangeI(0, p.newTris, [&](Reg i) {
+                        const Reg base = f.gep(
+                            tri, f.mulI(f.add(slot, i), row), 8);
+                        f.store(f.gep(base, f.constI(0), 8), acc);
+                        f.store(f.gep(base, f.constI(1), 8), seed);
+                        f.store(f.gep(base, f.constI(2), 8), cur);
+                        f.store(f.gep(base, f.constI(3), 8), h);
+                    });
+                    // Mark the seed triangle refined.
+                    f.store(f.gep(tri, f.mulI(seed, row), 8, 24),
+                            f.constI(1));
+                    f.txEnd();
+                    f.set(refined, f.addI(refined, 1));
+                    f.set(local, f.addI(local, 1));
+                });
+        });
+        f.store(f.gep(f.globalAddr("g_refined"), tid, 64), refined);
+        f.retVoid();
+        m.threadFunc = f.finish();
+    }
+
+    return Workload{"yada", std::move(m), threads};
+}
+
+} // namespace workloads
+} // namespace hintm

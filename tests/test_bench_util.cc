@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for the benchmark-harness plumbing: argument parsing, reduction
+ * and geomean math, and the prepare/run round trip.
+ */
+
+#include <gtest/gtest.h>
+
+#include "../bench/bench_util.hh"
+
+using namespace hintm;
+using bench::BenchArgs;
+
+namespace
+{
+
+BenchArgs
+parse(std::vector<const char *> argv)
+{
+    argv.insert(argv.begin(), "bench");
+    return BenchArgs::parse(int(argv.size()),
+                            const_cast<char **>(argv.data()));
+}
+
+} // namespace
+
+TEST(BenchArgs, Defaults)
+{
+    const BenchArgs a = parse({});
+    EXPECT_EQ(a.scale, workloads::Scale::Small);
+    EXPECT_FALSE(a.scaleExplicit);
+    EXPECT_FALSE(a.preserve);
+    EXPECT_EQ(a.names(), workloads::allNames());
+}
+
+TEST(BenchArgs, ExplicitScaleAndWorkloads)
+{
+    const BenchArgs a =
+        parse({"--large", "--workload", "genome", "--workload", "yada",
+               "--preserve"});
+    EXPECT_EQ(a.scale, workloads::Scale::Large);
+    EXPECT_TRUE(a.scaleExplicit);
+    EXPECT_TRUE(a.preserve);
+    EXPECT_EQ(a.names(),
+              (std::vector<std::string>{"genome", "yada"}));
+}
+
+TEST(BenchArgs, UnknownArgumentFatals)
+{
+    EXPECT_THROW(parse({"--bogus"}), std::runtime_error);
+}
+
+TEST(BenchMath, Reduction)
+{
+    EXPECT_DOUBLE_EQ(bench::reduction(100, 40), 0.6);
+    EXPECT_DOUBLE_EQ(bench::reduction(100, 0), 1.0);
+    EXPECT_DOUBLE_EQ(bench::reduction(0, 5), 0.0);   // no baseline
+    EXPECT_DOUBLE_EQ(bench::reduction(10, 20), 0.0); // regression clamps
+}
+
+TEST(BenchMath, Geomean)
+{
+    EXPECT_DOUBLE_EQ(bench::geomean({2.0, 8.0}), 4.0);
+    EXPECT_DOUBLE_EQ(bench::geomean({}), 0.0);
+    EXPECT_NEAR(bench::geomean({1.0, 1.0, 8.0}), 2.0, 1e-9);
+    // Non-positive entries are ignored rather than poisoning the mean.
+    EXPECT_DOUBLE_EQ(bench::geomean({0.0, 4.0}), 4.0);
+}
+
+TEST(BenchMath, SpeedupFormat)
+{
+    EXPECT_EQ(bench::speedupStr(2.984), "2.98x");
+    EXPECT_EQ(bench::speedupStr(1.0), "1.00x");
+}
+
+TEST(BenchPrepare, CompilesAndRuns)
+{
+    const bench::PreparedWorkload p =
+        bench::prepare("kmeans", workloads::Scale::Tiny);
+    EXPECT_EQ(p.wl.name, "kmeans");
+    EXPECT_GT(p.compileReport.totalLoads, 0u);
+
+    core::SystemOptions opts;
+    const sim::RunResult r = bench::run(p, opts);
+    EXPECT_GT(r.committedTxs, 0u);
+}

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Unit tests for the common infrastructure: address helpers, RNG
+ * determinism, statistics (counters, distributions, CDF/quantiles) and
+ * the text-table formatter.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "common/types.hh"
+
+using namespace hintm;
+
+TEST(Types, BlockAndPageMath)
+{
+    EXPECT_EQ(blockAlign(0), 0u);
+    EXPECT_EQ(blockAlign(63), 0u);
+    EXPECT_EQ(blockAlign(64), 64u);
+    EXPECT_EQ(blockAlign(130), 128u);
+    EXPECT_EQ(blockNumber(128), 2u);
+    EXPECT_EQ(pageAlign(4095), 0u);
+    EXPECT_EQ(pageAlign(4096), 4096u);
+    EXPECT_EQ(pageNumber(8191), 1u);
+    EXPECT_EQ(pageOffset(4100), 4u);
+}
+
+TEST(Types, PowerOfTwoHelpers)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(64));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_EQ(log2i(1), 0u);
+    EXPECT_EQ(log2i(64), 6u);
+    EXPECT_EQ(log2i(4096), 12u);
+}
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i) {
+        const auto va = a.next();
+        EXPECT_EQ(va, b.next());
+        (void)c.next();
+    }
+    Rng a2(42), c2(43);
+    EXPECT_NE(a2.next(), c2.next());
+}
+
+TEST(Rng, BoundsRespected)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(r.below(17), 17u);
+        const auto v = r.range(5, 9);
+        EXPECT_GE(v, 5u);
+        EXPECT_LE(v, 9u);
+        const double d = r.uniform();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+}
+
+TEST(Rng, ChanceRoughlyCalibrated)
+{
+    Rng r(123);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += r.chance(0.25);
+    EXPECT_NEAR(hits, 2500, 200);
+}
+
+TEST(Stats, CounterBasics)
+{
+    stats::Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.value(), 6u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, DistributionMoments)
+{
+    stats::Distribution d(1, 64);
+    for (std::uint64_t v : {1, 2, 3, 4, 5})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 5u);
+    EXPECT_EQ(d.sum(), 15u);
+    EXPECT_EQ(d.min(), 1u);
+    EXPECT_EQ(d.max(), 5u);
+    EXPECT_DOUBLE_EQ(d.mean(), 3.0);
+}
+
+TEST(Stats, DistributionCdf)
+{
+    stats::Distribution d(1, 128);
+    for (std::uint64_t v = 0; v < 100; ++v)
+        d.sample(v);
+    EXPECT_NEAR(d.cdfAt(49), 0.5, 0.01);
+    EXPECT_DOUBLE_EQ(d.cdfAt(99), 1.0);
+    EXPECT_NEAR(double(d.quantile(0.5)), 50.0, 2.0);
+    EXPECT_EQ(d.quantile(1.0), 99u);
+}
+
+TEST(Stats, DistributionOverflowBucket)
+{
+    stats::Distribution d(1, 4);
+    d.sample(100);
+    EXPECT_EQ(d.overflow(), 1u);
+    EXPECT_EQ(d.max(), 100u);
+    EXPECT_DOUBLE_EQ(d.cdfAt(3), 0.0);
+}
+
+TEST(Stats, DistributionBucketWidth)
+{
+    stats::Distribution d(10, 10);
+    d.sample(5);
+    d.sample(15);
+    d.sample(95);
+    EXPECT_NEAR(d.cdfAt(9), 1.0 / 3, 1e-9);
+    EXPECT_NEAR(d.cdfAt(19), 2.0 / 3, 1e-9);
+}
+
+TEST(Stats, GroupDump)
+{
+    stats::StatGroup g("top");
+    ++g.counter("hits");
+    g.counter("misses") += 3;
+    stats::StatGroup child("sub");
+    ++child.counter("x");
+    g.addChild(&child);
+
+    std::ostringstream os;
+    g.dump(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("top.hits 1"), std::string::npos);
+    EXPECT_NE(s.find("top.misses 3"), std::string::npos);
+    EXPECT_NE(s.find("top.sub.x 1"), std::string::npos);
+
+    g.reset();
+    EXPECT_EQ(g.counter("hits").value(), 0u);
+    EXPECT_EQ(child.counter("x").value(), 0u);
+}
+
+TEST(Table, AlignsColumns)
+{
+    TextTable t;
+    t.header({"a", "bb"});
+    t.row({"xxx", "y"});
+    std::ostringstream os;
+    os << t;
+    const std::string s = os.str();
+    EXPECT_NE(s.find("xxx"), std::string::npos);
+    EXPECT_NE(s.find("---"), std::string::npos);
+    EXPECT_EQ(TextTable::num(1.234, 2), "1.23");
+    EXPECT_EQ(TextTable::pct(0.5, 1), "50.0%");
+}

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Tests for the two explicit hint mechanisms layered on top of HinTM's
+ * automatic classification (§VII): suspend/resume escape actions
+ * (accesses in the window are neither tracked nor versioned) and
+ * Notary-style page annotations (programmer-declared thread-private
+ * regions honored with or without the dynamic mechanism).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hintm.hh"
+#include "tir/builder.hh"
+#include "tir/verifier.hh"
+#include "vm/page_table.hh"
+#include "vm/vm.hh"
+
+using namespace hintm;
+using tir::FunctionBuilder;
+using tir::Module;
+using tir::Reg;
+
+namespace
+{
+
+/** One TX over a large buffer; hint style selected by flags. */
+Module
+bigTxModule(bool suspend_window, bool annotate)
+{
+    Module m;
+    m.globals.push_back({"out", 8 * 64, 0});
+    FunctionBuilder f(m, "worker", 1);
+    const Reg tid = f.param(0);
+    const Reg buf = f.mallocI(1024 * 8); // 128 blocks
+    // Publish so automatic static analysis cannot prove privacy.
+    m.globals.push_back({"registry", 8 * 8, 0});
+    f.store(f.gep(f.globalAddr("registry"), tid, 8), buf);
+    f.forRangeI(0, 1024, [&](Reg i) {
+        f.store(f.gep(buf, i, 8), i);
+    });
+    if (annotate)
+        f.annotateSafe(buf, f.constI(1024 * 8));
+
+    f.txBegin();
+    if (suspend_window)
+        f.txSuspend();
+    const Reg acc = f.freshVar();
+    f.setI(acc, 0);
+    f.forRangeI(0, 1024, [&](Reg i) {
+        f.set(acc, f.add(acc, f.load(f.gep(buf, i, 8))));
+    });
+    if (suspend_window)
+        f.txResume();
+    f.store(f.gep(f.globalAddr("out"), tid, 8), acc);
+    f.txEnd();
+    f.freePtr(buf);
+    f.retVoid();
+    m.threadFunc = f.finish();
+    return m;
+}
+
+} // namespace
+
+TEST(Verifier, SuspendResumePairingEnforced)
+{
+    {
+        Module m;
+        FunctionBuilder f(m, "worker", 1);
+        f.txBegin();
+        f.txSuspend();
+        f.txEnd(); // while suspended: invalid
+        f.retVoid();
+        m.threadFunc = f.finish();
+        const auto err = tir::verify(m);
+        ASSERT_TRUE(err.has_value());
+        EXPECT_NE(err->find("suspended"), std::string::npos);
+    }
+    {
+        Module m;
+        FunctionBuilder f(m, "worker", 1);
+        f.txBegin();
+        f.txResume(); // no suspend
+        f.txEnd();
+        f.retVoid();
+        m.threadFunc = f.finish();
+        EXPECT_TRUE(tir::verify(m).has_value());
+    }
+    {
+        Module m;
+        FunctionBuilder f(m, "worker", 1);
+        f.txSuspend(); // outside TX
+        f.retVoid();
+        m.threadFunc = f.finish();
+        EXPECT_TRUE(tir::verify(m).has_value());
+    }
+}
+
+TEST(Escape, SuspendedAccessesAreNotTracked)
+{
+    Module m = bigTxModule(/*suspend_window=*/true, /*annotate=*/false);
+    ASSERT_FALSE(tir::verify(m).has_value());
+
+    core::SystemOptions opts;
+    opts.htmKind = htm::HtmKind::P8;
+    const sim::RunResult r = core::simulate(opts, m, 4);
+    // 128 untracked blocks: no capacity aborts, everything commits.
+    EXPECT_EQ(r.htm.aborts[unsigned(htm::AbortReason::Capacity)], 0u);
+    EXPECT_EQ(r.fallbackRuns, 0u);
+    EXPECT_GT(r.txAccessesSuspended, 4000u);
+    for (int t = 0; t < 4; ++t)
+        EXPECT_EQ(r.finalGlobals.at("out")[std::size_t(t)],
+                  1024 * 1023 / 2);
+}
+
+TEST(Escape, WithoutWindowTheSameTxOverflows)
+{
+    Module m = bigTxModule(false, false);
+    core::SystemOptions opts;
+    opts.htmKind = htm::HtmKind::P8;
+    const sim::RunResult r = core::simulate(opts, m, 4);
+    EXPECT_GT(r.htm.aborts[unsigned(htm::AbortReason::Capacity)], 0u);
+    EXPECT_GT(r.fallbackRuns, 0u);
+}
+
+TEST(Escape, SuspendedStoresSurviveAborts)
+{
+    // A suspended store persists across a rollback (it is
+    // non-transactional), unlike a tracked store.
+    Module m;
+    m.globals.push_back({"side", 8 * 64, 0});
+    m.globals.push_back({"data", 8, 0});
+    FunctionBuilder f(m, "worker", 1);
+    const Reg tid = f.param(0);
+    f.txBegin();
+    f.txSuspend();
+    // Per-thread block-strided slot: suspended accesses are plain
+    // (racy) memory, so a shared counter would lose increments.
+    const Reg s = f.gep(f.globalAddr("side"), tid, 64);
+    f.store(s, f.addI(f.load(s), 1)); // counts attempts, not commits
+    f.txResume();
+    const Reg d = f.globalAddr("data");
+    f.store(d, f.addI(f.load(d), 1)); // transactional: counts commits
+    f.txEnd();
+    f.retVoid();
+    m.threadFunc = f.finish();
+    ASSERT_FALSE(tir::verify(m).has_value());
+
+    core::SystemOptions opts;
+    opts.htmKind = htm::HtmKind::P8;
+    const sim::RunResult r = core::simulate(opts, m, 8);
+    EXPECT_EQ(r.finalGlobals.at("data")[0], 8);
+    // Attempts >= commits per thread; totals can only exceed 8 when
+    // aborts re-ran the suspended window.
+    long long attempts = 0;
+    for (int t = 0; t < 8; ++t) {
+        const long long a = r.finalGlobals.at("side")[std::size_t(t) * 8];
+        EXPECT_GE(a, 1) << "thread " << t;
+        attempts += a;
+    }
+    EXPECT_GE(attempts, 8);
+}
+
+TEST(Annotation, PageTableStateIsSticky)
+{
+    vm::PageTable pt;
+    pt.annotateRange(0x10000, 3 * pageBytes);
+    EXPECT_TRUE(pt.hasAnnotations());
+    EXPECT_EQ(pt.stateOf(0x10000), vm::PageState::Annotated);
+    EXPECT_EQ(pt.stateOf(0x10000 + 2 * pageBytes),
+              vm::PageState::Annotated);
+    // Touches never transition an annotated page.
+    for (ThreadId t = 0; t < 4; ++t) {
+        const auto tr = pt.touch(t, 0x10000, AccessType::Write);
+        EXPECT_EQ(tr.after, vm::PageState::Annotated);
+        EXPECT_FALSE(tr.becameUnsafe);
+    }
+}
+
+TEST(Annotation, HonoredWithoutDynamicMechanism)
+{
+    vm::VmConfig cfg;
+    cfg.dynamicClassification = false;
+    vm::Vm vm(cfg);
+    const int c = vm.addContext();
+    vm.pageTable().annotateRange(0x20000, pageBytes);
+
+    auto r = vm.translate(c, 0, 0x20000, AccessType::Read);
+    EXPECT_TRUE(r.safeRead);
+    EXPECT_FALSE(r.revocable);
+    // Unannotated pages stay unsafe.
+    r = vm.translate(c, 0, 0x40000, AccessType::Read);
+    EXPECT_FALSE(r.safeRead);
+    // Writes are never safe, annotation or not.
+    r = vm.translate(c, 0, 0x20000, AccessType::Write);
+    EXPECT_FALSE(r.safeRead);
+}
+
+TEST(Annotation, NotaryModeFixesCapacityWithoutDynFsm)
+{
+    Module m = bigTxModule(false, /*annotate=*/true);
+    ASSERT_FALSE(tir::verify(m).has_value());
+
+    // Baseline without annotation consumption: overflows.
+    core::SystemOptions base;
+    base.htmKind = htm::HtmKind::P8;
+    const sim::RunResult rb = core::simulate(base, m, 4);
+    EXPECT_GT(rb.htm.aborts[unsigned(htm::AbortReason::Capacity)], 0u);
+
+    // Notary mode: annotations honored, no page FSM, no shootdowns.
+    core::SystemOptions notary = base;
+    notary.notaryAnnotations = true;
+    const sim::RunResult rn = core::simulate(notary, m, 4);
+    EXPECT_EQ(rn.htm.aborts[unsigned(htm::AbortReason::Capacity)], 0u);
+    EXPECT_GT(rn.txReadsAnnotated, 4000u);
+    EXPECT_EQ(rn.pageModeOverheadCycles, 0u);
+    EXPECT_LT(rn.cycles, rb.cycles);
+
+    // Under full HinTM the annotation is honored too (and bypasses the
+    // FSM, so no page-mode aborts arise from the annotated region).
+    core::SystemOptions full = base;
+    full.mechanism = core::Mechanism::Full;
+    const sim::RunResult rf = core::simulate(full, m, 4);
+    EXPECT_EQ(rf.htm.aborts[unsigned(htm::AbortReason::Capacity)], 0u);
+    EXPECT_GT(rf.txReadsAnnotated, 4000u);
+}

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Unit tests for the memory hierarchy: cache geometry, tag array and LRU
+ * replacement (including transactional pinning), MESI state transitions
+ * across the snoop bus, latency accounting, and listener notification
+ * rules (bus-wide vs SMT-sibling).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mem/cache_array.hh"
+#include "mem/mem_system.hh"
+
+using namespace hintm;
+using namespace hintm::mem;
+
+namespace
+{
+
+/** Records every event it sees. */
+struct RecordingListener : SnoopListener
+{
+    struct Remote
+    {
+        Addr block;
+        AccessType type;
+        ContextId from;
+    };
+    std::vector<Remote> remote;
+    std::vector<Addr> evictions;
+
+    void
+    onRemoteAccess(Addr block, AccessType type, ContextId from) override
+    {
+        remote.push_back({block, type, from});
+    }
+
+    void
+    onEviction(Addr block, bool) override
+    {
+        evictions.push_back(block);
+    }
+};
+
+MemConfig
+smallConfig()
+{
+    MemConfig c;
+    c.l1SizeBytes = 1024; // 2 sets x 8 ways
+    c.l1Assoc = 8;
+    c.l2SizeBytes = 16 * 1024;
+    return c;
+}
+
+} // namespace
+
+TEST(Geometry, IndexTagRoundTrip)
+{
+    CacheGeometry g(32 * 1024, 8);
+    EXPECT_EQ(g.numSets(), 64u);
+    EXPECT_EQ(g.numLines(), 512u);
+    for (Addr a : {Addr(0), Addr(0x12340), Addr(0xFFFFC0)}) {
+        const Addr block = blockAlign(a);
+        EXPECT_EQ(g.blockAddrOf(g.tagOf(block), g.indexOf(block)), block);
+    }
+}
+
+TEST(CacheArray, HitMissAndLru)
+{
+    CacheArray arr(CacheGeometry(256, 2)); // 2 sets x 2 ways
+    EXPECT_EQ(arr.lookup(0), nullptr);
+    arr.insert(0, CoherState::Shared);
+    EXPECT_NE(arr.lookup(0), nullptr);
+
+    // Fill set 0 (same index: stride = 128).
+    arr.insert(128, CoherState::Shared);
+    // Touch 0 so 128 becomes LRU; next insert evicts 128.
+    arr.lookup(0);
+    const Eviction ev = arr.insert(256, CoherState::Shared);
+    EXPECT_TRUE(ev.happened);
+    EXPECT_EQ(ev.blockAddr, 128u);
+    EXPECT_FALSE(ev.dirty);
+    EXPECT_NE(arr.probe(0), nullptr);
+    EXPECT_EQ(arr.probe(128), nullptr);
+}
+
+TEST(CacheArray, DirtyEviction)
+{
+    CacheArray arr(CacheGeometry(128, 1)); // direct mapped, 2 sets
+    arr.insert(0, CoherState::Modified);
+    const Eviction ev = arr.insert(128, CoherState::Shared);
+    EXPECT_TRUE(ev.happened);
+    EXPECT_TRUE(ev.dirty);
+}
+
+TEST(CacheArray, InvalidatedLineIsReusedFirst)
+{
+    CacheArray arr(CacheGeometry(256, 2));
+    arr.insert(0, CoherState::Shared);
+    arr.insert(128, CoherState::Shared);
+    arr.invalidate(0);
+    const Eviction ev = arr.insert(256, CoherState::Shared);
+    EXPECT_FALSE(ev.happened); // reused the invalid way
+    EXPECT_NE(arr.probe(128), nullptr);
+}
+
+TEST(CacheArray, PinnedLinesEvictedLast)
+{
+    CacheArray arr(CacheGeometry(256, 2));
+    arr.insert(0, CoherState::Shared);   // will be pinned
+    arr.insert(128, CoherState::Shared); // unpinned
+    arr.lookup(0); // make the pinned line MRU-irrelevant: pin wins anyway
+    arr.lookup(128);
+    CacheArray::PinPredicate pin = [](Addr a) { return a == 0; };
+    Eviction ev = arr.insert(256, CoherState::Shared, &pin);
+    EXPECT_TRUE(ev.happened);
+    EXPECT_EQ(ev.blockAddr, 128u); // despite 128 being more recent
+
+    // Now both resident lines (0 and 256) — pin both: eviction must fall
+    // back to a pinned victim.
+    CacheArray::PinPredicate pin_all = [](Addr) { return true; };
+    ev = arr.insert(384, CoherState::Shared, &pin_all);
+    EXPECT_TRUE(ev.happened);
+}
+
+TEST(CacheArray, CountValidAndSweep)
+{
+    CacheArray arr(CacheGeometry(512, 4));
+    arr.insert(0, CoherState::Exclusive);
+    arr.insert(64, CoherState::Modified);
+    EXPECT_EQ(arr.countValid(), 2u);
+    unsigned seen = 0;
+    arr.forEachValid([&](Addr, CacheLine &) { ++seen; });
+    EXPECT_EQ(seen, 2u);
+}
+
+TEST(MemSystem, LatencyTiers)
+{
+    MemorySystem ms(smallConfig(), 2);
+    const ContextId c0 = ms.addContext(0);
+
+    // Cold: L1 miss + L2 miss -> memory.
+    auto r = ms.access(c0, 0x1000, AccessType::Read);
+    EXPECT_FALSE(r.l1Hit);
+    EXPECT_EQ(r.latency, 3u + 12u + 100u);
+
+    // Warm: L1 hit.
+    r = ms.access(c0, 0x1000, AccessType::Read);
+    EXPECT_TRUE(r.l1Hit);
+    EXPECT_EQ(r.latency, 3u);
+}
+
+TEST(MemSystem, MesiReadSharing)
+{
+    MemorySystem ms(smallConfig(), 2);
+    const ContextId c0 = ms.addContext(0);
+    const ContextId c1 = ms.addContext(1);
+
+    ms.access(c0, 0x40, AccessType::Read);
+    EXPECT_EQ(ms.probeL1(c0, 0x40)->state, CoherState::Exclusive);
+
+    ms.access(c1, 0x40, AccessType::Read);
+    EXPECT_EQ(ms.probeL1(c0, 0x40)->state, CoherState::Shared);
+    EXPECT_EQ(ms.probeL1(c1, 0x40)->state, CoherState::Shared);
+}
+
+TEST(MemSystem, MesiWriteInvalidates)
+{
+    MemorySystem ms(smallConfig(), 2);
+    const ContextId c0 = ms.addContext(0);
+    const ContextId c1 = ms.addContext(1);
+
+    ms.access(c0, 0x40, AccessType::Read);
+    ms.access(c1, 0x40, AccessType::Write);
+    EXPECT_EQ(ms.probeL1(c0, 0x40), nullptr); // invalidated
+    EXPECT_EQ(ms.probeL1(c1, 0x40)->state, CoherState::Modified);
+}
+
+TEST(MemSystem, SilentUpgradeFromExclusive)
+{
+    MemorySystem ms(smallConfig(), 2);
+    const ContextId c0 = ms.addContext(0);
+    ms.addContext(1);
+
+    ms.access(c0, 0x40, AccessType::Read); // E
+    const auto r = ms.access(c0, 0x40, AccessType::Write);
+    EXPECT_TRUE(r.l1Hit);
+    EXPECT_EQ(r.latency, 3u); // silent E->M
+    EXPECT_EQ(ms.probeL1(c0, 0x40)->state, CoherState::Modified);
+}
+
+TEST(MemSystem, UpgradeFromSharedCostsBus)
+{
+    MemorySystem ms(smallConfig(), 2);
+    const ContextId c0 = ms.addContext(0);
+    const ContextId c1 = ms.addContext(1);
+
+    ms.access(c0, 0x40, AccessType::Read);
+    ms.access(c1, 0x40, AccessType::Read); // both Shared
+    const auto r = ms.access(c0, 0x40, AccessType::Write);
+    EXPECT_TRUE(r.l1Hit);
+    EXPECT_EQ(r.latency, 3u + smallConfig().upgradeLatency);
+    EXPECT_EQ(ms.probeL1(c1, 0x40), nullptr);
+}
+
+TEST(MemSystem, BusNotifiesAllButRequester)
+{
+    MemorySystem ms(smallConfig(), 3);
+    RecordingListener l0, l1, l2;
+    const ContextId c0 = ms.addContext(0);
+    const ContextId c1 = ms.addContext(1);
+    const ContextId c2 = ms.addContext(2);
+    ms.setListener(c0, &l0);
+    ms.setListener(c1, &l1);
+    ms.setListener(c2, &l2);
+
+    ms.access(c0, 0x80, AccessType::Write);
+    EXPECT_TRUE(l0.remote.empty());
+    ASSERT_EQ(l1.remote.size(), 1u);
+    EXPECT_EQ(l1.remote[0].block, 0x80u);
+    EXPECT_EQ(l1.remote[0].type, AccessType::Write);
+    EXPECT_EQ(l1.remote[0].from, c0);
+    EXPECT_EQ(l2.remote.size(), 1u);
+}
+
+TEST(MemSystem, SiblingSeesEvenL1Hits)
+{
+    MemorySystem ms(smallConfig(), 1);
+    RecordingListener l0, l1;
+    const ContextId c0 = ms.addContext(0);
+    const ContextId c1 = ms.addContext(0); // SMT sibling, same L1
+    ms.setListener(c0, &l0);
+    ms.setListener(c1, &l1);
+
+    ms.access(c0, 0x40, AccessType::Read); // miss: sibling + bus
+    ms.access(c0, 0x40, AccessType::Read); // hit: sibling only
+    EXPECT_EQ(l1.remote.size(), 2u);
+    EXPECT_TRUE(l0.remote.empty());
+}
+
+TEST(MemSystem, EvictionNotifiesSharers)
+{
+    MemConfig cfg = smallConfig(); // 2 sets x 8 ways
+    MemorySystem ms(cfg, 1);
+    RecordingListener l0;
+    const ContextId c0 = ms.addContext(0);
+    ms.setListener(c0, &l0);
+
+    // Fill one set (stride 128 = 2 sets * 64B) past associativity.
+    for (Addr i = 0; i <= 8; ++i)
+        ms.access(c0, i * 128, AccessType::Read);
+    ASSERT_EQ(l0.evictions.size(), 1u);
+    EXPECT_EQ(l0.evictions[0], 0u); // LRU victim was the first block
+}
+
+TEST(MemSystem, DirtyPeerSuppliesAndL2Catches)
+{
+    MemorySystem ms(smallConfig(), 2);
+    const ContextId c0 = ms.addContext(0);
+    const ContextId c1 = ms.addContext(1);
+
+    ms.access(c0, 0x40, AccessType::Write); // M in c0
+    ms.access(c1, 0x40, AccessType::Read);  // c0 downgrades, wb to L2
+    EXPECT_EQ(ms.probeL1(c0, 0x40)->state, CoherState::Shared);
+    EXPECT_GE(ms.statGroup().counter("writebacks").value(), 1u);
+}

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Property-based tests: randomized sweeps asserting system invariants
+ * rather than example-specific values.
+ *
+ *  - MESI single-writer invariant over random access traces;
+ *  - page-FSM monotonicity (safety never resurrects) over random
+ *    multi-thread access sequences;
+ *  - signature completeness (no false negatives) over random sets;
+ *  - end-to-end serializability: a shared counter workload commits
+ *    exactly its increment count under every (seed, HTM, mechanism)
+ *    combination;
+ *  - determinism: identical (seed, config) runs produce identical cycle
+ *    counts and final memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hh"
+#include "core/hintm.hh"
+#include "htm/signature.hh"
+#include "mem/mem_system.hh"
+#include "tir/builder.hh"
+#include "vm/page_table.hh"
+#include "workloads/workloads.hh"
+
+using namespace hintm;
+
+namespace
+{
+
+/** Verify MESI invariants across all L1 copies of every block. */
+void
+checkMesi(mem::MemorySystem &ms, const std::vector<mem::ContextId> &ctxs,
+          const std::vector<Addr> &blocks)
+{
+    for (const Addr b : blocks) {
+        unsigned valid = 0, exclusive_like = 0;
+        for (const auto c : ctxs) {
+            const mem::CacheLine *line = ms.probeL1(c, b);
+            if (!line)
+                continue;
+            ++valid;
+            if (line->state == mem::CoherState::Modified ||
+                line->state == mem::CoherState::Exclusive)
+                ++exclusive_like;
+        }
+        // M/E implies sole ownership.
+        if (exclusive_like > 0) {
+            EXPECT_EQ(exclusive_like, 1u) << "block " << b;
+            EXPECT_EQ(valid, 1u) << "block " << b;
+        }
+    }
+}
+
+} // namespace
+
+class MesiProperty : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(MesiProperty, SingleWriterInvariantHoldsUnderRandomTraffic)
+{
+    Rng rng(GetParam());
+    mem::MemConfig cfg;
+    cfg.l1SizeBytes = 2048;
+    cfg.l1Assoc = 4;
+    mem::MemorySystem ms(cfg, 4);
+    std::vector<mem::ContextId> ctxs;
+    for (unsigned i = 0; i < 4; ++i)
+        ctxs.push_back(ms.addContext(i));
+
+    std::vector<Addr> blocks;
+    for (unsigned i = 0; i < 32; ++i)
+        blocks.push_back(Addr(i) * 64);
+
+    for (unsigned step = 0; step < 2000; ++step) {
+        const auto c = ctxs[rng.below(ctxs.size())];
+        const Addr b = blocks[rng.below(blocks.size())];
+        const AccessType t =
+            rng.chance(0.4) ? AccessType::Write : AccessType::Read;
+        ms.access(c, b, t);
+        if (step % 50 == 0)
+            checkMesi(ms, ctxs, blocks);
+    }
+    checkMesi(ms, ctxs, blocks);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MesiProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+class PageFsmProperty
+    : public ::testing::TestWithParam<std::tuple<unsigned, bool>>
+{
+};
+
+TEST_P(PageFsmProperty, SafetyIsMonotonicallyRevoked)
+{
+    const auto [seed, preserve] = GetParam();
+    Rng rng(seed);
+    vm::PageTable pt(preserve);
+
+    std::map<Addr, bool> was_unsafe;
+    for (unsigned step = 0; step < 5000; ++step) {
+        const ThreadId tid = ThreadId(rng.below(4));
+        const Addr addr = rng.below(16) * pageBytes;
+        const AccessType t =
+            rng.chance(0.3) ? AccessType::Write : AccessType::Read;
+        const auto tr = pt.touch(tid, addr, t);
+
+        // A page that ever became unsafe must stay shared-rw forever.
+        bool &unsafe = was_unsafe[pageNumber(addr)];
+        if (unsafe) {
+            EXPECT_EQ(tr.after, vm::PageState::SharedRw);
+            EXPECT_FALSE(tr.becameUnsafe); // fires at most once
+        }
+        if (tr.becameUnsafe) {
+            EXPECT_FALSE(unsafe);
+            unsafe = true;
+        }
+        // becameUnsafe if and only if safe -> shared-rw edge.
+        EXPECT_EQ(tr.becameUnsafe,
+                  vm::pageStateSafe(tr.before) &&
+                      tr.after == vm::PageState::SharedRw &&
+                      tr.before != vm::PageState::Untouched);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndPolicies, PageFsmProperty,
+    ::testing::Combine(::testing::Values(11u, 22u, 33u, 44u),
+                       ::testing::Bool()));
+
+class SignatureProperty
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(SignatureProperty, NeverForgetsAnInsertedAddress)
+{
+    const auto [bits, seed] = GetParam();
+    Rng rng(seed);
+    htm::Signature sig(bits, 2);
+    std::vector<Addr> inserted;
+    for (unsigned i = 0; i < 500; ++i) {
+        const Addr a = blockAlign(rng.below(1 << 24));
+        sig.insert(a);
+        inserted.push_back(a);
+        // Every inserted address still tests positive.
+        for (unsigned k = 0; k < 5; ++k) {
+            const Addr probe = inserted[rng.below(inserted.size())];
+            EXPECT_TRUE(sig.test(probe));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthsAndSeeds, SignatureProperty,
+    ::testing::Combine(::testing::Values(128u, 1024u, 4096u),
+                       ::testing::Values(7u, 8u)));
+
+namespace
+{
+
+tir::Module
+counterModule(int iters)
+{
+    tir::Module m;
+    m.globals.push_back({"counter", 8, 0});
+    tir::FunctionBuilder tf(m, "worker", 1);
+    tf.forRangeI(0, iters, [&](tir::Reg) {
+        tf.txBegin();
+        const tir::Reg g = tf.globalAddr("counter");
+        tf.store(g, tf.addI(tf.load(g), 1));
+        tf.txEnd();
+    });
+    tf.retVoid();
+    m.threadFunc = tf.finish();
+    return m;
+}
+
+} // namespace
+
+class SerializabilityProperty
+    : public ::testing::TestWithParam<
+          std::tuple<unsigned, htm::HtmKind, core::Mechanism>>
+{
+};
+
+TEST_P(SerializabilityProperty, CounterNeverLosesIncrements)
+{
+    const auto [seed, kind, mech] = GetParam();
+    tir::Module m = counterModule(40);
+    core::compileHints(m);
+
+    core::SystemOptions opts;
+    opts.htmKind = kind;
+    opts.mechanism = mech;
+    opts.seed = seed;
+    opts.validateSafeStores = true;
+    const sim::RunResult r = core::simulate(opts, m, 8);
+    EXPECT_EQ(r.finalGlobals.at("counter")[0], 8 * 40);
+    EXPECT_EQ(r.committedTxs, 8u * 40u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SerializabilityProperty,
+    ::testing::Combine(
+        ::testing::Values(101u, 202u, 303u),
+        ::testing::Values(htm::HtmKind::P8, htm::HtmKind::P8S,
+                          htm::HtmKind::L1TM),
+        ::testing::Values(core::Mechanism::Baseline,
+                          core::Mechanism::Full)));
+
+class DeterminismProperty : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(DeterminismProperty, IdenticalSeedsProduceIdenticalRuns)
+{
+    workloads::Workload w1 =
+        workloads::byName(GetParam(), workloads::Scale::Tiny);
+    workloads::Workload w2 =
+        workloads::byName(GetParam(), workloads::Scale::Tiny);
+    core::compileHints(w1.module);
+    core::compileHints(w2.module);
+
+    core::SystemOptions opts;
+    opts.mechanism = core::Mechanism::Full;
+    opts.seed = 12345;
+    const sim::RunResult r1 = core::simulate(opts, w1.module, w1.threads);
+    const sim::RunResult r2 = core::simulate(opts, w2.module, w2.threads);
+    EXPECT_EQ(r1.cycles, r2.cycles);
+    EXPECT_EQ(r1.instructions, r2.instructions);
+    EXPECT_EQ(r1.htm.commits, r2.htm.commits);
+    EXPECT_EQ(r1.finalGlobals, r2.finalGlobals);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, DeterminismProperty,
+                         ::testing::ValuesIn(workloads::allNames()));

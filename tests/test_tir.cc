@@ -1,0 +1,508 @@
+/**
+ * @file
+ * Unit tests for TxIR: builder/verifier well-formedness rules, the
+ * interpreter's arithmetic/control/call semantics, memory and allocator
+ * behavior (per-thread arenas), and the transactional functional layer
+ * (checkpoint, undo, rollback, deferred frees, safe-store validation).
+ */
+
+#include <gtest/gtest.h>
+
+#include "tir/address_space.hh"
+#include "tir/allocator.hh"
+#include "tir/builder.hh"
+#include "tir/interp.hh"
+#include "tir/verifier.hh"
+
+using namespace hintm;
+using namespace hintm::tir;
+
+namespace
+{
+
+/** Drive a single thread functionally until Done; returns instrs run. */
+std::uint64_t
+runToCompletion(ThreadInterp &ti)
+{
+    while (true) {
+        const Step st = ti.next();
+        switch (st.kind) {
+          case StepKind::Mem:
+            ti.completeMem();
+            break;
+          case StepKind::TxBegin:
+            ti.enterTx(true);
+            break;
+          case StepKind::TxEnd:
+            ti.completeTxEnd();
+            break;
+          case StepKind::Barrier:
+            ti.passBarrier();
+            break;
+          case StepKind::Annotate:
+            ti.passAnnotate();
+            break;
+          case StepKind::Done:
+            return ti.instrCount();
+          case StepKind::Simple:
+            break;
+        }
+    }
+}
+
+} // namespace
+
+TEST(AddressSpace, ReadZeroWriteReadBack)
+{
+    AddressSpace as;
+    EXPECT_EQ(as.read(0x1000), 0);
+    as.write(0x1000, 42);
+    EXPECT_EQ(as.read(0x1000), 42);
+    as.write(0x1008, -7);
+    EXPECT_EQ(as.read(0x1008), -7);
+    EXPECT_EQ(as.pageCount(), 1u);
+}
+
+TEST(AddressSpace, MisalignedAccessPanics)
+{
+    AddressSpace as;
+    EXPECT_THROW(as.read(0x1001), std::logic_error);
+    EXPECT_THROW(as.write(0x1004, 1), std::logic_error);
+    EXPECT_THROW(as.read(0), std::logic_error);
+}
+
+TEST(Allocator, ArenasAreDisjointPerThread)
+{
+    Allocator a(3);
+    const Addr p0 = a.alloc(0, 100);
+    const Addr p1 = a.alloc(1, 100);
+    EXPECT_NE(pageNumber(p0), pageNumber(p1));
+    EXPECT_GE(p1, layout::arenasBase + layout::arenaStride);
+}
+
+TEST(Allocator, FreeListReuse)
+{
+    Allocator a(1);
+    const Addr p = a.alloc(0, 64);
+    a.release(p);
+    EXPECT_EQ(a.alloc(0, 64), p);
+    EXPECT_EQ(a.liveBytes(), 64u);
+}
+
+TEST(Allocator, SizeTrackingAndErrors)
+{
+    Allocator a(1);
+    const Addr p = a.alloc(0, 24);
+    EXPECT_EQ(a.sizeOf(p), 24u);
+    a.release(p);
+    EXPECT_EQ(a.sizeOf(p), 0u);
+    EXPECT_THROW(a.release(p), std::logic_error); // double free
+}
+
+TEST(Verifier, AcceptsMinimalModule)
+{
+    Module m;
+    FunctionBuilder f(m, "worker", 1);
+    f.retVoid();
+    m.threadFunc = f.finish();
+    EXPECT_FALSE(verify(m).has_value());
+}
+
+TEST(Verifier, RejectsMissingTerminator)
+{
+    Module m;
+    Function fn;
+    fn.name = "bad";
+    fn.numRegs = 1;
+    fn.blocks.emplace_back();
+    Instr c;
+    c.op = Opcode::Const;
+    c.dst = 0;
+    fn.blocks[0].instrs.push_back(c); // no terminator
+    m.functions.push_back(fn);
+    const auto err = verify(m);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("terminator"), std::string::npos);
+}
+
+TEST(Verifier, RejectsBadRegister)
+{
+    Module m;
+    Function fn;
+    fn.name = "bad";
+    fn.numRegs = 1;
+    fn.blocks.emplace_back();
+    Instr mv;
+    mv.op = Opcode::Mov;
+    mv.dst = 0;
+    mv.a = 5; // out of range
+    fn.blocks[0].instrs.push_back(mv);
+    Instr ret;
+    ret.op = Opcode::Ret;
+    fn.blocks[0].instrs.push_back(ret);
+    m.functions.push_back(fn);
+    EXPECT_TRUE(verify(m).has_value());
+}
+
+TEST(Verifier, RejectsNestedTx)
+{
+    Module m;
+    FunctionBuilder f(m, "worker", 1);
+    f.txBegin();
+    f.txBegin();
+    f.txEnd();
+    f.txEnd();
+    f.retVoid();
+    m.threadFunc = f.finish();
+    const auto err = verify(m);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("nested"), std::string::npos);
+}
+
+TEST(Verifier, RejectsBarrierInsideTx)
+{
+    Module m;
+    FunctionBuilder f(m, "worker", 1);
+    f.txBegin();
+    f.barrier();
+    f.txEnd();
+    f.retVoid();
+    m.threadFunc = f.finish();
+    EXPECT_TRUE(verify(m).has_value());
+}
+
+TEST(Verifier, RejectsTxCallingTxFunction)
+{
+    Module m;
+    {
+        FunctionBuilder g(m, "inner", 0);
+        g.txBegin();
+        g.txEnd();
+        g.retVoid();
+        g.finish();
+    }
+    FunctionBuilder f(m, "worker", 1);
+    f.txBegin();
+    f.callVoid("inner", {});
+    f.txEnd();
+    f.retVoid();
+    m.threadFunc = f.finish();
+    const auto err = verify(m);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("TX-beginning"), std::string::npos);
+}
+
+TEST(Interp, ArithmeticAndControlFlow)
+{
+    // Compute sum of 0..9 and gcd-ish mixing; store to a global.
+    Module m;
+    m.globals.push_back({"out", 8, 0});
+    FunctionBuilder f(m, "worker", 1);
+    const Reg acc = f.freshVar();
+    f.setI(acc, 0);
+    f.forRangeI(0, 10, [&](Reg i) { f.set(acc, f.add(acc, i)); });
+    const Reg mixed = f.xorOp(f.shlI(acc, 1), f.modI(acc, 7));
+    f.store(f.globalAddr("out"), mixed);
+    f.retVoid();
+    m.threadFunc = f.finish();
+    ASSERT_FALSE(verify(m).has_value());
+
+    Program prog(m, 1);
+    ThreadInterp ti(prog, 0, m.threadFunc, {0});
+    runToCompletion(ti);
+    // sum = 45; (45 << 1) ^ (45 % 7) = 90 ^ 3 = 89.
+    EXPECT_EQ(prog.space().read(prog.globalAddrByName("out")), 89);
+}
+
+TEST(Interp, CallsReturnValuesAndRecursion)
+{
+    Module m;
+    m.globals.push_back({"out", 8, 0});
+    declareFunction(m, "fib", 1);
+    {
+        FunctionBuilder f(m, "fib", 1);
+        const Reg n = f.param(0);
+        const Reg r = f.freshVar();
+        f.ifThenElse(
+            f.cmpLtI(n, 2), [&] { f.set(r, n); },
+            [&] {
+                const Reg a = f.call("fib", {f.subI(n, 1)});
+                const Reg b = f.call("fib", {f.subI(n, 2)});
+                f.set(r, f.add(a, b));
+            });
+        f.ret(r);
+        f.finish();
+    }
+    FunctionBuilder f(m, "worker", 1);
+    f.store(f.globalAddr("out"), f.call("fib", {f.constI(10)}));
+    f.retVoid();
+    m.threadFunc = f.finish();
+    ASSERT_FALSE(verify(m).has_value());
+
+    Program prog(m, 1);
+    ThreadInterp ti(prog, 0, m.threadFunc, {0});
+    runToCompletion(ti);
+    EXPECT_EQ(prog.space().read(prog.globalAddrByName("out")), 55);
+}
+
+TEST(Interp, AllocaStackDisciplineAcrossCalls)
+{
+    Module m;
+    m.globals.push_back({"out", 8, 0});
+    {
+        FunctionBuilder g(m, "leaf", 0);
+        const Reg s = g.allocaBytes(64);
+        g.storeI(s, 7);
+        g.ret(g.load(s));
+        g.finish();
+    }
+    FunctionBuilder f(m, "worker", 1);
+    const Reg a = f.allocaBytes(8);
+    f.storeI(a, 1);
+    const Reg v1 = f.call("leaf", {});
+    const Reg v2 = f.call("leaf", {});
+    // Both calls reuse the same stack region; outer slot is untouched.
+    f.store(f.globalAddr("out"),
+            f.add(f.load(a), f.add(v1, v2)));
+    f.retVoid();
+    m.threadFunc = f.finish();
+
+    Program prog(m, 1);
+    ThreadInterp ti(prog, 0, m.threadFunc, {0});
+    runToCompletion(ti);
+    EXPECT_EQ(prog.space().read(prog.globalAddrByName("out")), 15);
+}
+
+TEST(Interp, RollbackRestoresRegistersMemoryAndHeap)
+{
+    Module m;
+    m.globals.push_back({"g", 8, 0});
+    FunctionBuilder f(m, "worker", 1);
+    const Reg gaddr = f.globalAddr("g");
+    f.storeI(gaddr, 5);
+    const Reg v = f.freshVar();
+    f.setI(v, 1);
+    f.txBegin();
+    f.set(v, f.constI(99));
+    f.store(gaddr, f.constI(77));
+    const Reg h = f.mallocI(64);
+    f.storeI(h, 3);
+    f.txEnd();
+    f.store(gaddr, v);
+    f.retVoid();
+    m.threadFunc = f.finish();
+
+    Program prog(m, 1);
+    ThreadInterp ti(prog, 0, m.threadFunc, {0});
+    const std::uint64_t live0 = prog.allocator().liveBytes();
+
+    // Step to TxBegin, enter, run the body up to TxEnd, then abort.
+    Step st;
+    while ((st = ti.next()).kind != StepKind::TxBegin)
+        ti.completeMem();
+    ti.enterTx(true);
+    while ((st = ti.next()).kind == StepKind::Mem)
+        ti.completeMem();
+    ASSERT_EQ(st.kind, StepKind::TxEnd);
+    EXPECT_EQ(prog.space().read(prog.globalAddrByName("g")), 77);
+    EXPECT_GT(prog.allocator().liveBytes(), live0);
+
+    ti.undoStores();          // the controller's abort hook
+    ti.rollbackToTxBegin();   // thread-side completion
+    EXPECT_EQ(prog.space().read(prog.globalAddrByName("g")), 5);
+    EXPECT_EQ(prog.allocator().liveBytes(), live0); // TX malloc released
+
+    // Retry: the next step is TxBegin again; run to completion.
+    st = ti.next();
+    ASSERT_EQ(st.kind, StepKind::TxBegin);
+    ti.enterTx(true);
+    runToCompletion(ti);
+    EXPECT_EQ(prog.space().read(prog.globalAddrByName("g")), 99);
+}
+
+TEST(Interp, DeferredFreeAppliedOnCommitOnly)
+{
+    Module m;
+    m.globals.push_back({"p", 8, 0});
+    FunctionBuilder f(m, "worker", 1);
+    const Reg h = f.mallocI(64);
+    f.store(f.globalAddr("p"), h);
+    f.txBegin();
+    f.freePtr(h);
+    f.txEnd();
+    f.retVoid();
+    m.threadFunc = f.finish();
+
+    Program prog(m, 1);
+    ThreadInterp ti(prog, 0, m.threadFunc, {0});
+    Step st;
+    while ((st = ti.next()).kind != StepKind::TxBegin)
+        ti.completeMem();
+    ti.enterTx(true);
+    st = ti.next();
+    ASSERT_EQ(st.kind, StepKind::TxEnd);
+    EXPECT_GT(prog.allocator().liveBytes(), 0u); // free deferred
+    ti.completeTxEnd();
+    EXPECT_EQ(prog.allocator().liveBytes(), 0u); // applied at commit
+    runToCompletion(ti);
+}
+
+TEST(Interp, SafeStoreValidationCatchesNonInitializing)
+{
+    // A "safe" store whose location is read before being rewritten on
+    // retry must trip the validation check.
+    Module m;
+    m.globals.push_back({"g", 8, 0});
+    FunctionBuilder f(m, "worker", 1);
+    const Reg buf = f.mallocI(64);
+    f.txBegin();
+    // Read-before-write: on retry this load sees the stale safe store.
+    const Reg stale = f.load(buf, 0);
+    f.store(buf, f.addI(stale, 1), 0);
+    f.txEnd();
+    f.retVoid();
+    m.threadFunc = f.finish();
+
+    // Manually mark the store instruction safe.
+    for (auto &fn : m.functions) {
+        for (auto &bb : fn.blocks) {
+            for (auto &ins : bb.instrs) {
+                if (ins.op == Opcode::Store)
+                    ins.safe = true;
+            }
+        }
+    }
+
+    Program prog(m, 1);
+    prog.validateSafeStores = true;
+    ThreadInterp ti(prog, 0, m.threadFunc, {0});
+    Step st;
+    while ((st = ti.next()).kind != StepKind::TxBegin)
+        ti.completeMem();
+    ti.enterTx(true);
+    while ((st = ti.next()).kind == StepKind::Mem)
+        ti.completeMem();
+    // Abort at TxEnd; the safe store's target is now stale.
+    ti.undoStores();
+    ti.rollbackToTxBegin();
+    st = ti.next();
+    ASSERT_EQ(st.kind, StepKind::TxBegin);
+    ti.enterTx(true);
+    st = ti.next();
+    ASSERT_EQ(st.kind, StepKind::Mem);
+    EXPECT_THROW(ti.completeMem(), std::logic_error);
+}
+
+TEST(Interp, RandIsPerThreadDeterministic)
+{
+    Module m;
+    m.globals.push_back({"out", 8 * 8, 0});
+    FunctionBuilder f(m, "worker", 1);
+    const Reg tid = f.param(0);
+    f.store(f.gep(f.globalAddr("out"), tid, 8), f.randI(1000000));
+    f.retVoid();
+    m.threadFunc = f.finish();
+
+    auto run = [&](unsigned seed) {
+        Program prog(m, 2, seed);
+        ThreadInterp t0(prog, 0, m.threadFunc, {0});
+        ThreadInterp t1(prog, 1, m.threadFunc, {1});
+        runToCompletion(t0);
+        runToCompletion(t1);
+        const Addr base = prog.globalAddrByName("out");
+        return std::pair(prog.space().read(base),
+                         prog.space().read(base + 8));
+    };
+    const auto [a0, a1] = run(1);
+    const auto [b0, b1] = run(1);
+    const auto [c0, c1] = run(2);
+    EXPECT_EQ(a0, b0);
+    EXPECT_EQ(a1, b1);
+    EXPECT_NE(a0, a1);    // different thread streams
+    EXPECT_NE(a0, c0);    // different seeds
+    (void)c1;
+}
+
+TEST(Interp, ModulePrinterMentionsEverything)
+{
+    Module m;
+    m.globals.push_back({"out", 8, 0});
+    FunctionBuilder f(m, "worker", 1);
+    f.txBegin();
+    f.store(f.globalAddr("out"), f.constI(1));
+    f.txEnd();
+    f.retVoid();
+    m.threadFunc = f.finish();
+    const std::string s = m.print();
+    EXPECT_NE(s.find("fn worker"), std::string::npos);
+    EXPECT_NE(s.find("txbegin"), std::string::npos);
+    EXPECT_NE(s.find("global @out"), std::string::npos);
+}
+
+TEST(Interp, DivisionByZeroPanics)
+{
+    Module m;
+    m.globals.push_back({"out", 8, 0});
+    FunctionBuilder f(m, "worker", 1);
+    f.store(f.globalAddr("out"), f.div(f.constI(1), f.param(0)));
+    f.retVoid();
+    m.threadFunc = f.finish();
+    Program prog(m, 1);
+    ThreadInterp ti(prog, 0, m.threadFunc, {0});
+    EXPECT_THROW(runToCompletion(ti), std::logic_error);
+}
+
+TEST(Interp, ShiftAmountsAreMasked)
+{
+    Module m;
+    m.globals.push_back({"out", 8 * 2, 0});
+    FunctionBuilder f(m, "worker", 1);
+    // 1 << 65 == 1 << 1 under 6-bit masking; >> is logical.
+    f.store(f.globalAddr("out"),
+            f.shl(f.constI(1), f.constI(65)));
+    f.store(f.globalAddr("out"),
+            f.shrI(f.constI(-1), 60), 8);
+    f.retVoid();
+    m.threadFunc = f.finish();
+    Program prog(m, 1);
+    ThreadInterp ti(prog, 0, m.threadFunc, {0});
+    runToCompletion(ti);
+    EXPECT_EQ(prog.space().read(prog.globalAddrByName("out")), 2);
+    EXPECT_EQ(prog.space().read(prog.globalAddrByName("out") + 8), 15);
+}
+
+TEST(Interp, DeepRecursionIsBounded)
+{
+    Module m;
+    declareFunction(m, "down", 1);
+    {
+        FunctionBuilder f(m, "down", 1);
+        const Reg n = f.param(0);
+        const Reg r = f.freshVar();
+        f.ifThenElse(f.cmpLtI(n, 1), [&] { f.setI(r, 0); },
+                     [&] { f.set(r, f.call("down", {f.subI(n, 1)})); });
+        f.ret(r);
+        f.finish();
+    }
+    FunctionBuilder f(m, "worker", 1);
+    f.callVoid("down", {f.constI(10000)});
+    f.retVoid();
+    m.threadFunc = f.finish();
+    Program prog(m, 1);
+    ThreadInterp ti(prog, 0, m.threadFunc, {0});
+    // The 512-frame guard fires rather than exhausting host memory.
+    EXPECT_THROW(runToCompletion(ti), std::logic_error);
+}
+
+TEST(Interp, StackOverflowDetected)
+{
+    Module m;
+    FunctionBuilder f(m, "worker", 1);
+    // 2MB thread stacks: a 4MB alloca must trip the guard.
+    f.allocaBytes(4 * 1024 * 1024);
+    f.retVoid();
+    m.threadFunc = f.finish();
+    Program prog(m, 1);
+    ThreadInterp ti(prog, 0, m.threadFunc, {0});
+    EXPECT_THROW(runToCompletion(ti), std::logic_error);
+}

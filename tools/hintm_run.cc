@@ -1,0 +1,252 @@
+/**
+ * @file
+ * hintm_run: general-purpose command-line driver. Runs any workload of
+ * the suite under any system configuration and prints a full report —
+ * timing, abort breakdown, classification mix, footprint percentiles,
+ * page statistics — plus optional gem5-style raw stat dumps.
+ *
+ * Examples:
+ *   hintm_run --workload labyrinth --mech full
+ *   hintm_run --workload vacation --htm p8s --scale large --preserve
+ *   hintm_run --workload genome --mech dyn --cores 4 --smt 2 --htm l1tm
+ *   hintm_run --list
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/trace.hh"
+#include "core/hintm.hh"
+#include "workloads/workloads.hh"
+
+using namespace hintm;
+
+namespace
+{
+
+[[noreturn]] void
+usage(int code)
+{
+    std::printf(
+        "usage: hintm_run [options]\n"
+        "  --workload NAME     workload to run (--list to enumerate)\n"
+        "  --scale S           tiny | small | large (default small)\n"
+        "  --htm KIND          p8 | p8s | l1tm | infcap (default p8)\n"
+        "  --mech M            baseline | static | dyn | full "
+        "(default full)\n"
+        "  --threads N         override the workload's thread count\n"
+        "  --cores N           physical cores (default 8)\n"
+        "  --smt N             hardware contexts per core (default 1)\n"
+        "  --seed N            RNG seed (default 1)\n"
+        "  --buffer N          TX buffer entries (default 64)\n"
+        "  --signature N       signature bits for p8s (default 1024)\n"
+        "  --retries N         transient-abort retries (default 8)\n"
+        "  --preserve          preserve-read-only page policy\n"
+        "  --notary            honor programmer page annotations\n"
+        "  --preabort          convert capacity overflows to critical "
+        "sections\n"
+        "  --policy P          conflict loser: attacker | requester\n"
+        "  --validate          check safe-store initializing property\n"
+        "  --profile           collect Fig.1-style sharing metrics\n"
+        "  --cdf               collect TX footprint CDFs\n"
+        "  --stats             dump raw memory/VM statistics\n"
+        "  --trace CATS        trace categories (tx,htm,vm,mem,sched|all)\n"
+        "  --list              list workloads and exit\n");
+    std::exit(code);
+}
+
+std::uint64_t
+parseNum(const char *s)
+{
+    return std::strtoull(s, nullptr, 0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload;
+    workloads::Scale scale = workloads::Scale::Small;
+    core::SystemOptions opts;
+    opts.mechanism = core::Mechanism::Full;
+    unsigned threads_override = 0;
+    bool profile = false, cdf = false, stats = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(1);
+            return argv[++i];
+        };
+        if (a == "--workload") {
+            workload = next();
+        } else if (a == "--scale") {
+            const std::string s = next();
+            if (s == "tiny")
+                scale = workloads::Scale::Tiny;
+            else if (s == "small")
+                scale = workloads::Scale::Small;
+            else if (s == "large")
+                scale = workloads::Scale::Large;
+            else
+                usage(1);
+        } else if (a == "--htm") {
+            const std::string s = next();
+            if (s == "p8")
+                opts.htmKind = htm::HtmKind::P8;
+            else if (s == "p8s")
+                opts.htmKind = htm::HtmKind::P8S;
+            else if (s == "l1tm")
+                opts.htmKind = htm::HtmKind::L1TM;
+            else if (s == "infcap")
+                opts.htmKind = htm::HtmKind::InfCap;
+            else
+                usage(1);
+        } else if (a == "--mech") {
+            const std::string s = next();
+            if (s == "baseline")
+                opts.mechanism = core::Mechanism::Baseline;
+            else if (s == "static")
+                opts.mechanism = core::Mechanism::StaticOnly;
+            else if (s == "dyn")
+                opts.mechanism = core::Mechanism::DynamicOnly;
+            else if (s == "full")
+                opts.mechanism = core::Mechanism::Full;
+            else
+                usage(1);
+        } else if (a == "--threads") {
+            threads_override = unsigned(parseNum(next()));
+        } else if (a == "--cores") {
+            opts.numCores = unsigned(parseNum(next()));
+        } else if (a == "--smt") {
+            opts.smtPerCore = unsigned(parseNum(next()));
+        } else if (a == "--seed") {
+            opts.seed = parseNum(next());
+        } else if (a == "--buffer") {
+            opts.bufferEntries = unsigned(parseNum(next()));
+        } else if (a == "--signature") {
+            opts.signatureBits = unsigned(parseNum(next()));
+        } else if (a == "--retries") {
+            opts.maxRetries = unsigned(parseNum(next()));
+        } else if (a == "--preserve") {
+            opts.preserveReadOnly = true;
+        } else if (a == "--notary") {
+            opts.notaryAnnotations = true;
+        } else if (a == "--preabort") {
+            opts.preAbortHandler = true;
+        } else if (a == "--policy") {
+            const std::string s = next();
+            if (s == "attacker")
+                opts.conflictPolicy = htm::ConflictPolicy::AttackerWins;
+            else if (s == "requester")
+                opts.conflictPolicy =
+                    htm::ConflictPolicy::RequesterLoses;
+            else
+                usage(1);
+        } else if (a == "--validate") {
+            opts.validateSafeStores = true;
+        } else if (a == "--profile") {
+            profile = true;
+        } else if (a == "--cdf") {
+            cdf = true;
+        } else if (a == "--stats") {
+            stats = true;
+        } else if (a == "--trace") {
+            trace::enableFromSpec(next());
+        } else if (a == "--list") {
+            for (const auto &n : workloads::allNames())
+                std::printf("%s\n", n.c_str());
+            return 0;
+        } else if (a == "--help" || a == "-h") {
+            usage(0);
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", a.c_str());
+            usage(1);
+        }
+    }
+    if (workload.empty())
+        usage(1);
+
+    opts.profileSharing = profile;
+    opts.collectTxSizes = cdf;
+
+    workloads::Workload wl = workloads::byName(workload, scale);
+    const auto rep = core::compileHints(wl.module);
+    const unsigned threads =
+        threads_override ? threads_override : wl.threads;
+
+    std::printf("workload   : %s (%u threads)\n", wl.name.c_str(),
+                threads);
+    std::printf("config     : %s, %u cores x %u SMT, buffer %u\n",
+                opts.label().c_str(), opts.numCores, opts.smtPerCore,
+                opts.bufferEntries);
+    std::printf("compiler   : %s\n\n", rep.summary().c_str());
+
+    const sim::RunResult r = core::simulate(opts, wl.module, threads);
+
+    std::printf("cycles            : %llu\n",
+                (unsigned long long)r.cycles);
+    std::printf("instructions      : %llu (%.2f IPC aggregate)\n",
+                (unsigned long long)r.instructions,
+                r.cycles ? double(r.instructions) / double(r.cycles) : 0);
+    std::printf("TXs committed     : %llu (%llu hardware, %llu "
+                "fallback)\n",
+                (unsigned long long)r.committedTxs,
+                (unsigned long long)r.htm.commits,
+                (unsigned long long)r.fallbackRuns);
+    std::printf("aborts            :");
+    for (unsigned a = 1; a < htm::numAbortReasons; ++a) {
+        std::printf(" %s=%llu",
+                    htm::abortReasonName(htm::AbortReason(a)),
+                    (unsigned long long)r.htm.aborts[a]);
+    }
+    std::printf("\n");
+    std::printf("tracked at commit : p50=%llu p95=%llu max=%llu "
+                "blocks\n",
+                (unsigned long long)r.htm.trackedAtCommit.quantile(0.5),
+                (unsigned long long)r.htm.trackedAtCommit.quantile(0.95),
+                (unsigned long long)r.htm.trackedAtCommit.max());
+
+    const double total = double(r.txAccessesTotal());
+    if (total > 0) {
+        std::printf(
+            "TX access mix     : %.1f%% static-safe, %.1f%% dyn-safe, "
+            "%.1f%% annotated, %.1f%% unsafe\n",
+            100 * (r.txReadsStaticSafe + r.txWritesStaticSafe) / total,
+            100 * r.txReadsDynSafe / total,
+            100 * r.txReadsAnnotated / total,
+            100 * (r.txReadsUnsafe + r.txWritesUnsafe) / total);
+    }
+    std::printf("pages             : %llu touched, %llu safe at end\n",
+                (unsigned long long)r.totalPages,
+                (unsigned long long)r.safePages);
+    std::printf("page-mode cycles  : %llu (%.2f%% of cycle-work)\n",
+                (unsigned long long)r.pageModeOverheadCycles,
+                r.cycles ? 100.0 * double(r.pageModeOverheadCycles) /
+                               (double(r.cycles) * threads)
+                         : 0);
+    if (profile) {
+        std::printf(
+            "sharing (Fig.1)   : safe pages %.1f%%, safe blocks %.1f%%, "
+            "safe tx-reads %.1f%% (pg) / %.1f%% (blk)\n",
+            100 * r.pageSharing.safeRegionFraction(),
+            100 * r.blockSharing.safeRegionFraction(),
+            100 * r.pageSharing.safeTxReadFraction(),
+            100 * r.blockSharing.safeTxReadFraction());
+    }
+    if (cdf) {
+        std::printf("footprint CDF     : <=64 blocks: baseline %.1f%%, "
+                    "no-static %.1f%%, unsafe-only %.1f%%\n",
+                    100 * r.txSizeAll.cdfAt(64),
+                    100 * r.txSizeNoStatic.cdfAt(64),
+                    100 * r.txSizeUnsafe.cdfAt(64));
+    }
+    if (stats) {
+        std::printf("\n-- raw statistics --\n%s", r.rawStats.c_str());
+    }
+    return 0;
+}
