@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_annotations.dir/ablation_annotations.cc.o"
+  "CMakeFiles/ablation_annotations.dir/ablation_annotations.cc.o.d"
+  "ablation_annotations"
+  "ablation_annotations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_annotations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

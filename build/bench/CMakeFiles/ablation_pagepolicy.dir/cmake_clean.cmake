@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pagepolicy.dir/ablation_pagepolicy.cc.o"
+  "CMakeFiles/ablation_pagepolicy.dir/ablation_pagepolicy.cc.o.d"
+  "ablation_pagepolicy"
+  "ablation_pagepolicy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pagepolicy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

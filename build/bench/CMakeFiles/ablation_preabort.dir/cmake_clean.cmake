@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_preabort.dir/ablation_preabort.cc.o"
+  "CMakeFiles/ablation_preabort.dir/ablation_preabort.cc.o.d"
+  "ablation_preabort"
+  "ablation_preabort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_preabort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

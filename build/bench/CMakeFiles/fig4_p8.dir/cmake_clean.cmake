@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_p8.dir/fig4_p8.cc.o"
+  "CMakeFiles/fig4_p8.dir/fig4_p8.cc.o.d"
+  "fig4_p8"
+  "fig4_p8.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_p8.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

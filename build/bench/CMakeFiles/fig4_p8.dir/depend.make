@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_p8.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7_p8s.cc" "bench/CMakeFiles/fig7_p8s.dir/fig7_p8s.cc.o" "gcc" "bench/CMakeFiles/fig7_p8s.dir/fig7_p8s.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/hintm_bench_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hintm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hintm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/hintm_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/htm/CMakeFiles/hintm_htm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hintm_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/hintm_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/hintm_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/tir/CMakeFiles/hintm_tir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hintm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

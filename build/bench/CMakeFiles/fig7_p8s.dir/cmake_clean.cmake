@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_p8s.dir/fig7_p8s.cc.o"
+  "CMakeFiles/fig7_p8s.dir/fig7_p8s.cc.o.d"
+  "fig7_p8s"
+  "fig7_p8s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_p8s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_p8s.
+# This may be replaced when dependencies are built.

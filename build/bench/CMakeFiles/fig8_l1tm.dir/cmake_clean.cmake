@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_l1tm.dir/fig8_l1tm.cc.o"
+  "CMakeFiles/fig8_l1tm.dir/fig8_l1tm.cc.o.d"
+  "fig8_l1tm"
+  "fig8_l1tm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_l1tm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

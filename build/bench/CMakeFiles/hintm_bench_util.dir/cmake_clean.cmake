@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hintm_bench_util.dir/bench_util.cc.o"
+  "CMakeFiles/hintm_bench_util.dir/bench_util.cc.o.d"
+  "libhintm_bench_util.a"
+  "libhintm_bench_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hintm_bench_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

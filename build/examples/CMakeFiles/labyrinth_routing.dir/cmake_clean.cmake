@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/labyrinth_routing.dir/labyrinth_routing.cpp.o"
+  "CMakeFiles/labyrinth_routing.dir/labyrinth_routing.cpp.o.d"
+  "labyrinth_routing"
+  "labyrinth_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/labyrinth_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

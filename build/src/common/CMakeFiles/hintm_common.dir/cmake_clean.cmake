@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hintm_common.dir/logging.cc.o"
+  "CMakeFiles/hintm_common.dir/logging.cc.o.d"
+  "CMakeFiles/hintm_common.dir/stats.cc.o"
+  "CMakeFiles/hintm_common.dir/stats.cc.o.d"
+  "CMakeFiles/hintm_common.dir/table.cc.o"
+  "CMakeFiles/hintm_common.dir/table.cc.o.d"
+  "CMakeFiles/hintm_common.dir/trace.cc.o"
+  "CMakeFiles/hintm_common.dir/trace.cc.o.d"
+  "libhintm_common.a"
+  "libhintm_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hintm_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

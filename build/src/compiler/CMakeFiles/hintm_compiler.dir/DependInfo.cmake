@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compiler/points_to.cc" "src/compiler/CMakeFiles/hintm_compiler.dir/points_to.cc.o" "gcc" "src/compiler/CMakeFiles/hintm_compiler.dir/points_to.cc.o.d"
+  "/root/repo/src/compiler/safety.cc" "src/compiler/CMakeFiles/hintm_compiler.dir/safety.cc.o" "gcc" "src/compiler/CMakeFiles/hintm_compiler.dir/safety.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hintm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tir/CMakeFiles/hintm_tir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hintm_compiler.dir/points_to.cc.o"
+  "CMakeFiles/hintm_compiler.dir/points_to.cc.o.d"
+  "CMakeFiles/hintm_compiler.dir/safety.cc.o"
+  "CMakeFiles/hintm_compiler.dir/safety.cc.o.d"
+  "libhintm_compiler.a"
+  "libhintm_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hintm_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hintm_core.dir/hintm.cc.o"
+  "CMakeFiles/hintm_core.dir/hintm.cc.o.d"
+  "libhintm_core.a"
+  "libhintm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hintm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

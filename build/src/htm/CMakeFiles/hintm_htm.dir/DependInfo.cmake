@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/htm/controller.cc" "src/htm/CMakeFiles/hintm_htm.dir/controller.cc.o" "gcc" "src/htm/CMakeFiles/hintm_htm.dir/controller.cc.o.d"
+  "/root/repo/src/htm/signature.cc" "src/htm/CMakeFiles/hintm_htm.dir/signature.cc.o" "gcc" "src/htm/CMakeFiles/hintm_htm.dir/signature.cc.o.d"
+  "/root/repo/src/htm/tx_buffer.cc" "src/htm/CMakeFiles/hintm_htm.dir/tx_buffer.cc.o" "gcc" "src/htm/CMakeFiles/hintm_htm.dir/tx_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hintm_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/hintm_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hintm_htm.dir/controller.cc.o"
+  "CMakeFiles/hintm_htm.dir/controller.cc.o.d"
+  "CMakeFiles/hintm_htm.dir/signature.cc.o"
+  "CMakeFiles/hintm_htm.dir/signature.cc.o.d"
+  "CMakeFiles/hintm_htm.dir/tx_buffer.cc.o"
+  "CMakeFiles/hintm_htm.dir/tx_buffer.cc.o.d"
+  "libhintm_htm.a"
+  "libhintm_htm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hintm_htm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

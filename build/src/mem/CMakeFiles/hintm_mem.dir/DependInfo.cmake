@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/cache_array.cc" "src/mem/CMakeFiles/hintm_mem.dir/cache_array.cc.o" "gcc" "src/mem/CMakeFiles/hintm_mem.dir/cache_array.cc.o.d"
+  "/root/repo/src/mem/mem_system.cc" "src/mem/CMakeFiles/hintm_mem.dir/mem_system.cc.o" "gcc" "src/mem/CMakeFiles/hintm_mem.dir/mem_system.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hintm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hintm_mem.dir/cache_array.cc.o"
+  "CMakeFiles/hintm_mem.dir/cache_array.cc.o.d"
+  "CMakeFiles/hintm_mem.dir/mem_system.cc.o"
+  "CMakeFiles/hintm_mem.dir/mem_system.cc.o.d"
+  "libhintm_mem.a"
+  "libhintm_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hintm_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

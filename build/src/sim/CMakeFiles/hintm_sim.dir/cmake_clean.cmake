@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hintm_sim.dir/machine.cc.o"
+  "CMakeFiles/hintm_sim.dir/machine.cc.o.d"
+  "CMakeFiles/hintm_sim.dir/profiler.cc.o"
+  "CMakeFiles/hintm_sim.dir/profiler.cc.o.d"
+  "libhintm_sim.a"
+  "libhintm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hintm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

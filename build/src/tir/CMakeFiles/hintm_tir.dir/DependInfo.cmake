@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tir/address_space.cc" "src/tir/CMakeFiles/hintm_tir.dir/address_space.cc.o" "gcc" "src/tir/CMakeFiles/hintm_tir.dir/address_space.cc.o.d"
+  "/root/repo/src/tir/allocator.cc" "src/tir/CMakeFiles/hintm_tir.dir/allocator.cc.o" "gcc" "src/tir/CMakeFiles/hintm_tir.dir/allocator.cc.o.d"
+  "/root/repo/src/tir/builder.cc" "src/tir/CMakeFiles/hintm_tir.dir/builder.cc.o" "gcc" "src/tir/CMakeFiles/hintm_tir.dir/builder.cc.o.d"
+  "/root/repo/src/tir/interp.cc" "src/tir/CMakeFiles/hintm_tir.dir/interp.cc.o" "gcc" "src/tir/CMakeFiles/hintm_tir.dir/interp.cc.o.d"
+  "/root/repo/src/tir/ir.cc" "src/tir/CMakeFiles/hintm_tir.dir/ir.cc.o" "gcc" "src/tir/CMakeFiles/hintm_tir.dir/ir.cc.o.d"
+  "/root/repo/src/tir/verifier.cc" "src/tir/CMakeFiles/hintm_tir.dir/verifier.cc.o" "gcc" "src/tir/CMakeFiles/hintm_tir.dir/verifier.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hintm_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

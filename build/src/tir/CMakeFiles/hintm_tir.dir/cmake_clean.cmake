@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hintm_tir.dir/address_space.cc.o"
+  "CMakeFiles/hintm_tir.dir/address_space.cc.o.d"
+  "CMakeFiles/hintm_tir.dir/allocator.cc.o"
+  "CMakeFiles/hintm_tir.dir/allocator.cc.o.d"
+  "CMakeFiles/hintm_tir.dir/builder.cc.o"
+  "CMakeFiles/hintm_tir.dir/builder.cc.o.d"
+  "CMakeFiles/hintm_tir.dir/interp.cc.o"
+  "CMakeFiles/hintm_tir.dir/interp.cc.o.d"
+  "CMakeFiles/hintm_tir.dir/ir.cc.o"
+  "CMakeFiles/hintm_tir.dir/ir.cc.o.d"
+  "CMakeFiles/hintm_tir.dir/verifier.cc.o"
+  "CMakeFiles/hintm_tir.dir/verifier.cc.o.d"
+  "libhintm_tir.a"
+  "libhintm_tir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hintm_tir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hintm_vm.dir/page_table.cc.o"
+  "CMakeFiles/hintm_vm.dir/page_table.cc.o.d"
+  "CMakeFiles/hintm_vm.dir/tlb.cc.o"
+  "CMakeFiles/hintm_vm.dir/tlb.cc.o.d"
+  "CMakeFiles/hintm_vm.dir/vm.cc.o"
+  "CMakeFiles/hintm_vm.dir/vm.cc.o.d"
+  "libhintm_vm.a"
+  "libhintm_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hintm_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

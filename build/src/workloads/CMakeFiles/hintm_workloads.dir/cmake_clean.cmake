@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hintm_workloads.dir/bayes.cc.o"
+  "CMakeFiles/hintm_workloads.dir/bayes.cc.o.d"
+  "CMakeFiles/hintm_workloads.dir/genome.cc.o"
+  "CMakeFiles/hintm_workloads.dir/genome.cc.o.d"
+  "CMakeFiles/hintm_workloads.dir/intruder.cc.o"
+  "CMakeFiles/hintm_workloads.dir/intruder.cc.o.d"
+  "CMakeFiles/hintm_workloads.dir/kmeans.cc.o"
+  "CMakeFiles/hintm_workloads.dir/kmeans.cc.o.d"
+  "CMakeFiles/hintm_workloads.dir/labyrinth.cc.o"
+  "CMakeFiles/hintm_workloads.dir/labyrinth.cc.o.d"
+  "CMakeFiles/hintm_workloads.dir/registry.cc.o"
+  "CMakeFiles/hintm_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/hintm_workloads.dir/ssca2.cc.o"
+  "CMakeFiles/hintm_workloads.dir/ssca2.cc.o.d"
+  "CMakeFiles/hintm_workloads.dir/tpcc.cc.o"
+  "CMakeFiles/hintm_workloads.dir/tpcc.cc.o.d"
+  "CMakeFiles/hintm_workloads.dir/vacation.cc.o"
+  "CMakeFiles/hintm_workloads.dir/vacation.cc.o.d"
+  "CMakeFiles/hintm_workloads.dir/yada.cc.o"
+  "CMakeFiles/hintm_workloads.dir/yada.cc.o.d"
+  "libhintm_workloads.a"
+  "libhintm_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hintm_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

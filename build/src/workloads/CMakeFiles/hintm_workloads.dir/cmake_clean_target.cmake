@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhintm_workloads.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hintm_run.dir/hintm_run.cc.o"
+  "CMakeFiles/hintm_run.dir/hintm_run.cc.o.d"
+  "hintm_run"
+  "hintm_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hintm_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
