@@ -58,9 +58,11 @@ int
 main(int argc, char **argv)
 {
     const bench::BenchArgs args = bench::BenchArgs::parse(argc, argv);
-    workloads::Workload wl = annotatedLabyrinth(args.scale);
-    const auto rep = core::compileHints(wl.module);
-    std::printf("compiler: %s\n\n", rep.summary().c_str());
+    bench::PreparedWorkload p;
+    p.wl = annotatedLabyrinth(args.scale);
+    p.compileReport = core::compileHints(p.wl.module);
+    p.scale = args.scale;
+    std::printf("compiler: %s\n\n", p.compileReport.summary().c_str());
 
     TextTable t;
     t.header({"config", "cycles", "capacity", "page-mode", "annot reads",
@@ -68,34 +70,35 @@ main(int argc, char **argv)
 
     SystemOptions base;
     base.htmKind = htm::HtmKind::P8;
-    std::uint64_t base_cycles = 0;
 
-    auto row = [&](const char *label, SystemOptions o) {
-        const sim::RunResult r = core::simulate(o, wl.module, wl.threads);
-        if (!base_cycles)
-            base_cycles = r.cycles;
-        t.row({label, std::to_string(r.cycles),
+    SystemOptions notary = base;
+    notary.notaryAnnotations = true;
+    SystemOptions st = base;
+    st.mechanism = Mechanism::StaticOnly;
+    SystemOptions full = base;
+    full.mechanism = Mechanism::Full;
+    SystemOptions both = full;
+    both.notaryAnnotations = true;
+
+    const std::vector<bench::MatrixJob> jobs = {
+        {&p, base}, {&p, notary}, {&p, st}, {&p, full}, {&p, both}};
+    const std::vector<sim::RunResult> res = bench::runMatrix(jobs,
+                                                             args.jobs);
+
+    const std::uint64_t base_cycles = res[0].cycles;
+    const char *const labels[] = {"baseline", "Notary (annot only)",
+                                  "HinTM-st", "HinTM",
+                                  "HinTM + annotations"};
+    for (std::size_t k = 0; k < jobs.size(); ++k) {
+        const sim::RunResult &r = res[k];
+        t.row({labels[k], std::to_string(r.cycles),
                std::to_string(
                    r.htm.aborts[unsigned(htm::AbortReason::Capacity)]),
                std::to_string(
                    r.htm.aborts[unsigned(htm::AbortReason::PageMode)]),
                std::to_string(r.txReadsAnnotated),
                bench::speedupStr(double(base_cycles) / r.cycles)});
-    };
-
-    row("baseline", base);
-    SystemOptions notary = base;
-    notary.notaryAnnotations = true;
-    row("Notary (annot only)", notary);
-    SystemOptions st = base;
-    st.mechanism = Mechanism::StaticOnly;
-    row("HinTM-st", st);
-    SystemOptions full = base;
-    full.mechanism = Mechanism::Full;
-    row("HinTM", full);
-    SystemOptions both = full;
-    both.notaryAnnotations = true;
-    row("HinTM + annotations", both);
+    }
 
     std::cout << "== annotation ablation (labyrinth, P8) ==\n" << t;
     std::printf("\nannotations cover only reads; labyrinth's private "

@@ -25,22 +25,38 @@ main(int argc, char **argv)
     if (args.only.empty())
         args.only = {"genome", "labyrinth", "vacation", "yada"};
 
-    const unsigned sizes[] = {16, 32, 64, 128, 256, 512};
+    const std::vector<unsigned> sizes = {16, 32, 64, 128, 256, 512};
 
-    for (const std::string &name : args.only) {
-        const bench::PreparedWorkload p = bench::prepare(name, args.scale);
-        TextTable t;
-        t.header({"buffer entries", "base cap-aborts", "base cycles",
-                  "HinTM cap-aborts", "HinTM cycles", "HinTM speedup"});
+    std::vector<bench::PreparedWorkload> prepared;
+    prepared.reserve(args.only.size());
+    for (const std::string &name : args.only)
+        prepared.push_back(bench::prepare(name, args.scale));
+
+    std::vector<bench::MatrixJob> jobs;
+    for (const bench::PreparedWorkload &p : prepared) {
         for (const unsigned entries : sizes) {
             SystemOptions base;
             base.htmKind = htm::HtmKind::P8;
             base.bufferEntries = entries;
-            const auto rb = bench::run(p, base);
+            jobs.push_back({&p, base});
 
             SystemOptions full = base;
             full.mechanism = Mechanism::Full;
-            const auto rf = bench::run(p, full);
+            jobs.push_back({&p, full});
+        }
+    }
+    const std::vector<sim::RunResult> res = bench::runMatrix(jobs,
+                                                             args.jobs);
+
+    for (std::size_t w = 0; w < args.only.size(); ++w) {
+        const std::string &name = args.only[w];
+        TextTable t;
+        t.header({"buffer entries", "base cap-aborts", "base cycles",
+                  "HinTM cap-aborts", "HinTM cycles", "HinTM speedup"});
+        for (std::size_t s = 0; s < sizes.size(); ++s) {
+            const unsigned entries = sizes[s];
+            const auto &rb = res[2 * (w * sizes.size() + s) + 0];
+            const auto &rf = res[2 * (w * sizes.size() + s) + 1];
 
             const auto cap = [](const sim::RunResult &r) {
                 return r.htm.aborts[unsigned(htm::AbortReason::Capacity)];

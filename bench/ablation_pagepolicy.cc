@@ -28,20 +28,34 @@ main(int argc, char **argv)
     t.header({"workload", "base cycles", "HinTM", "pg-aborts",
               "HinTM+preserve", "pg-aborts", "preserve gain"});
 
-    for (const std::string &name : args.names()) {
-        const bench::PreparedWorkload p = bench::prepare(name, args.scale);
+    const std::vector<std::string> names = args.names();
+    std::vector<bench::PreparedWorkload> prepared;
+    prepared.reserve(names.size());
+    for (const std::string &name : names)
+        prepared.push_back(bench::prepare(name, args.scale));
 
+    std::vector<bench::MatrixJob> jobs;
+    for (const bench::PreparedWorkload &p : prepared) {
         SystemOptions base;
         base.htmKind = htm::HtmKind::P8;
-        const auto rb = bench::run(p, base);
+        jobs.push_back({&p, base});
 
         SystemOptions sticky = base;
         sticky.mechanism = Mechanism::Full;
-        const auto rs = bench::run(p, sticky);
+        jobs.push_back({&p, sticky});
 
         SystemOptions pres = sticky;
         pres.preserveReadOnly = true;
-        const auto rp = bench::run(p, pres);
+        jobs.push_back({&p, pres});
+    }
+    const std::vector<sim::RunResult> res = bench::runMatrix(jobs,
+                                                             args.jobs);
+
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const std::string &name = names[w];
+        const auto &rb = res[3 * w + 0];
+        const auto &rs = res[3 * w + 1];
+        const auto &rp = res[3 * w + 2];
 
         const auto pg = [](const sim::RunResult &r) {
             return r.htm.aborts[unsigned(htm::AbortReason::PageMode)];

@@ -31,19 +31,37 @@ main(int argc, char **argv)
     t.header({"workload", "policy", "base cycles", "base conflicts",
               "HinTM speedup"});
 
-    for (const std::string &name : args.only) {
-        const bench::PreparedWorkload p = bench::prepare(name, args.scale);
-        for (const htm::ConflictPolicy pol :
-             {htm::ConflictPolicy::AttackerWins,
-              htm::ConflictPolicy::RequesterLoses}) {
+    const htm::ConflictPolicy policies[] = {
+        htm::ConflictPolicy::AttackerWins,
+        htm::ConflictPolicy::RequesterLoses};
+
+    std::vector<bench::PreparedWorkload> prepared;
+    prepared.reserve(args.only.size());
+    for (const std::string &name : args.only)
+        prepared.push_back(bench::prepare(name, args.scale));
+
+    std::vector<bench::MatrixJob> jobs;
+    for (const bench::PreparedWorkload &p : prepared) {
+        for (const htm::ConflictPolicy pol : policies) {
             SystemOptions base;
             base.htmKind = htm::HtmKind::P8;
             base.conflictPolicy = pol;
-            const auto rb = bench::run(p, base);
+            jobs.push_back({&p, base});
 
             SystemOptions full = base;
             full.mechanism = Mechanism::Full;
-            const auto rf = bench::run(p, full);
+            jobs.push_back({&p, full});
+        }
+    }
+    const std::vector<sim::RunResult> res = bench::runMatrix(jobs,
+                                                             args.jobs);
+
+    for (std::size_t w = 0; w < args.only.size(); ++w) {
+        const std::string &name = args.only[w];
+        for (std::size_t pi = 0; pi < 2; ++pi) {
+            const htm::ConflictPolicy pol = policies[pi];
+            const auto &rb = res[4 * w + 2 * pi + 0];
+            const auto &rf = res[4 * w + 2 * pi + 1];
 
             t.row({name, htm::conflictPolicyName(pol),
                    std::to_string(rb.cycles),

@@ -29,24 +29,38 @@ main(int argc, char **argv)
     t.header({"workload", "baseline", "pre-abort", "HinTM",
               "HinTM+pre-abort", "conversions"});
 
-    for (const std::string &name : args.only) {
-        const bench::PreparedWorkload p = bench::prepare(name, args.scale);
+    std::vector<bench::PreparedWorkload> prepared;
+    prepared.reserve(args.only.size());
+    for (const std::string &name : args.only)
+        prepared.push_back(bench::prepare(name, args.scale));
 
+    std::vector<bench::MatrixJob> jobs;
+    for (const bench::PreparedWorkload &p : prepared) {
         SystemOptions base;
         base.htmKind = htm::HtmKind::P8;
-        const auto rb = bench::run(p, base);
+        jobs.push_back({&p, base});
 
         SystemOptions pre = base;
         pre.preAbortHandler = true;
-        const auto rp = bench::run(p, pre);
+        jobs.push_back({&p, pre});
 
         SystemOptions full = base;
         full.mechanism = Mechanism::Full;
-        const auto rf = bench::run(p, full);
+        jobs.push_back({&p, full});
 
         SystemOptions both = full;
         both.preAbortHandler = true;
-        const auto rc = bench::run(p, both);
+        jobs.push_back({&p, both});
+    }
+    const std::vector<sim::RunResult> res = bench::runMatrix(jobs,
+                                                             args.jobs);
+
+    for (std::size_t w = 0; w < args.only.size(); ++w) {
+        const std::string &name = args.only[w];
+        const auto &rb = res[4 * w + 0];
+        const auto &rp = res[4 * w + 1];
+        const auto &rf = res[4 * w + 2];
+        const auto &rc = res[4 * w + 3];
 
         t.row({name, "1.00x",
                bench::speedupStr(double(rb.cycles) / rp.cycles),

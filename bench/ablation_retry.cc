@@ -24,19 +24,34 @@ main(int argc, char **argv)
     if (args.only.empty())
         args.only = {"intruder", "tpcc-p", "vacation"};
 
-    const unsigned retries[] = {0, 2, 4, 8, 16};
+    const std::vector<unsigned> retries = {0, 2, 4, 8, 16};
 
-    for (const std::string &name : args.only) {
-        const bench::PreparedWorkload p = bench::prepare(name, args.scale);
-        TextTable t;
-        t.header({"max retries", "cycles", "commits", "fallbacks",
-                  "conflict aborts"});
+    std::vector<bench::PreparedWorkload> prepared;
+    prepared.reserve(args.only.size());
+    for (const std::string &name : args.only)
+        prepared.push_back(bench::prepare(name, args.scale));
+
+    std::vector<bench::MatrixJob> jobs;
+    for (const bench::PreparedWorkload &p : prepared) {
         for (const unsigned r : retries) {
             SystemOptions o;
             o.htmKind = htm::HtmKind::P8;
             o.maxRetries = r;
-            const auto res = bench::run(p, o);
-            t.row({std::to_string(r), std::to_string(res.cycles),
+            jobs.push_back({&p, o});
+        }
+    }
+    const std::vector<sim::RunResult> all = bench::runMatrix(jobs,
+                                                             args.jobs);
+
+    for (std::size_t w = 0; w < args.only.size(); ++w) {
+        const std::string &name = args.only[w];
+        TextTable t;
+        t.header({"max retries", "cycles", "commits", "fallbacks",
+                  "conflict aborts"});
+        for (std::size_t ri = 0; ri < retries.size(); ++ri) {
+            const auto &res = all[w * retries.size() + ri];
+            t.row({std::to_string(retries[ri]),
+                   std::to_string(res.cycles),
                    std::to_string(res.htm.commits),
                    std::to_string(res.fallbackRuns),
                    std::to_string(res.htm.aborts[unsigned(

@@ -26,22 +26,38 @@ main(int argc, char **argv)
     if (args.only.empty())
         args.only = {"genome", "intruder", "vacation"};
 
-    const unsigned widths[] = {128, 256, 512, 1024, 2048};
+    const std::vector<unsigned> widths = {128, 256, 512, 1024, 2048};
 
-    for (const std::string &name : args.only) {
-        const bench::PreparedWorkload p = bench::prepare(name, args.scale);
-        TextTable t;
-        t.header({"signature bits", "base false-cf", "base cycles",
-                  "HinTM false-cf", "HinTM speedup"});
+    std::vector<bench::PreparedWorkload> prepared;
+    prepared.reserve(args.only.size());
+    for (const std::string &name : args.only)
+        prepared.push_back(bench::prepare(name, args.scale));
+
+    std::vector<bench::MatrixJob> jobs;
+    for (const bench::PreparedWorkload &p : prepared) {
         for (const unsigned bits : widths) {
             SystemOptions base;
             base.htmKind = htm::HtmKind::P8S;
             base.signatureBits = bits;
-            const auto rb = bench::run(p, base);
+            jobs.push_back({&p, base});
 
             SystemOptions full = base;
             full.mechanism = Mechanism::Full;
-            const auto rf = bench::run(p, full);
+            jobs.push_back({&p, full});
+        }
+    }
+    const std::vector<sim::RunResult> res = bench::runMatrix(jobs,
+                                                             args.jobs);
+
+    for (std::size_t w = 0; w < args.only.size(); ++w) {
+        const std::string &name = args.only[w];
+        TextTable t;
+        t.header({"signature bits", "base false-cf", "base cycles",
+                  "HinTM false-cf", "HinTM speedup"});
+        for (std::size_t s = 0; s < widths.size(); ++s) {
+            const unsigned bits = widths[s];
+            const auto &rb = res[2 * (w * widths.size() + s) + 0];
+            const auto &rf = res[2 * (w * widths.size() + s) + 1];
 
             const auto fcf = [](const sim::RunResult &r) {
                 return r.htm

@@ -1,10 +1,18 @@
 #include "bench_util.hh"
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
 
 #include "common/logging.hh"
+#include "common/parallel.hh"
+#include "htm/abort.hh"
 
 namespace hintm
 {
@@ -30,14 +38,20 @@ BenchArgs::parse(int argc, char **argv)
             a.preserve = true;
         } else if (arg == "--workload" && i + 1 < argc) {
             a.only.push_back(argv[++i]);
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            a.jobs = unsigned(std::strtoul(argv[++i], nullptr, 0));
+        } else if (arg == "--json" && i + 1 < argc) {
+            a.jsonPath = argv[++i];
         } else if (arg == "--help") {
             std::printf("options: [--tiny|--small|--large] [--preserve] "
-                        "[--workload NAME]...\n");
+                        "[--workload NAME]... [--jobs N] [--json FILE]\n");
             std::exit(0);
         } else {
             HINTM_FATAL("unknown argument ", arg);
         }
     }
+    if (!a.jsonPath.empty())
+        setJsonReport(a.jsonPath);
     return a;
 }
 
@@ -50,7 +64,7 @@ BenchArgs::names() const
 PreparedWorkload
 prepare(const std::string &name, workloads::Scale s)
 {
-    PreparedWorkload p{workloads::byName(name, s), {}};
+    PreparedWorkload p{workloads::byName(name, s), {}, s};
     p.compileReport = core::compileHints(p.wl.module);
     return p;
 }
@@ -59,6 +73,207 @@ sim::RunResult
 run(const PreparedWorkload &p, core::SystemOptions opts)
 {
     return core::simulate(opts, p.wl.module, p.wl.threads);
+}
+
+namespace
+{
+
+// ---- process-wide result cache + JSON reporting --------------------
+
+struct MatrixState
+{
+    std::mutex mu;
+    std::unordered_map<std::string, sim::RunResult> cache;
+    MatrixCacheStats stats;
+
+    std::mutex jsonMu;
+    std::string jsonPath;
+    std::vector<std::string> jsonRecords;
+};
+
+MatrixState &
+state()
+{
+    static MatrixState s;
+    return s;
+}
+
+unsigned
+jobThreads(const MatrixJob &job)
+{
+    return job.threadsOverride ? job.threadsOverride
+                               : job.wl->wl.threads;
+}
+
+/** Exact identity of a simulation: workload, scale, thread count, and
+ * every SystemOptions field. Two jobs with equal keys produce
+ * bit-identical RunResults. */
+std::string
+jobKey(const MatrixJob &job)
+{
+    const core::SystemOptions &o = job.opts;
+    std::ostringstream os;
+    os << job.wl->wl.name << '|' << unsigned(job.wl->scale) << '|'
+       << jobThreads(job) << '|' << unsigned(o.htmKind) << '|'
+       << unsigned(o.mechanism) << '|' << o.preserveReadOnly
+       << o.notaryAnnotations << o.preAbortHandler
+       << unsigned(o.conflictPolicy) << '|' << o.numCores << 'x'
+       << o.smtPerCore << '|' << o.seed << '|' << o.collectTxSizes
+       << o.profileSharing << o.validateSafeStores << '|'
+       << o.bufferEntries << '|' << o.signatureBits << '|'
+       << o.maxRetries;
+    return os.str();
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+void
+flushJsonReport()
+{
+    MatrixState &st = state();
+    std::lock_guard<std::mutex> lock(st.jsonMu);
+    if (st.jsonPath.empty())
+        return;
+    std::ofstream os(st.jsonPath);
+    if (!os) {
+        warn("cannot write JSON report to ", st.jsonPath);
+        return;
+    }
+    os << "[\n";
+    for (std::size_t i = 0; i < st.jsonRecords.size(); ++i) {
+        os << "  " << st.jsonRecords[i]
+           << (i + 1 < st.jsonRecords.size() ? ",\n" : "\n");
+    }
+    os << "]\n";
+}
+
+void
+recordJson(const MatrixJob &job, const sim::RunResult &r,
+           double wall_ms)
+{
+    MatrixState &st = state();
+    std::lock_guard<std::mutex> lock(st.jsonMu);
+    if (st.jsonPath.empty())
+        return;
+    std::ostringstream os;
+    os << "{\"workload\":\"" << jsonEscape(job.wl->wl.name)
+       << "\",\"config\":\"" << jsonEscape(job.opts.label())
+       << "\",\"threads\":" << jobThreads(job) << ",\"wall_ms\":";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.3f", wall_ms);
+    os << buf << ",\"cycles\":" << r.cycles
+       << ",\"instructions\":" << r.instructions
+       << ",\"committed_txs\":" << r.committedTxs
+       << ",\"fallback_runs\":" << r.fallbackRuns << ",\"aborts\":{";
+    for (unsigned a = 1; a < htm::numAbortReasons; ++a) {
+        os << "\"" << htm::abortReasonName(htm::AbortReason(a))
+           << "\":" << r.htm.aborts[a] << ",";
+    }
+    os << "\"total\":" << r.htm.totalAborts() << "}}";
+    st.jsonRecords.push_back(os.str());
+}
+
+} // namespace
+
+void
+setJsonReport(const std::string &path)
+{
+    MatrixState &st = state();
+    bool first;
+    {
+        std::lock_guard<std::mutex> lock(st.jsonMu);
+        first = st.jsonPath.empty();
+        st.jsonPath = path;
+    }
+    if (first)
+        std::atexit(flushJsonReport);
+}
+
+MatrixCacheStats
+matrixCacheStats()
+{
+    MatrixState &st = state();
+    std::lock_guard<std::mutex> lock(st.mu);
+    return st.stats;
+}
+
+void
+clearMatrixCache()
+{
+    MatrixState &st = state();
+    std::lock_guard<std::mutex> lock(st.mu);
+    st.cache.clear();
+    st.stats = {};
+}
+
+std::vector<sim::RunResult>
+runMatrix(const std::vector<MatrixJob> &jobs, unsigned host_jobs)
+{
+    MatrixState &st = state();
+    std::vector<sim::RunResult> results(jobs.size());
+    // Submission slot -> the earlier slot it duplicates (or itself).
+    std::vector<std::size_t> alias(jobs.size());
+    std::vector<std::string> keys(jobs.size());
+    std::vector<std::size_t> toRun;
+    std::unordered_map<std::string, std::size_t> firstSlot;
+
+    {
+        std::lock_guard<std::mutex> lock(st.mu);
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            HINTM_ASSERT(jobs[i].wl != nullptr,
+                         "matrix job without a workload");
+            keys[i] = jobKey(jobs[i]);
+            alias[i] = i;
+            const auto cached = st.cache.find(keys[i]);
+            if (cached != st.cache.end()) {
+                results[i] = cached->second;
+                keys[i].clear(); // resolved; nothing to run or copy
+                ++st.stats.hits;
+                continue;
+            }
+            const auto [it, fresh] = firstSlot.emplace(keys[i], i);
+            if (fresh) {
+                toRun.push_back(i);
+                ++st.stats.misses;
+            } else {
+                alias[i] = it->second;
+                ++st.stats.hits;
+            }
+        }
+    }
+
+    parallelFor(host_jobs ? host_jobs : ThreadPool::defaultWorkers(),
+                toRun.size(), [&](std::size_t k) {
+                    const std::size_t i = toRun[k];
+                    const MatrixJob &job = jobs[i];
+                    const auto t0 = std::chrono::steady_clock::now();
+                    results[i] = core::simulate(job.opts,
+                                                job.wl->wl.module,
+                                                jobThreads(job));
+                    const double wall_ms =
+                        std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+                    recordJson(job, results[i], wall_ms);
+                    std::lock_guard<std::mutex> lock(st.mu);
+                    st.cache.emplace(keys[i], results[i]);
+                });
+
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        if (alias[i] != i)
+            results[i] = results[alias[i]];
+    }
+    return results;
 }
 
 std::string
@@ -74,9 +289,9 @@ reduction(std::uint64_t base, std::uint64_t with)
 {
     if (base == 0)
         return 0.0;
-    if (with >= base)
-        return 0.0;
-    return double(base - with) / double(base);
+    // Signed on purpose: a mechanism that *increases* aborts shows up
+    // as a negative reduction instead of being clamped to zero.
+    return (double(base) - double(with)) / double(base);
 }
 
 double

@@ -1,12 +1,15 @@
 /**
  * @file
  * Shared plumbing for the figure-reproduction harnesses: workload
- * compilation caching, config sweeps, and result formatting helpers.
+ * compilation caching, config sweeps, the parallel experiment runner
+ * (runMatrix), the process-wide result cache, JSON perf reporting, and
+ * result formatting helpers.
  */
 
 #ifndef HINTM_BENCH_BENCH_UTIL_HH
 #define HINTM_BENCH_BENCH_UTIL_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -27,6 +30,10 @@ struct BenchArgs
     /** Empty = the full suite. */
     std::vector<std::string> only;
     bool preserve = false;
+    /** Concurrent simulations (0 = hardware concurrency). */
+    unsigned jobs = 0;
+    /** When non-empty, a per-run perf report is written here at exit. */
+    std::string jsonPath;
 
     static BenchArgs parse(int argc, char **argv);
     std::vector<std::string> names() const;
@@ -37,17 +44,66 @@ struct PreparedWorkload
 {
     workloads::Workload wl;
     compiler::SafetyReport compileReport;
+    /** Scale the workload was built at (result-cache key component). */
+    workloads::Scale scale = workloads::Scale::Small;
 };
 
 PreparedWorkload prepare(const std::string &name, workloads::Scale s);
 
-/** Run a prepared workload under the given options. */
+/** Run a prepared workload under the given options (no cache). */
 sim::RunResult run(const PreparedWorkload &p, core::SystemOptions opts);
+
+/**
+ * One simulation of the experiment matrix. The referenced workload must
+ * outlive the runMatrix call.
+ */
+struct MatrixJob
+{
+    const PreparedWorkload *wl = nullptr;
+    core::SystemOptions opts;
+    /** 0 = the workload's own thread count. */
+    unsigned threadsOverride = 0;
+};
+
+/**
+ * Execute the jobs concurrently on @p host_jobs threads (0 = hardware
+ * concurrency) and return results in submission order. Every simulation
+ * is deterministic and self-contained, so the results are bit-identical
+ * to a sequential run regardless of host_jobs. Identical (workload,
+ * scale, options, threads) jobs — within this call or across calls —
+ * simulate once: completed runs are served from a process-wide cache.
+ */
+std::vector<sim::RunResult> runMatrix(const std::vector<MatrixJob> &jobs,
+                                      unsigned host_jobs = 0);
+
+/** Process-wide result-cache counters (testing/diagnostic aid). */
+struct MatrixCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+};
+
+MatrixCacheStats matrixCacheStats();
+
+/** Drop all cached results and zero the counters (tests). */
+void clearMatrixCache();
+
+/**
+ * Arrange for a JSON array of per-run perf records (workload, config,
+ * host wall-time, simulated cycles, instructions, abort breakdown) to
+ * be written to @p path when the process exits. Called automatically by
+ * BenchArgs::parse for --json.
+ */
+void setJsonReport(const std::string &path);
 
 /** "2.98x"-style speedup formatting. */
 std::string speedupStr(double s);
 
-/** Abort-reduction percentage vs a baseline count (guards div by 0). */
+/**
+ * Abort reduction vs a baseline count, as a signed fraction: positive
+ * when @p with is an improvement, negative when the mechanism made
+ * things worse (guards division by zero).
+ */
 double reduction(std::uint64_t base, std::uint64_t with);
 
 /** Geometric mean (ignores non-positive entries). */

@@ -32,18 +32,31 @@ main(int argc, char **argv)
     double sum_cap = 0, sum_pages = 0, sum_reads_pg = 0;
     unsigned n = 0;
 
-    for (const std::string &name : args.names()) {
-        const bench::PreparedWorkload p = bench::prepare(name, args.scale);
+    const std::vector<std::string> names = args.names();
+    std::vector<bench::PreparedWorkload> prepared;
+    prepared.reserve(names.size());
+    for (const std::string &name : names)
+        prepared.push_back(bench::prepare(name, args.scale));
 
+    std::vector<bench::MatrixJob> jobs;
+    for (const bench::PreparedWorkload &p : prepared) {
         SystemOptions base;
         base.htmKind = htm::HtmKind::P8;
         base.mechanism = Mechanism::Baseline;
-        const auto r_p8 = bench::run(p, base);
+        jobs.push_back({&p, base});
 
         SystemOptions inf = base;
         inf.htmKind = htm::HtmKind::InfCap;
         inf.profileSharing = true;
-        const auto r_inf = bench::run(p, inf);
+        jobs.push_back({&p, inf});
+    }
+    const std::vector<sim::RunResult> res = bench::runMatrix(jobs,
+                                                             args.jobs);
+
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const std::string &name = names[w];
+        const auto &r_p8 = res[2 * w + 0];
+        const auto &r_inf = res[2 * w + 1];
 
         const double cap_frac =
             r_p8.cycles > r_inf.cycles

@@ -36,9 +36,15 @@ main(int argc, char **argv)
     std::vector<double> sp_st, sp_dyn, sp_full, sp_inf;
     std::vector<double> red_full;
 
-    for (const std::string &name : args.names()) {
-        const bench::PreparedWorkload p = bench::prepare(name, args.scale);
+    const std::vector<std::string> names = args.names();
+    std::vector<bench::PreparedWorkload> prepared;
+    prepared.reserve(names.size());
+    for (const std::string &name : names)
+        prepared.push_back(bench::prepare(name, args.scale));
 
+    // Five configurations per workload, farmed out together.
+    std::vector<bench::MatrixJob> jobs;
+    for (const bench::PreparedWorkload &p : prepared) {
         auto opt = [&](Mechanism m) {
             SystemOptions o;
             o.htmKind = htm::HtmKind::P8;
@@ -46,13 +52,25 @@ main(int argc, char **argv)
             o.preserveReadOnly = args.preserve;
             return o;
         };
-        const auto base = bench::run(p, opt(Mechanism::Baseline));
-        const auto st = bench::run(p, opt(Mechanism::StaticOnly));
-        const auto dyn = bench::run(p, opt(Mechanism::DynamicOnly));
-        const auto full = bench::run(p, opt(Mechanism::Full));
+        jobs.push_back({&p, opt(Mechanism::Baseline)});
+        jobs.push_back({&p, opt(Mechanism::StaticOnly)});
+        jobs.push_back({&p, opt(Mechanism::DynamicOnly)});
+        jobs.push_back({&p, opt(Mechanism::Full)});
         SystemOptions inf_o = opt(Mechanism::Baseline);
         inf_o.htmKind = htm::HtmKind::InfCap;
-        const auto inf = bench::run(p, inf_o);
+        jobs.push_back({&p, inf_o});
+    }
+    const std::vector<sim::RunResult> res = bench::runMatrix(jobs,
+                                                             args.jobs);
+
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const std::string &name = names[w];
+        const bench::PreparedWorkload &p = prepared[w];
+        const auto &base = res[5 * w + 0];
+        const auto &st = res[5 * w + 1];
+        const auto &dyn = res[5 * w + 2];
+        const auto &full = res[5 * w + 3];
+        const auto &inf = res[5 * w + 4];
 
         const auto cap = [](const sim::RunResult &r) {
             return r.htm.aborts[unsigned(htm::AbortReason::Capacity)];

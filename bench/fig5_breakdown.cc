@@ -30,14 +30,26 @@ main(int argc, char **argv)
     double sum_safe = 0;
     unsigned n = 0;
 
-    for (const std::string &name : args.names()) {
-        const bench::PreparedWorkload p = bench::prepare(name, args.scale);
+    const std::vector<std::string> names = args.names();
+    std::vector<bench::PreparedWorkload> prepared;
+    prepared.reserve(names.size());
+    for (const std::string &name : names)
+        prepared.push_back(bench::prepare(name, args.scale));
 
+    std::vector<bench::MatrixJob> jobs;
+    for (const bench::PreparedWorkload &p : prepared) {
         SystemOptions o;
         o.htmKind = htm::HtmKind::P8;
         o.mechanism = Mechanism::Full;
         o.preserveReadOnly = true; // the paper's collection setup
-        const auto r = bench::run(p, o);
+        jobs.push_back({&p, o});
+    }
+    const std::vector<sim::RunResult> res = bench::runMatrix(jobs,
+                                                             args.jobs);
+
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const std::string &name = names[w];
+        const auto &r = res[w];
 
         const double total = double(r.txAccessesTotal());
         if (total == 0) {

@@ -32,14 +32,25 @@ main(int argc, char **argv)
     const std::vector<std::uint64_t> xs = {1,  2,  4,  8,  16, 24,
                                            32, 48, 64, 96, 128};
 
-    for (const std::string &name : args.only) {
-        const bench::PreparedWorkload p = bench::prepare(name, args.scale);
+    std::vector<bench::PreparedWorkload> prepared;
+    prepared.reserve(args.only.size());
+    for (const std::string &name : args.only)
+        prepared.push_back(bench::prepare(name, args.scale));
 
+    std::vector<bench::MatrixJob> jobs;
+    for (const bench::PreparedWorkload &p : prepared) {
         SystemOptions o;
         o.htmKind = htm::HtmKind::InfCap; // every TX commits: full CDF
         o.mechanism = Mechanism::Full;    // both hint kinds evaluated
         o.collectTxSizes = true;
-        const auto r = bench::run(p, o);
+        jobs.push_back({&p, o});
+    }
+    const std::vector<sim::RunResult> res = bench::runMatrix(jobs,
+                                                             args.jobs);
+
+    for (std::size_t w = 0; w < args.only.size(); ++w) {
+        const std::string &name = args.only[w];
+        const auto &r = res[w];
 
         TextTable t;
         std::vector<std::string> hdr = {"tracked blocks <="};

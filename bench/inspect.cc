@@ -25,9 +25,34 @@ main(int argc, char **argv)
 {
     const BenchArgs args = BenchArgs::parse(argc, argv);
 
-    for (const std::string &name : args.names()) {
-        const bench::PreparedWorkload p = bench::prepare(name, args.scale);
-        std::cout << "==== " << name << " (threads=" << p.wl.threads
+    const std::vector<std::string> names = args.names();
+    std::vector<bench::PreparedWorkload> prepared;
+    prepared.reserve(names.size());
+    for (const std::string &name : names)
+        prepared.push_back(bench::prepare(name, args.scale));
+
+    std::vector<bench::MatrixJob> jobs;
+    for (const bench::PreparedWorkload &p : prepared) {
+        for (htm::HtmKind kind :
+             {htm::HtmKind::P8, htm::HtmKind::InfCap}) {
+            for (Mechanism mech :
+                 {Mechanism::Baseline, Mechanism::StaticOnly,
+                  Mechanism::DynamicOnly, Mechanism::Full}) {
+                SystemOptions o;
+                o.htmKind = kind;
+                o.mechanism = mech;
+                o.preserveReadOnly = args.preserve;
+                o.collectTxSizes = true;
+                jobs.push_back({&p, o});
+            }
+        }
+    }
+    const std::vector<sim::RunResult> res = bench::runMatrix(jobs,
+                                                             args.jobs);
+
+    for (std::size_t w = 0; w < names.size(); ++w) {
+        const bench::PreparedWorkload &p = prepared[w];
+        std::cout << "==== " << names[w] << " (threads=" << p.wl.threads
                   << ") ====\n";
         std::cout << "compile: " << p.compileReport.summary() << "\n";
 
@@ -36,10 +61,8 @@ main(int argc, char **argv)
                   "false-cf", "capacity", "page-mode", "lock-abrt",
                   "trk p50", "trk p95", "trk max", "safe-rd st/dyn %"});
 
-        auto row = [&](const SystemOptions &o) {
-            SystemOptions opts = o;
-            opts.collectTxSizes = true;
-            const sim::RunResult r = bench::run(p, opts);
+        auto row = [&](const SystemOptions &opts,
+                       const sim::RunResult &r) {
             const auto ab = [&](htm::AbortReason a) {
                 return std::to_string(r.htm.aborts[unsigned(a)]);
             };
@@ -67,18 +90,8 @@ main(int argc, char **argv)
                    std::to_string(r.htm.trackedAtCommit.max()), mix});
         };
 
-        for (htm::HtmKind kind :
-             {htm::HtmKind::P8, htm::HtmKind::InfCap}) {
-            for (Mechanism mech :
-                 {Mechanism::Baseline, Mechanism::StaticOnly,
-                  Mechanism::DynamicOnly, Mechanism::Full}) {
-                SystemOptions o;
-                o.htmKind = kind;
-                o.mechanism = mech;
-                o.preserveReadOnly = args.preserve;
-                row(o);
-            }
-        }
+        for (std::size_t k = 0; k < 8; ++k)
+            row(jobs[8 * w + k].opts, res[8 * w + k]);
         std::cout << t << "\n";
     }
     return 0;

@@ -7,13 +7,17 @@
 
 #include <iostream>
 
+#include "bench_util.hh"
 #include "core/hintm.hh"
 
 using namespace hintm;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // No simulations here; parse so the shared flags (--jobs, --json)
+    // from driver scripts are accepted.
+    (void)bench::BenchArgs::parse(argc, argv);
     std::cout << "== Table II: simulation parameters ==\n\n";
     for (htm::HtmKind kind :
          {htm::HtmKind::P8, htm::HtmKind::P8S, htm::HtmKind::L1TM,

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Regenerate every paper figure/table plus the ablations into results/.
 # Usage: scripts/reproduce_all.sh [build-dir] (default: build)
+# Env:   JOBS=N  host threads per harness (default: nproc)
 set -euo pipefail
 BUILD="${1:-build}"
 OUT="results"
+JOBS="${JOBS:-$(nproc)}"
 mkdir -p "$OUT"
 
 benches=(
@@ -24,8 +26,9 @@ benches=(
 )
 
 for b in "${benches[@]}"; do
-    echo "== $b =="
-    "$BUILD/bench/$b" | tee "$OUT/$b.txt"
+    echo "== $b (jobs=$JOBS) =="
+    "$BUILD/bench/$b" --jobs "$JOBS" --json "$OUT/$b.json" \
+        | tee "$OUT/$b.txt"
     echo
 done
 

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Open-addressing hash set of addresses, sized for transactional
+ * footprints: a power-of-two slot array with linear probing and a
+ * multiplicative hash. Compared to std::unordered_set<Addr> there is no
+ * per-node allocation and probes stay in one contiguous array, which
+ * matters in the simulator's per-access hot path.
+ */
+
+#ifndef HINTM_COMMON_FLAT_SET_HH
+#define HINTM_COMMON_FLAT_SET_HH
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace hintm
+{
+
+/**
+ * Insert-only set of Addr keys (block numbers, page numbers, block
+ * addresses). clear() keeps the slot array, so a set reused across
+ * transactions stops allocating once it has seen the largest footprint.
+ * The all-ones address is reserved as the empty-slot sentinel.
+ */
+class AddrSet
+{
+  public:
+    /** @param initial_slots starting capacity, rounded up to a pow2. */
+    explicit AddrSet(std::size_t initial_slots = 64)
+    {
+        std::size_t cap = 16;
+        while (cap < initial_slots)
+            cap <<= 1;
+        slots_.assign(cap, emptyKey);
+    }
+
+    /** @return true when @p a was newly inserted. */
+    bool
+    insert(Addr a)
+    {
+        HINTM_ASSERT(a != emptyKey, "reserved key inserted into AddrSet");
+        if ((size_ + 1) * 4 > slots_.size() * 3)
+            grow();
+        Addr *slot = findSlot(a);
+        if (*slot == a)
+            return false;
+        *slot = a;
+        ++size_;
+        return true;
+    }
+
+    bool
+    contains(Addr a) const
+    {
+        return *const_cast<AddrSet *>(this)->findSlot(a) == a;
+    }
+
+    /** Drop all keys but keep the slot array. */
+    void
+    clear()
+    {
+        if (size_ == 0)
+            return;
+        std::fill(slots_.begin(), slots_.end(), emptyKey);
+        size_ = 0;
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    std::size_t capacity() const { return slots_.size(); }
+
+    /** Visit every key (unspecified order). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const Addr a : slots_) {
+            if (a != emptyKey)
+                fn(a);
+        }
+    }
+
+  private:
+    static constexpr Addr emptyKey = ~Addr(0);
+
+    /** Slot holding @p a, or the empty slot where it would go. */
+    Addr *
+    findSlot(Addr a)
+    {
+        const std::size_t mask = slots_.size() - 1;
+        // Fibonacci hashing spreads the low-entropy block/page numbers.
+        std::size_t i =
+            std::size_t(a * 0x9E3779B97F4A7C15ull >> 32) & mask;
+        while (slots_[i] != emptyKey && slots_[i] != a)
+            i = (i + 1) & mask;
+        return &slots_[i];
+    }
+
+    void
+    grow()
+    {
+        std::vector<Addr> old = std::move(slots_);
+        slots_.assign(old.size() * 2, emptyKey);
+        for (const Addr a : old) {
+            if (a != emptyKey)
+                *findSlot(a) = a;
+        }
+    }
+
+    std::vector<Addr> slots_;
+    std::size_t size_ = 0;
+};
+
+} // namespace hintm
+
+#endif // HINTM_COMMON_FLAT_SET_HH

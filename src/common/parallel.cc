@@ -1,0 +1,103 @@
+#include "parallel.hh"
+
+#include "common/logging.hh"
+
+namespace hintm
+{
+
+unsigned
+ThreadPool::defaultWorkers()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    if (workers == 0)
+        workers = defaultWorkers();
+    threads_.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stopping_ = true;
+    }
+    taskReady_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    HINTM_ASSERT(task != nullptr, "null task submitted");
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        HINTM_ASSERT(!stopping_, "submit on a stopping pool");
+        queue_.push_back(std::move(task));
+    }
+    taskReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    allDone_.wait(lock,
+                  [this] { return queue_.empty() && running_ == 0; });
+    if (firstError_) {
+        std::exception_ptr e = firstError_;
+        firstError_ = nullptr;
+        std::rethrow_exception(e);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+        taskReady_.wait(lock,
+                        [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) // stopping_ and drained
+            return;
+        std::function<void()> task = std::move(queue_.front());
+        queue_.pop_front();
+        ++running_;
+        lock.unlock();
+        try {
+            task();
+        } catch (...) {
+            lock.lock();
+            if (!firstError_)
+                firstError_ = std::current_exception();
+            lock.unlock();
+        }
+        lock.lock();
+        --running_;
+        if (queue_.empty() && running_ == 0)
+            allDone_.notify_all();
+    }
+}
+
+void
+parallelFor(unsigned workers, std::size_t n,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    ThreadPool pool(workers);
+    for (std::size_t i = 0; i < n; ++i)
+        pool.submit([&fn, i] { fn(i); });
+    pool.wait();
+}
+
+} // namespace hintm

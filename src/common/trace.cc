@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 
 namespace hintm
 {
@@ -20,7 +21,11 @@ const char *const categoryNames[numCategories] = {
 
 bool enabled_[numCategories] = {};
 std::ostream *sink_ = nullptr;
-bool envApplied_ = false;
+std::once_flag envOnce_;
+/** Serializes emitLine: machines running on pool threads must not
+ * interleave their trace lines mid-record. Category toggles themselves
+ * are expected to happen before parallel simulations start. */
+std::mutex emitMutex_;
 
 } // namespace
 
@@ -64,11 +69,12 @@ enableFromSpec(const std::string &spec)
 void
 enableFromEnvironment()
 {
-    if (envApplied_)
-        return;
-    envApplied_ = true;
-    if (const char *spec = std::getenv("HINTM_TRACE"))
-        enableFromSpec(spec);
+    // Machines may be constructed concurrently on pool threads; apply
+    // the environment exactly once, race-free.
+    std::call_once(envOnce_, [] {
+        if (const char *spec = std::getenv("HINTM_TRACE"))
+            enableFromSpec(spec);
+    });
 }
 
 void
@@ -96,6 +102,7 @@ namespace detail
 void
 emitLine(Category c, Cycle cycle, const std::string &msg)
 {
+    std::lock_guard<std::mutex> lock(emitMutex_);
     std::ostream &os = sink_ ? *sink_ : std::cerr;
     os << cycle << ": " << categoryNames[unsigned(c)] << ": " << msg
        << "\n";

@@ -184,7 +184,7 @@ HtmController::onPageBecameUnsafe(Addr page_num)
 {
     if (!inTx_ || abortPending_)
         return;
-    if (safePages_.count(page_num)) {
+    if (safePages_.contains(page_num)) {
         // Untracked (safe) reads to this page can no longer be trusted:
         // conservatively abort (§III-B).
         triggerAbort(AbortReason::PageMode);
@@ -201,7 +201,7 @@ HtmController::onRemoteAccess(Addr block_addr, AccessType type,
 
     const TxBufferEntry *e = buffer_.find(block_addr);
     const bool in_read =
-        (e && e->read) || overflowReads_.count(block_addr) != 0;
+        (e && e->read) || overflowReads_.contains(block_addr);
     const bool in_write = e && e->written;
 
     if (type == AccessType::Write) {
@@ -241,7 +241,7 @@ bool
 HtmController::readsBlock(Addr block_addr) const
 {
     const TxBufferEntry *e = buffer_.find(block_addr);
-    return (e && e->read) || overflowReads_.count(block_addr) != 0;
+    return (e && e->read) || overflowReads_.contains(block_addr);
 }
 
 bool

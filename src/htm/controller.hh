@@ -11,8 +11,8 @@
 #define HINTM_HTM_CONTROLLER_HH
 
 #include <functional>
-#include <unordered_set>
 
+#include "common/flat_set.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "htm/abort.hh"
@@ -203,10 +203,10 @@ class HtmController : public mem::SnoopListener
     TxBuffer buffer_;
     /** P8S: readset blocks spilled past the buffer, summarized in the
      * signature; kept precisely here to tell false from true conflicts. */
-    std::unordered_set<Addr> overflowReads_;
+    AddrSet overflowReads_;
     Signature signature_;
     /** Pages read under a dynamic safety hint during this TX. */
-    std::unordered_set<Addr> safePages_;
+    AddrSet safePages_;
 };
 
 } // namespace htm

@@ -27,12 +27,13 @@ CacheArray::CacheArray(const CacheGeometry &geom)
 CacheLine *
 CacheArray::findLine(Addr block_addr)
 {
-    const std::uint64_t set = geom_.indexOf(block_addr);
     const std::uint64_t tag = geom_.tagOf(block_addr);
-    for (unsigned way = 0; way < geom_.assoc(); ++way) {
-        CacheLine &line = lines_[set * geom_.assoc() + way];
-        if (line.valid() && line.tag == tag)
-            return &line;
+    CacheLine *const set =
+        &lines_[geom_.indexOf(block_addr) * geom_.assoc()];
+    for (CacheLine *line = set, *end = set + geom_.assoc(); line != end;
+         ++line) {
+        if (line->valid() && line->tag == tag)
+            return line;
     }
     return nullptr;
 }
@@ -60,11 +61,13 @@ CacheArray::insert(Addr block_addr, CoherState state,
     Eviction ev;
     const std::uint64_t set = geom_.indexOf(block_addr);
     const std::uint64_t tag = geom_.tagOf(block_addr);
+    CacheLine *const base = &lines_[set * geom_.assoc()];
 
     CacheLine *victim = nullptr;       // preferred: invalid or unpinned
     CacheLine *pinned_lru = nullptr;   // fallback: LRU among pinned
-    for (unsigned way = 0; way < geom_.assoc(); ++way) {
-        CacheLine &line = lines_[set * geom_.assoc() + way];
+    for (CacheLine *lp = base, *end = base + geom_.assoc(); lp != end;
+         ++lp) {
+        CacheLine &line = *lp;
         if (line.valid() && line.tag == tag) {
             // Re-insert over an existing copy: just update state.
             line.state = state;

@@ -4,9 +4,9 @@
 #include <sstream>
 #include <limits>
 #include <memory>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_set.hh"
 #include "common/logging.hh"
 #include "common/trace.hh"
 #include "tir/interp.hh"
@@ -37,8 +37,9 @@ struct ContextState
     unsigned retries = 0;
     bool mustFallback = false;
     bool inFallback = false;
-    // Fig. 6 footprints of the in-flight TX, in blocks.
-    std::unordered_set<Addr> fpAll, fpNoStatic, fpUnsafe;
+    // Fig. 6 footprints of the in-flight TX, in blocks. Open-addressing
+    // sets: one insert per tracked access makes these hot.
+    AddrSet fpAll, fpNoStatic, fpUnsafe;
 };
 
 class Machine

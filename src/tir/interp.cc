@@ -98,6 +98,34 @@ ThreadInterp::advance()
     ++frames_.back().ip;
 }
 
+namespace
+{
+
+/** Straight-line opcodes neither end a basic block nor stop the
+ * interpreter at a boundary: next() can execute them back-to-back
+ * without re-resolving the active frame/block. */
+constexpr bool
+isStraightLine(Opcode op)
+{
+    switch (op) {
+      case Opcode::Load:
+      case Opcode::Store:
+      case Opcode::TxBegin:
+      case Opcode::TxEnd:
+      case Opcode::Barrier:
+      case Opcode::Annotate: // boundaries
+      case Opcode::Br:
+      case Opcode::CondBr:
+      case Opcode::Call:
+      case Opcode::Ret:      // control flow
+        return false;
+      default:
+        return true;
+    }
+}
+
+} // namespace
+
 Step
 ThreadInterp::next()
 {
@@ -109,7 +137,28 @@ ThreadInterp::next()
     HINTM_ASSERT(!memPending_, "next() with unfinished memory access");
 
     while (true) {
-        const Instr &ins = currentInstr();
+        // Resolve the frame's instruction span once per control-flow
+        // change instead of once per instruction: straight-line opcodes
+        // never push/pop frames or leave the block, so the span stays
+        // valid while they execute back-to-back.
+        Frame &f = frames_.back();
+        const Function &fn = prog_.module().functions[f.fn];
+        HINTM_ASSERT(f.block < int(fn.blocks.size()), "bad block in ",
+                     fn.name);
+        const auto &instrs = fn.blocks[f.block].instrs;
+        const int n = int(instrs.size());
+        HINTM_ASSERT(f.ip < n, "fell off block ", f.block, " of ",
+                     fn.name);
+        while (f.ip < n && isStraightLine(instrs[f.ip].op)) {
+            execute(instrs[f.ip]);
+            ++st.simpleInstrs;
+            ++instrCount_;
+            HINTM_ASSERT(st.simpleInstrs < 500000000ull,
+                         "runaway non-memory loop");
+        }
+        HINTM_ASSERT(f.ip < n, "fell off block ", f.block, " of ",
+                     fn.name);
+        const Instr &ins = instrs[f.ip];
         switch (ins.op) {
           case Opcode::Load:
           case Opcode::Store:
@@ -136,6 +185,8 @@ ThreadInterp::next()
             st.annotateLen = std::uint64_t(reg(ins.b));
             return st;
           default:
+            // Control flow (Br/CondBr/Call/Ret): execute, then
+            // re-resolve the frame span.
             execute(ins);
             ++st.simpleInstrs;
             ++instrCount_;

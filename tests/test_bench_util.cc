@@ -50,12 +50,21 @@ TEST(BenchArgs, UnknownArgumentFatals)
     EXPECT_THROW(parse({"--bogus"}), std::runtime_error);
 }
 
+TEST(BenchArgs, JobsFlag)
+{
+    EXPECT_EQ(parse({}).jobs, 0u); // 0 = hardware concurrency
+    EXPECT_EQ(parse({"--jobs", "4"}).jobs, 4u);
+    EXPECT_EQ(parse({"--jobs", "1"}).jobs, 1u);
+}
+
 TEST(BenchMath, Reduction)
 {
     EXPECT_DOUBLE_EQ(bench::reduction(100, 40), 0.6);
     EXPECT_DOUBLE_EQ(bench::reduction(100, 0), 1.0);
-    EXPECT_DOUBLE_EQ(bench::reduction(0, 5), 0.0);   // no baseline
-    EXPECT_DOUBLE_EQ(bench::reduction(10, 20), 0.0); // regression clamps
+    EXPECT_DOUBLE_EQ(bench::reduction(0, 5), 0.0); // no baseline
+    // Regressions render as negative reductions, not a 0% clamp.
+    EXPECT_DOUBLE_EQ(bench::reduction(10, 20), -1.0);
+    EXPECT_DOUBLE_EQ(bench::reduction(100, 150), -0.5);
 }
 
 TEST(BenchMath, Geomean)

@@ -9,12 +9,76 @@
 
 #include <sstream>
 
+#include <set>
+
+#include "common/flat_set.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "common/types.hh"
 
 using namespace hintm;
+
+TEST(AddrSet, InsertContainsAndDuplicates)
+{
+    AddrSet s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_FALSE(s.contains(42));
+    EXPECT_TRUE(s.insert(42));
+    EXPECT_FALSE(s.insert(42)); // duplicate
+    EXPECT_TRUE(s.contains(42));
+    EXPECT_FALSE(s.contains(43));
+    EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(AddrSet, GrowsPastInitialCapacityWithoutLosingKeys)
+{
+    AddrSet s(16);
+    const std::size_t cap0 = s.capacity();
+    // Colliding-ish keys: sequential block numbers, then sparse ones.
+    for (Addr a = 0; a < 1000; ++a)
+        EXPECT_TRUE(s.insert(a * 64));
+    EXPECT_EQ(s.size(), 1000u);
+    EXPECT_GT(s.capacity(), cap0);
+    for (Addr a = 0; a < 1000; ++a)
+        EXPECT_TRUE(s.contains(a * 64));
+    EXPECT_FALSE(s.contains(1000 * 64));
+}
+
+TEST(AddrSet, ClearKeepsCapacity)
+{
+    AddrSet s;
+    for (Addr a = 1; a <= 500; ++a)
+        s.insert(a);
+    const std::size_t cap = s.capacity();
+    s.clear();
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.capacity(), cap); // no realloc churn across TXs
+    EXPECT_FALSE(s.contains(1));
+    EXPECT_TRUE(s.insert(1));
+}
+
+TEST(AddrSet, ForEachVisitsEveryKeyOnce)
+{
+    AddrSet s;
+    std::set<Addr> expect;
+    for (Addr a = 0; a < 100; ++a) {
+        s.insert(a * 4096);
+        expect.insert(a * 4096);
+    }
+    std::set<Addr> seen;
+    s.forEach([&](Addr a) { EXPECT_TRUE(seen.insert(a).second); });
+    EXPECT_EQ(seen, expect);
+}
+
+TEST(AddrSet, ZeroIsAValidKey)
+{
+    AddrSet s;
+    EXPECT_FALSE(s.contains(0));
+    EXPECT_TRUE(s.insert(0));
+    EXPECT_TRUE(s.contains(0));
+    EXPECT_FALSE(s.insert(0));
+}
 
 TEST(Types, BlockAndPageMath)
 {
@@ -149,6 +213,15 @@ TEST(Stats, GroupDump)
     g.reset();
     EXPECT_EQ(g.counter("hits").value(), 0u);
     EXPECT_EQ(child.counter("x").value(), 0u);
+}
+
+TEST(Table, PctRendersSignedFractions)
+{
+    EXPECT_EQ(TextTable::pct(0.42), "42.0%");
+    // A negative reduction (mechanism made things worse) must show its
+    // sign instead of being clamped or mangled.
+    EXPECT_EQ(TextTable::pct(-0.5), "-50.0%");
+    EXPECT_EQ(TextTable::pct(-1.0, 0), "-100%");
 }
 
 TEST(Table, AlignsColumns)

@@ -125,6 +125,71 @@ TEST(CacheArray, PinnedLinesEvictedLast)
     EXPECT_TRUE(ev.happened);
 }
 
+TEST(CacheArray, PinnedFallbackPicksLruAmongPinned)
+{
+    CacheArray arr(CacheGeometry(256, 2)); // 2 sets x 2 ways
+    arr.insert(0, CoherState::Shared);
+    arr.insert(128, CoherState::Shared);
+    arr.lookup(0); // 128 is now LRU
+    CacheArray::PinPredicate pin_all = [](Addr) { return true; };
+    const Eviction ev = arr.insert(256, CoherState::Shared, &pin_all);
+    EXPECT_TRUE(ev.happened);
+    EXPECT_EQ(ev.blockAddr, 128u); // LRU even within the pinned set
+    EXPECT_NE(arr.probe(0), nullptr);
+    EXPECT_NE(arr.probe(256), nullptr);
+}
+
+TEST(CacheArray, PinnedFallbackReportsDirtyVictim)
+{
+    CacheArray arr(CacheGeometry(128, 1)); // direct mapped
+    arr.insert(0, CoherState::Modified);
+    CacheArray::PinPredicate pin_all = [](Addr) { return true; };
+    const Eviction ev = arr.insert(128, CoherState::Shared, &pin_all);
+    EXPECT_TRUE(ev.happened);
+    EXPECT_EQ(ev.blockAddr, 0u);
+    EXPECT_TRUE(ev.dirty); // writeback still owed for a pinned victim
+}
+
+TEST(CacheArray, ReinsertExistingBlockDoesNotEvict)
+{
+    CacheArray arr(CacheGeometry(256, 2));
+    arr.insert(0, CoherState::Shared);
+    arr.insert(128, CoherState::Shared);
+    // Re-inserting a resident block upgrades in place: no victim even
+    // though the set is full.
+    const Eviction ev = arr.insert(0, CoherState::Modified);
+    EXPECT_FALSE(ev.happened);
+    EXPECT_EQ(arr.countValid(), 2u);
+    EXPECT_EQ(arr.probe(0)->state, CoherState::Modified);
+}
+
+TEST(CacheArray, ProbeDoesNotPerturbLru)
+{
+    CacheArray arr(CacheGeometry(256, 2));
+    arr.insert(0, CoherState::Shared);
+    arr.insert(128, CoherState::Shared); // 0 is LRU
+    arr.probe(0);                        // must NOT refresh 0
+    const Eviction ev = arr.insert(256, CoherState::Shared);
+    EXPECT_TRUE(ev.happened);
+    EXPECT_EQ(ev.blockAddr, 0u);
+}
+
+TEST(CacheArray, LruVictimAcrossManyTouches)
+{
+    CacheArray arr(CacheGeometry(512, 4)); // 2 sets x 4 ways
+    // Fill set 0 (stride 128 at 64B blocks x 2 sets).
+    for (Addr a : {Addr(0), Addr(128), Addr(256), Addr(384)})
+        arr.insert(a, CoherState::Shared);
+    // Touch in an order that leaves 256 least-recent.
+    arr.lookup(0);
+    arr.lookup(384);
+    arr.lookup(128);
+    arr.lookup(0);
+    const Eviction ev = arr.insert(512, CoherState::Shared);
+    EXPECT_TRUE(ev.happened);
+    EXPECT_EQ(ev.blockAddr, 256u);
+}
+
 TEST(CacheArray, CountValidAndSweep)
 {
     CacheArray arr(CacheGeometry(512, 4));

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for the host-side parallel runner: the thread pool itself,
+ * parallelFor, and the determinism / caching guarantees of
+ * bench::runMatrix (results must be bit-identical regardless of how
+ * many host threads execute the matrix).
+ */
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../bench/bench_util.hh"
+#include "common/parallel.hh"
+
+using namespace hintm;
+
+TEST(ThreadPool, RunsAllSubmittedTasks)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.workers(), 4u);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+    pool.submit([&] { ++count; });
+    pool.submit([&] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ThreadPool, DefaultWorkersIsPositive)
+{
+    EXPECT_GE(ThreadPool::defaultWorkers(), 1u);
+}
+
+TEST(ThreadPool, FirstExceptionPropagatesFromWait)
+{
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("boom"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The pool survives a failed batch.
+    std::atomic<int> count{0};
+    pool.submit([&] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    for (const unsigned workers : {1u, 3u, 8u}) {
+        std::vector<std::atomic<int>> hits(257);
+        parallelFor(workers, hits.size(),
+                    [&](std::size_t i) { ++hits[i]; });
+        for (const auto &h : hits)
+            EXPECT_EQ(h.load(), 1);
+    }
+}
+
+TEST(ParallelFor, ZeroItemsIsANoop)
+{
+    parallelFor(4, 0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ParallelFor, ExceptionPropagates)
+{
+    EXPECT_THROW(parallelFor(2, 8,
+                             [](std::size_t i) {
+                                 if (i == 5)
+                                     throw std::runtime_error("bad");
+                             }),
+                 std::runtime_error);
+}
+
+namespace
+{
+
+std::vector<bench::MatrixJob>
+sampleJobs(const bench::PreparedWorkload &p)
+{
+    std::vector<bench::MatrixJob> jobs;
+    for (const core::Mechanism m :
+         {core::Mechanism::Baseline, core::Mechanism::StaticOnly,
+          core::Mechanism::DynamicOnly, core::Mechanism::Full}) {
+        core::SystemOptions o;
+        o.htmKind = htm::HtmKind::P8;
+        o.mechanism = m;
+        jobs.push_back({&p, o});
+    }
+    return jobs;
+}
+
+} // namespace
+
+TEST(RunMatrix, DeterministicAcrossHostJobCounts)
+{
+    const bench::PreparedWorkload p =
+        bench::prepare("kmeans", workloads::Scale::Tiny);
+    const std::vector<bench::MatrixJob> jobs = sampleJobs(p);
+
+    bench::clearMatrixCache();
+    const auto seq = bench::runMatrix(jobs, 1);
+    bench::clearMatrixCache(); // don't let jobs=8 trivially hit cache
+    const auto par = bench::runMatrix(jobs, 8);
+
+    ASSERT_EQ(seq.size(), jobs.size());
+    ASSERT_EQ(par.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(seq[i].cycles, par[i].cycles) << "job " << i;
+        EXPECT_EQ(seq[i].instructions, par[i].instructions) << "job "
+                                                            << i;
+        EXPECT_EQ(seq[i].committedTxs, par[i].committedTxs) << "job "
+                                                            << i;
+        EXPECT_EQ(seq[i].htm.totalAborts(), par[i].htm.totalAborts())
+            << "job " << i;
+    }
+    bench::clearMatrixCache();
+}
+
+TEST(RunMatrix, ResultsArriveInSubmissionOrder)
+{
+    const bench::PreparedWorkload p =
+        bench::prepare("kmeans", workloads::Scale::Tiny);
+    std::vector<bench::MatrixJob> jobs = sampleJobs(p);
+
+    bench::clearMatrixCache();
+    const auto res = bench::runMatrix(jobs, 4);
+    // Re-run each job individually and check slot alignment.
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const sim::RunResult direct = bench::run(p, jobs[i].opts);
+        EXPECT_EQ(res[i].cycles, direct.cycles) << "job " << i;
+        EXPECT_EQ(res[i].htm.commits, direct.htm.commits) << "job " << i;
+    }
+    bench::clearMatrixCache();
+}
+
+TEST(RunMatrix, CacheDedupsWithinAndAcrossCalls)
+{
+    const bench::PreparedWorkload p =
+        bench::prepare("kmeans", workloads::Scale::Tiny);
+    core::SystemOptions o;
+    o.htmKind = htm::HtmKind::P8;
+
+    bench::clearMatrixCache();
+    // Three identical jobs in one matrix: one miss, two in-call hits.
+    const auto res = bench::runMatrix({{&p, o}, {&p, o}, {&p, o}}, 2);
+    auto st = bench::matrixCacheStats();
+    EXPECT_EQ(st.misses, 1u);
+    EXPECT_EQ(st.hits, 2u);
+    EXPECT_EQ(res[0].cycles, res[1].cycles);
+    EXPECT_EQ(res[0].cycles, res[2].cycles);
+
+    // Same job again in a new call: served from the cross-call cache.
+    const auto res2 = bench::runMatrix({{&p, o}}, 2);
+    st = bench::matrixCacheStats();
+    EXPECT_EQ(st.misses, 1u);
+    EXPECT_EQ(st.hits, 3u);
+    EXPECT_EQ(res2[0].cycles, res[0].cycles);
+
+    // A different config is a fresh miss.
+    core::SystemOptions full = o;
+    full.mechanism = core::Mechanism::Full;
+    (void)bench::runMatrix({{&p, full}}, 2);
+    st = bench::matrixCacheStats();
+    EXPECT_EQ(st.misses, 2u);
+    bench::clearMatrixCache();
+}
+
+TEST(RunMatrix, ThreadsOverrideIsPartOfTheCacheKey)
+{
+    const bench::PreparedWorkload p =
+        bench::prepare("kmeans", workloads::Scale::Tiny);
+    core::SystemOptions o;
+    o.htmKind = htm::HtmKind::P8;
+
+    bench::clearMatrixCache();
+    const auto res =
+        bench::runMatrix({{&p, o, 0}, {&p, o, 2}}, 2);
+    const auto st = bench::matrixCacheStats();
+    EXPECT_EQ(st.misses, 2u); // different thread counts: both simulate
+    EXPECT_NE(res[0].cycles, res[1].cycles);
+    bench::clearMatrixCache();
+}

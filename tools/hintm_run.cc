@@ -16,6 +16,7 @@
 #include <cstring>
 #include <string>
 
+#include "bench_util.hh"
 #include "common/logging.hh"
 #include "common/trace.hh"
 #include "core/hintm.hh"
@@ -51,6 +52,9 @@ usage(int code)
         "  --validate          check safe-store initializing property\n"
         "  --profile           collect Fig.1-style sharing metrics\n"
         "  --cdf               collect TX footprint CDFs\n"
+        "  --jobs N            host threads for the runner (default "
+        "hardware concurrency)\n"
+        "  --json FILE         write a per-run perf record to FILE\n"
         "  --stats             dump raw memory/VM statistics\n"
         "  --trace CATS        trace categories (tx,htm,vm,mem,sched|all)\n"
         "  --list              list workloads and exit\n");
@@ -73,6 +77,7 @@ main(int argc, char **argv)
     core::SystemOptions opts;
     opts.mechanism = core::Mechanism::Full;
     unsigned threads_override = 0;
+    unsigned host_jobs = 0;
     bool profile = false, cdf = false, stats = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -153,6 +158,10 @@ main(int argc, char **argv)
             profile = true;
         } else if (a == "--cdf") {
             cdf = true;
+        } else if (a == "--jobs") {
+            host_jobs = unsigned(parseNum(next()));
+        } else if (a == "--json") {
+            bench::setJsonReport(next());
         } else if (a == "--stats") {
             stats = true;
         } else if (a == "--trace") {
@@ -174,8 +183,11 @@ main(int argc, char **argv)
     opts.profileSharing = profile;
     opts.collectTxSizes = cdf;
 
-    workloads::Workload wl = workloads::byName(workload, scale);
-    const auto rep = core::compileHints(wl.module);
+    bench::PreparedWorkload p;
+    p.wl = workloads::byName(workload, scale);
+    p.compileReport = core::compileHints(p.wl.module);
+    p.scale = scale;
+    const workloads::Workload &wl = p.wl;
     const unsigned threads =
         threads_override ? threads_override : wl.threads;
 
@@ -184,9 +196,11 @@ main(int argc, char **argv)
     std::printf("config     : %s, %u cores x %u SMT, buffer %u\n",
                 opts.label().c_str(), opts.numCores, opts.smtPerCore,
                 opts.bufferEntries);
-    std::printf("compiler   : %s\n\n", rep.summary().c_str());
+    std::printf("compiler   : %s\n\n", p.compileReport.summary().c_str());
 
-    const sim::RunResult r = core::simulate(opts, wl.module, threads);
+    const std::vector<bench::MatrixJob> jobs = {
+        {&p, opts, threads_override}};
+    const sim::RunResult r = bench::runMatrix(jobs, host_jobs)[0];
 
     std::printf("cycles            : %llu\n",
                 (unsigned long long)r.cycles);
