@@ -42,9 +42,13 @@ BenchArgs::parse(int argc, char **argv)
             a.jobs = unsigned(std::strtoul(argv[++i], nullptr, 0));
         } else if (arg == "--json" && i + 1 < argc) {
             a.jsonPath = argv[++i];
+        } else if (arg == "--no-snoop-filter") {
+            a.noSnoopFilter = true;
+            core::SystemOptions::setSnoopFilterDefault(false);
         } else if (arg == "--help") {
             std::printf("options: [--tiny|--small|--large] [--preserve] "
-                        "[--workload NAME]... [--jobs N] [--json FILE]\n");
+                        "[--workload NAME]... [--jobs N] [--json FILE] "
+                        "[--no-snoop-filter]\n");
             std::exit(0);
         } else {
             HINTM_FATAL("unknown argument ", arg);
@@ -121,7 +125,7 @@ jobKey(const MatrixJob &job)
        << o.smtPerCore << '|' << o.seed << '|' << o.collectTxSizes
        << o.profileSharing << o.validateSafeStores << '|'
        << o.bufferEntries << '|' << o.signatureBits << '|'
-       << o.maxRetries;
+       << o.maxRetries << '|' << o.snoopFilter << o.collectRawStats;
     return os.str();
 }
 

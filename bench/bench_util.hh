@@ -34,6 +34,9 @@ struct BenchArgs
     unsigned jobs = 0;
     /** When non-empty, a per-run perf report is written here at exit. */
     std::string jsonPath;
+    /** --no-snoop-filter: run the reference broadcast memory path
+     * (cross-check mode; also flips the process-wide default). */
+    bool noSnoopFilter = false;
 
     static BenchArgs parse(int argc, char **argv);
     std::vector<std::string> names() const;

@@ -21,6 +21,23 @@ mechanismName(Mechanism m)
     return "?";
 }
 
+namespace
+{
+bool snoopFilterDefault_ = true;
+} // namespace
+
+bool
+SystemOptions::snoopFilterDefault()
+{
+    return snoopFilterDefault_;
+}
+
+void
+SystemOptions::setSnoopFilterDefault(bool on)
+{
+    snoopFilterDefault_ = on;
+}
+
 std::string
 SystemOptions::label() const
 {
@@ -59,6 +76,11 @@ makeMachineConfig(const SystemOptions &opts)
     cfg.collectTxSizes = opts.collectTxSizes;
     cfg.profileSharing = opts.profileSharing;
     cfg.validateSafeStores = opts.validateSafeStores;
+    cfg.collectRawStats = opts.collectRawStats;
+
+    // One switch covers all three behavior-preserving fast-path layers.
+    cfg.mem.snoopFilter = opts.snoopFilter;
+    cfg.vm.translationCache = opts.snoopFilter;
     return cfg;
 }
 

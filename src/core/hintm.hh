@@ -61,7 +61,19 @@ struct SystemOptions
     unsigned signatureBits = 1024;
     unsigned maxRetries = 8;
 
+    /** Simulator fast path (snoop filter + interest gating + translation
+     * cache). Behavior-preserving; off = reference broadcast path for
+     * cross-checking. Initialized from snoopFilterDefault(). */
+    bool snoopFilter = snoopFilterDefault();
+    /** Populate RunResult::rawStats (costs time; off unless asked). */
+    bool collectRawStats = false;
+
     std::string label() const;
+
+    /** Process-wide default for SystemOptions::snoopFilter, so drivers
+     * can flip every subsequently-built config (--no-snoop-filter). */
+    static bool snoopFilterDefault();
+    static void setSnoopFilterDefault(bool on);
 };
 
 /** Expand high-level options into the full machine configuration. */

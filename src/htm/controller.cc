@@ -75,6 +75,20 @@ HtmController::HtmController(const HtmConfig &cfg, mem::ContextId self,
 }
 
 void
+HtmController::setInterestHook(std::function<void(bool)> hook)
+{
+    interestHook_ = std::move(hook);
+    publishInterest();
+}
+
+void
+HtmController::publishInterest()
+{
+    if (interestHook_)
+        interestHook_(inTx_ && !abortPending_);
+}
+
+void
 HtmController::beginTx(Cycle now)
 {
     HINTM_ASSERT(!inTx_, "nested TX begin on context ", self_);
@@ -82,6 +96,7 @@ HtmController::beginTx(Cycle now)
     inTx_ = true;
     txStart_ = now;
     ++stats_->begins;
+    publishInterest();
 }
 
 void
@@ -268,6 +283,7 @@ HtmController::triggerAbort(AbortReason r)
         return;
     abortPending_ = true;
     pendingReason_ = r;
+    publishInterest(); // a dead TX no longer listens
     // Restore memory values immediately so that the access which killed
     // this TX observes pre-transactional data.
     if (undoHook_)
@@ -285,6 +301,7 @@ HtmController::clearTxState()
     overflowReads_.clear();
     signature_.clear();
     safePages_.clear();
+    publishInterest();
 }
 
 } // namespace htm

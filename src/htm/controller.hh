@@ -112,6 +112,15 @@ class HtmController : public mem::SnoopListener
      */
     void setUndoHook(std::function<void()> hook) { undoHook_ = hook; }
 
+    /**
+     * Hook publishing whether this controller currently needs coherence
+     * events (it does exactly while in an un-aborted TX — see the early
+     * returns in onRemoteAccess/onEviction). The memory system uses it to
+     * skip listener delivery for uninterested contexts. Invoked once
+     * immediately with the current state, then on every transition.
+     */
+    void setInterestHook(std::function<void(bool)> hook);
+
     /** Enter transactional mode. */
     void beginTx(Cycle now);
 
@@ -185,11 +194,13 @@ class HtmController : public mem::SnoopListener
   private:
     void triggerAbort(AbortReason r);
     void clearTxState();
+    void publishInterest();
 
     HtmConfig cfg_;
     mem::ContextId self_;
     HtmStats *stats_;
     std::function<void()> undoHook_;
+    std::function<void(bool)> interestHook_;
 
     bool inTx_ = false;
     bool abortPending_ = false;

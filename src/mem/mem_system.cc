@@ -1,11 +1,21 @@
 #include "mem_system.hh"
 
+#include <bit>
+
 #include "common/logging.hh"
 
 namespace hintm
 {
 namespace mem
 {
+
+namespace
+{
+
+/** Max contexts/L1s representable in the 64-bit fast-path masks. */
+constexpr unsigned maskBits = 64;
+
+} // namespace
 
 MemorySystem::MemorySystem(const MemConfig &cfg, unsigned num_l1s)
     : cfg_(cfg)
@@ -17,6 +27,20 @@ MemorySystem::MemorySystem(const MemConfig &cfg, unsigned num_l1s)
     pinCheckers_.resize(num_l1s);
     l2_ = std::make_unique<CacheArray>(
         CacheGeometry(cfg.l2SizeBytes, cfg.l2Assoc));
+
+    filterOn_ = cfg.snoopFilter && num_l1s <= maskBits;
+    l1CtxMask_.assign(num_l1s, 0);
+
+    cReads_ = &stats_.counter("reads");
+    cWrites_ = &stats_.counter("writes");
+    cL1Hits_ = &stats_.counter("l1_hits");
+    cL1Misses_ = &stats_.counter("l1_misses");
+    cL1Evictions_ = &stats_.counter("l1_evictions");
+    cUpgrades_ = &stats_.counter("upgrades");
+    cInvalidations_ = &stats_.counter("invalidations");
+    cWritebacks_ = &stats_.counter("writebacks");
+    cL2Hits_ = &stats_.counter("l2_hits");
+    cL2Misses_ = &stats_.counter("l2_misses");
 }
 
 ContextId
@@ -24,13 +48,35 @@ MemorySystem::addContext(unsigned l1_id)
 {
     HINTM_ASSERT(l1_id < l1s_.size(), "bad L1 id ", l1_id);
     contexts_.push_back(Context{l1_id, nullptr});
-    return ContextId(contexts_.size() - 1);
+    const ContextId id = ContextId(contexts_.size() - 1);
+    if (unsigned(id) >= maskBits)
+        filterOn_ = false; // too many contexts for the masks
+    else
+        l1CtxMask_[l1_id] |= std::uint64_t(1) << unsigned(id);
+    return id;
 }
 
 void
 MemorySystem::setListener(ContextId ctx, SnoopListener *listener)
 {
     contexts_.at(ctx).listener = listener;
+    // A plain observer expects every event; transactional controllers
+    // lower their interest themselves once hooked up.
+    setListenerInterest(ctx, listener != nullptr);
+}
+
+void
+MemorySystem::setListenerInterest(ContextId ctx, bool interested)
+{
+    HINTM_ASSERT(ctx >= 0 && ctx < ContextId(contexts_.size()),
+                 "bad context ", ctx);
+    if (unsigned(ctx) >= maskBits)
+        return; // broadcast mode; interest mask unused
+    const std::uint64_t bit = std::uint64_t(1) << unsigned(ctx);
+    if (interested)
+        interestMask_ |= bit;
+    else
+        interestMask_ &= ~bit;
 }
 
 void
@@ -46,36 +92,64 @@ MemorySystem::probeL1(ContextId ctx, Addr addr) const
     return l1s_[contexts_.at(ctx).l1]->probe(blockAlign(addr));
 }
 
+std::uint64_t
+MemorySystem::sharerMaskOf(Addr addr) const
+{
+    return filterOn_ ? filter_.sharers(blockAlign(addr)) : 0;
+}
+
+bool
+MemorySystem::snoopOne(unsigned l1, Addr block, BusOp op)
+{
+    CacheLine *line = l1s_[l1]->lookup(block);
+    if (!line)
+        return false;
+    switch (op) {
+      case BusOp::Read:
+        // Owner supplies data and downgrades; dirty data reaches L2.
+        if (line->state == CoherState::Modified) {
+            ++*cWritebacks_;
+            l2_->insert(block, CoherState::Modified);
+        }
+        line->state = CoherState::Shared;
+        break;
+      case BusOp::ReadExcl:
+      case BusOp::Upgrade:
+        if (line->state == CoherState::Modified) {
+            ++*cWritebacks_;
+            l2_->insert(block, CoherState::Modified);
+        }
+        line->state = CoherState::Invalid;
+        ++*cInvalidations_;
+        if (filterOn_)
+            filter_.removeSharer(block, l1);
+        break;
+    }
+    return true;
+}
+
 bool
 MemorySystem::snoopPeers(unsigned requester_l1, Addr block, BusOp op)
 {
     bool peer_had_copy = false;
+    if (filterOn_) {
+        std::uint64_t m = filter_.sharers(block) &
+                          ~(std::uint64_t(1) << requester_l1);
+        while (m) {
+            const unsigned i = unsigned(std::countr_zero(m));
+            m &= m - 1;
+            if (snoopOne(i, block, op))
+                peer_had_copy = true;
+            else
+                filter_.removeSharer(block, i); // heal a stale bit
+        }
+        return peer_had_copy;
+    }
     for (unsigned i = 0; i < l1s_.size(); ++i) {
         if (i == requester_l1)
             continue;
-        CacheLine *line = l1s_[i]->lookup(block);
-        if (!line)
-            continue;
-        peer_had_copy = true;
-        switch (op) {
-          case BusOp::Read:
-            // Owner supplies data and downgrades; dirty data reaches L2.
-            if (line->state == CoherState::Modified) {
-                ++stats_.counter("writebacks");
-                l2_->insert(block, CoherState::Modified);
-            }
-            line->state = CoherState::Shared;
-            break;
-          case BusOp::ReadExcl:
-          case BusOp::Upgrade:
-            if (line->state == CoherState::Modified) {
-                ++stats_.counter("writebacks");
-                l2_->insert(block, CoherState::Modified);
-            }
-            line->state = CoherState::Invalid;
-            ++stats_.counter("invalidations");
-            break;
-        }
+        if (snoopOne(i, block, op))
+            peer_had_copy = true;
     }
     return peer_had_copy;
 }
@@ -86,6 +160,17 @@ MemorySystem::notifyBus(ContextId requester, Addr block, AccessType type)
     // Same-L1 siblings are covered by notifySiblings() on every access;
     // the bus only reaches the other cores.
     const unsigned l1 = contexts_[requester].l1;
+    if (filterOn_) {
+        std::uint64_t m = interestMask_ & ~l1CtxMask_[l1];
+        while (m) {
+            const ContextId c = ContextId(std::countr_zero(m));
+            m &= m - 1;
+            if (contexts_[c].listener)
+                contexts_[c].listener->onRemoteAccess(block, type,
+                                                      requester);
+        }
+        return;
+    }
     for (ContextId c = 0; c < ContextId(contexts_.size()); ++c) {
         if (c == requester || contexts_[c].l1 == l1)
             continue;
@@ -99,6 +184,18 @@ MemorySystem::notifySiblings(ContextId requester, Addr block,
                              AccessType type)
 {
     const unsigned l1 = contexts_[requester].l1;
+    if (filterOn_) {
+        std::uint64_t m = interestMask_ & l1CtxMask_[l1] &
+                          ~(std::uint64_t(1) << unsigned(requester));
+        while (m) {
+            const ContextId c = ContextId(std::countr_zero(m));
+            m &= m - 1;
+            if (contexts_[c].listener)
+                contexts_[c].listener->onRemoteAccess(block, type,
+                                                      requester);
+        }
+        return;
+    }
     for (ContextId c = 0; c < ContextId(contexts_.size()); ++c) {
         if (c == requester || contexts_[c].l1 != l1)
             continue;
@@ -110,6 +207,16 @@ MemorySystem::notifySiblings(ContextId requester, Addr block,
 void
 MemorySystem::notifyEviction(unsigned l1, Addr block, bool dirty)
 {
+    if (filterOn_) {
+        std::uint64_t m = interestMask_ & l1CtxMask_[l1];
+        while (m) {
+            const ContextId c = ContextId(std::countr_zero(m));
+            m &= m - 1;
+            if (contexts_[c].listener)
+                contexts_[c].listener->onEviction(block, dirty);
+        }
+        return;
+    }
     for (ContextId c = 0; c < ContextId(contexts_.size()); ++c) {
         if (contexts_[c].l1 != l1)
             continue;
@@ -124,9 +231,9 @@ MemorySystem::accessL2(Addr block, bool fill_dirty)
     Cycle lat = cfg_.l2Latency;
     CacheLine *line = l2_->lookup(block);
     if (line) {
-        ++stats_.counter("l2_hits");
+        ++*cL2Hits_;
     } else {
-        ++stats_.counter("l2_misses");
+        ++*cL2Misses_;
         lat += cfg_.memLatency;
         l2_->insert(block,
                     fill_dirty ? CoherState::Modified : CoherState::Shared);
@@ -144,7 +251,7 @@ MemorySystem::access(ContextId ctx, Addr addr, AccessType type)
     CacheArray &l1 = *l1s_[l1_id];
 
     AccessResult res;
-    ++stats_.counter(type == AccessType::Read ? "reads" : "writes");
+    ++*(type == AccessType::Read ? cReads_ : cWrites_);
 
     // SMT siblings sharing this L1 observe every access, hit or miss,
     // mirroring per-thread transactional CAMs snooping local traffic.
@@ -153,7 +260,7 @@ MemorySystem::access(ContextId ctx, Addr addr, AccessType type)
     CacheLine *line = l1.lookup(block);
     if (line) {
         res.l1Hit = true;
-        ++stats_.counter("l1_hits");
+        ++*cL1Hits_;
         if (type == AccessType::Read ||
             line->state == CoherState::Modified ||
             line->state == CoherState::Exclusive) {
@@ -164,7 +271,7 @@ MemorySystem::access(ContextId ctx, Addr addr, AccessType type)
             return res;
         }
         // Write hit on Shared: bus upgrade.
-        ++stats_.counter("upgrades");
+        ++*cUpgrades_;
         snoopPeers(l1_id, block, BusOp::Upgrade);
         notifyBus(ctx, block, type);
         line->state = CoherState::Modified;
@@ -173,7 +280,7 @@ MemorySystem::access(ContextId ctx, Addr addr, AccessType type)
     }
 
     // L1 miss: place a bus transaction.
-    ++stats_.counter("l1_misses");
+    ++*cL1Misses_;
     const BusOp op =
         type == AccessType::Read ? BusOp::Read : BusOp::ReadExcl;
     const bool peer_had_copy = snoopPeers(l1_id, block, op);
@@ -191,10 +298,14 @@ MemorySystem::access(ContextId ctx, Addr addr, AccessType type)
     const Eviction ev =
         l1.insert(block, fill,
                   pinCheckers_[l1_id] ? &pinCheckers_[l1_id] : nullptr);
+    if (filterOn_)
+        filter_.addSharer(block, l1_id);
     if (ev.happened) {
-        ++stats_.counter("l1_evictions");
+        ++*cL1Evictions_;
+        if (filterOn_)
+            filter_.removeSharer(ev.blockAddr, l1_id);
         if (ev.dirty) {
-            ++stats_.counter("writebacks");
+            ++*cWritebacks_;
             l2_->insert(ev.blockAddr, CoherState::Modified);
         }
         notifyEviction(l1_id, ev.blockAddr, ev.dirty);

@@ -3,6 +3,14 @@
  * The memory hierarchy facade: per-core private L1 data caches kept
  * coherent by a snoopy MESI bus, backed by a shared non-inclusive L2 and a
  * flat-latency memory (Table II organization).
+ *
+ * The per-access fast path is O(actual sharers/listeners) instead of
+ * O(cores): a sharer-tracking snoop filter (snoop_filter.hh) directs bus
+ * transactions at the L1s that really hold the block, and listener
+ * delivery is gated by a transactional-interest mask so contexts that are
+ * not inside a transaction are never visited. Both filters are
+ * behavior-preserving and can be disabled (MemConfig::snoopFilter=false)
+ * for a broadcast-path cross-check.
  */
 
 #ifndef HINTM_MEM_MEM_SYSTEM_HH
@@ -14,6 +22,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/cache_array.hh"
+#include "mem/snoop_filter.hh"
 #include "mem/snoop_listener.hh"
 
 namespace hintm
@@ -35,6 +44,11 @@ struct MemConfig
     Cycle memLatency = 100;
     /** Extra cycles for a bus upgrade (invalidate-only) transaction. */
     Cycle upgradeLatency = 8;
+
+    /** Sharer-tracking snoop filter + interest-gated listener delivery.
+     * Off = reference broadcast path (bit-identical results, O(cores)
+     * per access); used as the --no-snoop-filter cross-check. */
+    bool snoopFilter = true;
 };
 
 /** Outcome of one memory access, consumed by the core timing model. */
@@ -62,8 +76,21 @@ class MemorySystem
      */
     ContextId addContext(unsigned l1_id);
 
-    /** Attach the HTM-side observer for a context (may be null). */
+    /**
+     * Attach the HTM-side observer for a context (may be null). A fresh
+     * listener starts *interested* (it receives every event, as a plain
+     * observer expects); transactional controllers lower their interest
+     * via setListenerInterest() while outside a transaction.
+     */
     void setListener(ContextId ctx, SnoopListener *listener);
+
+    /**
+     * Declare whether @p ctx's listener currently needs coherence events
+     * (onRemoteAccess/onEviction). Uninterested listeners are skipped
+     * entirely on the fast path; since HTM controllers ignore events
+     * outside transactions anyway, gating is behavior-preserving.
+     */
+    void setListenerInterest(ContextId ctx, bool interested);
 
     /**
      * Install a pin predicate on one L1: blocks for which it returns
@@ -87,6 +114,16 @@ class MemorySystem
 
     /** Probe a context's L1 for a block (testing aid). */
     const CacheLine *probeL1(ContextId ctx, Addr addr) const;
+
+    /** True when the snoop filter + interest gating are in effect. */
+    bool filterActive() const { return filterOn_; }
+
+    /** Snoop-filter sharer mask of a block (testing aid; 0 when the
+     * filter is inactive). */
+    std::uint64_t sharerMaskOf(Addr addr) const;
+
+    /** Current interested-listener mask, bit = context id (testing aid). */
+    std::uint64_t listenerInterestMask() const { return interestMask_; }
 
     stats::StatGroup &statGroup() { return stats_; }
     const MemConfig &config() const { return cfg_; }
@@ -114,12 +151,36 @@ class MemorySystem
     /** L2 lookup/fill; returns the resulting latency beyond the L1. */
     Cycle accessL2(Addr block, bool fill_dirty);
 
+    /** One snoop operation against a single peer L1's copy of @p block.
+     * @return true when the peer held a valid copy. */
+    bool snoopOne(unsigned l1, Addr block, BusOp op);
+
     MemConfig cfg_;
     std::vector<std::unique_ptr<CacheArray>> l1s_;
     std::vector<CacheArray::PinPredicate> pinCheckers_;
     std::unique_ptr<CacheArray> l2_;
     std::vector<Context> contexts_;
     stats::StatGroup stats_{"mem"};
+
+    /** Fast-path state. filterOn_ drops to false (broadcast mode) when
+     * the configuration disables it or the machine outgrows the 64-bit
+     * masks. */
+    bool filterOn_ = true;
+    SnoopFilter filter_;
+    std::uint64_t interestMask_ = 0;
+    std::vector<std::uint64_t> l1CtxMask_;
+
+    // Hot counters, resolved once instead of by-name per access.
+    stats::Counter *cReads_;
+    stats::Counter *cWrites_;
+    stats::Counter *cL1Hits_;
+    stats::Counter *cL1Misses_;
+    stats::Counter *cL1Evictions_;
+    stats::Counter *cUpgrades_;
+    stats::Counter *cInvalidations_;
+    stats::Counter *cWritebacks_;
+    stats::Counter *cL2Hits_;
+    stats::Counter *cL2Misses_;
 };
 
 } // namespace mem

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Sharer-tracking snoop filter: an open-addressing map from block address
+ * to the bitmask of L1 caches that currently hold the block. Real
+ * snoop-based systems (e.g. POWER8's NCU filtering) use exactly this
+ * structure to keep bus transactions from probing caches that cannot
+ * have a copy; here it turns the per-access snoop from O(L1s) into
+ * O(actual sharers).
+ *
+ * The filter is maintained precisely by MemorySystem on fills, evictions
+ * and invalidations, but lookups tolerate stale (superset) masks: a
+ * consumer that probes a masked L1 and misses simply heals the entry.
+ */
+
+#ifndef HINTM_MEM_SNOOP_FILTER_HH
+#define HINTM_MEM_SNOOP_FILTER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace hintm
+{
+namespace mem
+{
+
+/**
+ * Block address -> L1-presence bitmask. Open addressing with linear
+ * probing; entries whose mask drops to zero stay in the table and are
+ * reused when the block is cached again, so the table never needs
+ * tombstones and grows only with the number of distinct blocks cached.
+ */
+class SnoopFilter
+{
+  public:
+    explicit SnoopFilter(std::size_t initial_slots = 1024)
+    {
+        std::size_t cap = 64;
+        while (cap < initial_slots)
+            cap <<= 1;
+        slots_.assign(cap, Slot{});
+    }
+
+    /** Bitmask of L1s that may hold @p block (0 = definitely uncached). */
+    std::uint64_t
+    sharers(Addr block) const
+    {
+        const Slot &s =
+            *const_cast<SnoopFilter *>(this)->findSlot(block);
+        return s.block == block ? s.mask : 0;
+    }
+
+    /** Record that L1 @p l1 filled @p block. */
+    void
+    addSharer(Addr block, unsigned l1)
+    {
+        if ((used_ + 1) * 4 > slots_.size() * 3)
+            grow();
+        Slot *s = findSlot(block);
+        if (s->block != block) {
+            s->block = block;
+            s->mask = 0;
+            ++used_;
+        }
+        s->mask |= std::uint64_t(1) << l1;
+    }
+
+    /** Record that L1 @p l1 no longer holds @p block (evict/invalidate). */
+    void
+    removeSharer(Addr block, unsigned l1)
+    {
+        Slot *s = findSlot(block);
+        if (s->block == block)
+            s->mask &= ~(std::uint64_t(1) << l1);
+    }
+
+    /** Number of blocks with at least one sharer (testing aid). */
+    std::size_t
+    trackedBlocks() const
+    {
+        std::size_t n = 0;
+        for (const Slot &s : slots_) {
+            if (s.block != emptyKey && s.mask != 0)
+                ++n;
+        }
+        return n;
+    }
+
+    std::size_t capacity() const { return slots_.size(); }
+
+  private:
+    static constexpr Addr emptyKey = ~Addr(0);
+
+    struct Slot
+    {
+        Addr block = emptyKey;
+        std::uint64_t mask = 0;
+    };
+
+    /** Slot holding @p block, or the empty slot where it would go. */
+    Slot *
+    findSlot(Addr block)
+    {
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t i =
+            std::size_t(block * 0x9E3779B97F4A7C15ull >> 32) & mask;
+        while (slots_[i].block != emptyKey && slots_[i].block != block)
+            i = (i + 1) & mask;
+        return &slots_[i];
+    }
+
+    void
+    grow()
+    {
+        std::vector<Slot> old = std::move(slots_);
+        slots_.assign(old.size() * 2, Slot{});
+        used_ = 0;
+        for (const Slot &s : old) {
+            if (s.block == emptyKey)
+                continue;
+            Slot *dst = findSlot(s.block);
+            *dst = s;
+            ++used_;
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t used_ = 0;
+};
+
+} // namespace mem
+} // namespace hintm
+
+#endif // HINTM_MEM_SNOOP_FILTER_HH

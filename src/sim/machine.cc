@@ -80,6 +80,13 @@ class Machine
             tir::ThreadInterp *ip = cs.interp.get();
             cs.htm->setUndoHook([ip] { ip->undoStores(); });
             mem_->setListener(mem::ContextId(t), cs.htm.get());
+            // Interest gating: the memory system only delivers coherence
+            // events to this context while its controller is in a live TX.
+            cs.htm->setInterestHook(
+                [mem = mem_.get(), t](bool interested) {
+                    mem->setListenerInterest(mem::ContextId(t),
+                                             interested);
+                });
             ctxs_.push_back(std::move(cs));
         }
         if (cfg.htm.kind == htm::HtmKind::L1TM) {
@@ -146,7 +153,7 @@ class Machine
             res_.blockSharing = profiler_.blockSummary();
             res_.pageSharing = profiler_.pageSummary();
         }
-        {
+        if (cfg_.collectRawStats) {
             std::ostringstream os;
             mem_->statGroup().dump(os);
             vm_->statGroup().dump(os);
@@ -363,10 +370,14 @@ class Machine
         if (cs.interp->inTx() && suspended)
             ++res_.txAccessesSuspended;
 
-        // 1. Address translation + dynamic classification.
-        const vm::TranslateResult tr =
-            vm_->translate(int(c), cs.interp->tid(), st.addr,
-                           st.accessType);
+        // 1. Address translation + dynamic classification. The memoized
+        // probe covers the common TLB-hit/no-transition case; misses and
+        // state-changing writes fall through to the full path.
+        vm::TranslateResult tr;
+        if (!vm_->translateFast(int(c), st.addr, st.accessType, tr)) {
+            tr = vm_->translate(int(c), cs.interp->tid(), st.addr,
+                                st.accessType);
+        }
         cost += tr.cost;
         if (tr.becameUnsafe) {
             trace::event(trace::Category::Vm, now, "page ", tr.pageNum,

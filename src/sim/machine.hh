@@ -65,6 +65,10 @@ struct MachineConfig
     bool profileSharing = false;
     /** Check the initializing property of safe stores across aborts. */
     bool validateSafeStores = false;
+    /** Build RunResult::rawStats (the gem5-style text dump). Off by
+     * default: stringifying every counter costs time most callers
+     * (benchmarks, tests) never look at. */
+    bool collectRawStats = false;
 };
 
 /** Everything a run produces. */
@@ -111,7 +115,8 @@ struct RunResult
 
     /** Raw "group.name value" dump of the memory-system and VM stat
      * groups (cache hits/misses, writebacks, TLB activity, faults,
-     * shootdowns), gem5-stats style. */
+     * shootdowns), gem5-stats style. Only populated when
+     * MachineConfig::collectRawStats is set. */
     std::string rawStats;
 
     std::uint64_t

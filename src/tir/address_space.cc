@@ -7,15 +7,41 @@ namespace hintm
 namespace tir
 {
 
+AddressSpace::Page *
+AddressSpace::findPage(Addr page) const
+{
+    CacheSlot &slot = pageCache_[page & (cacheSlots - 1)];
+    if (slot.page == page)
+        return slot.ptr;
+    auto it = pages_.find(page);
+    if (it == pages_.end())
+        return nullptr;
+    slot.page = page;
+    slot.ptr = it->second.get();
+    return slot.ptr;
+}
+
+AddressSpace::Page *
+AddressSpace::getPage(Addr page)
+{
+    if (Page *p = findPage(page))
+        return p;
+    Page *p = pages_.emplace(page, std::make_unique<Page>())
+                  .first->second.get();
+    p->fill(0);
+    CacheSlot &slot = pageCache_[page & (cacheSlots - 1)];
+    slot.page = page;
+    slot.ptr = p;
+    return p;
+}
+
 std::int64_t
 AddressSpace::read(Addr a) const
 {
     HINTM_ASSERT((a & 7) == 0, "misaligned read at ", a);
     HINTM_ASSERT(a != 0, "null dereference (read)");
-    auto it = pages_.find(pageNumber(a));
-    if (it == pages_.end())
-        return 0;
-    return (*it->second)[pageOffset(a) / 8];
+    const Page *p = findPage(pageNumber(a));
+    return p ? (*p)[pageOffset(a) / 8] : 0;
 }
 
 void
@@ -23,12 +49,15 @@ AddressSpace::write(Addr a, std::int64_t v)
 {
     HINTM_ASSERT((a & 7) == 0, "misaligned write at ", a);
     HINTM_ASSERT(a != 0, "null dereference (write)");
-    auto it = pages_.find(pageNumber(a));
-    if (it == pages_.end()) {
-        it = pages_.emplace(pageNumber(a), std::make_unique<Page>()).first;
-        it->second->fill(0);
-    }
-    (*it->second)[pageOffset(a) / 8] = v;
+    (*getPage(pageNumber(a)))[pageOffset(a) / 8] = v;
+}
+
+std::int64_t *
+AddressSpace::wordRef(Addr a)
+{
+    HINTM_ASSERT((a & 7) == 0, "misaligned access at ", a);
+    HINTM_ASSERT(a != 0, "null dereference");
+    return &(*getPage(pageNumber(a)))[pageOffset(a) / 8];
 }
 
 } // namespace tir

@@ -30,6 +30,14 @@ class AddressSpace
     /** Write the word at @p a. */
     void write(Addr a, std::int64_t v);
 
+    /**
+     * Stable reference to the word at @p a, materializing its page.
+     * Pages are never freed, so the pointer stays valid for the
+     * program's lifetime; lets read-modify-write sequences (undo-log +
+     * store) resolve the page once.
+     */
+    std::int64_t *wordRef(Addr a);
+
     /** Number of materialized pages (testing/profiling aid). */
     std::size_t pageCount() const { return pages_.size(); }
 
@@ -37,7 +45,25 @@ class AddressSpace
     static constexpr std::size_t wordsPerPage = pageBytes / 8;
     using Page = std::array<std::int64_t, wordsPerPage>;
 
+    /** Find @p page's backing store, consulting a small direct-mapped
+     * pointer cache first. Returns nullptr for untouched pages (which
+     * are never cached: absence can change). */
+    Page *findPage(Addr page) const;
+
+    /** As findPage, but materializes the page. */
+    Page *getPage(Addr page);
+
+    static constexpr std::size_t cacheSlots = 64;
+    struct CacheSlot
+    {
+        Addr page = ~Addr(0);
+        Page *ptr = nullptr;
+    };
+
     std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+    /** Page-pointer memo. Pages are never erased, so entries can only go
+     * stale by slot reuse, never by dangling. */
+    mutable std::array<CacheSlot, cacheSlots> pageCache_;
 };
 
 /**

@@ -427,19 +427,21 @@ ThreadInterp::completeMem()
         }
         setReg(ins.dst, space.read(pendingAddr_));
     } else {
+        // One page resolution for the whole store, undo-log read
+        // included.
+        std::int64_t *word = space.wordRef(pendingAddr_);
         // Suspended-window stores are non-transactional: no undo.
         if (inTx_ && htmMode_ && !suspended_) {
             if (ins.safe) {
                 if (prog_.validateSafeStores)
                     safeStoreAddrs_.insert(pendingAddr_);
             } else {
-                undoLog_.emplace_back(pendingAddr_,
-                                      space.read(pendingAddr_));
+                undoLog_.emplace_back(pendingAddr_, *word);
             }
         }
         if (prog_.validateSafeStores && !staleSafeStores_.empty())
             staleSafeStores_.erase(pendingAddr_);
-        space.write(pendingAddr_, reg(ins.b));
+        *word = reg(ins.b);
     }
     memPending_ = false;
     ++instrCount_;

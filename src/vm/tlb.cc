@@ -10,41 +10,57 @@ namespace vm
 bool
 Tlb::lookup(Addr page_num, PageState *state_out)
 {
-    auto it = entries_.find(page_num);
-    if (it == entries_.end())
+    Entry *e = lookupEntry(page_num);
+    if (!e)
         return false;
-    it->second.lruStamp = ++clock_;
     if (state_out)
-        *state_out = it->second.state;
+        *state_out = e->state;
     return true;
 }
 
-void
+Tlb::Entry *
+Tlb::lookupEntry(Addr page_num)
+{
+    auto it = entries_.find(page_num);
+    if (it == entries_.end())
+        return nullptr;
+    it->second.lruStamp = ++clock_;
+    return &it->second;
+}
+
+Tlb::Entry *
 Tlb::insert(Addr page_num, PageState state)
 {
     auto it = entries_.find(page_num);
     if (it != entries_.end()) {
         it->second.state = state;
         it->second.lruStamp = ++clock_;
-        return;
+        notifyEvict(page_num); // cached derivations are stale
+        return &it->second;
     }
     if (entries_.size() >= capacity_)
         evictLru();
-    entries_.emplace(page_num, Entry{state, ++clock_});
+    return &entries_.emplace(page_num, Entry{state, ++clock_})
+                .first->second;
 }
 
 bool
 Tlb::invalidate(Addr page_num)
 {
-    return entries_.erase(page_num) != 0;
+    if (entries_.erase(page_num) == 0)
+        return false;
+    notifyEvict(page_num);
+    return true;
 }
 
 void
 Tlb::updateState(Addr page_num, PageState state)
 {
     auto it = entries_.find(page_num);
-    if (it != entries_.end())
+    if (it != entries_.end()) {
         it->second.state = state;
+        notifyEvict(page_num);
+    }
 }
 
 void
@@ -56,7 +72,9 @@ Tlb::evictLru()
         if (it->second.lruStamp < victim->second.lruStamp)
             victim = it;
     }
+    const Addr page = victim->first;
     entries_.erase(victim);
+    notifyEvict(page);
 }
 
 } // namespace vm

@@ -8,6 +8,7 @@
 #define HINTM_VM_TLB_HH
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 
 #include "common/types.hh"
@@ -22,19 +23,46 @@ namespace vm
 class Tlb
 {
   public:
+    /** One cached translation. Node-stable: pointers handed out by
+     * lookupEntry()/insert() stay valid until the entry itself is
+     * evicted or invalidated (announced via the evict observer). */
+    struct Entry
+    {
+        PageState state;
+        std::uint64_t lruStamp;
+    };
+
     explicit Tlb(unsigned num_entries = 64) : capacity_(num_entries) {}
 
     /** @return true on hit; hit refreshes LRU and exposes the state. */
     bool lookup(Addr page_num, PageState *state_out = nullptr);
 
-    /** Install (or refresh) a translation with its safety state. */
-    void insert(Addr page_num, PageState state);
+    /** Pointer-returning hit probe (refreshes LRU), or nullptr. */
+    Entry *lookupEntry(Addr page_num);
+
+    /** Refresh an entry's LRU stamp without re-finding it — lets a
+     * higher-level memo keep this TLB's replacement behavior exact. */
+    void touch(Entry *e) { e->lruStamp = ++clock_; }
+
+    /** Install (or refresh) a translation with its safety state.
+     * @return the (stable) entry node. */
+    Entry *insert(Addr page_num, PageState state);
 
     /** Drop one translation (shootdown); @return true if it was present. */
     bool invalidate(Addr page_num);
 
     /** Update the cached state in place if the translation is present. */
     void updateState(Addr page_num, PageState state);
+
+    /**
+     * Observer called whenever a cached translation stops being valid to
+     * memoize: LRU eviction, invalidation, or an in-place state change
+     * (insert-overwrite/updateState). Receives the page number.
+     */
+    void setEvictObserver(std::function<void(Addr)> fn)
+    {
+        evictObserver_ = std::move(fn);
+    }
 
     /** Presence probe without LRU effects. */
     bool contains(Addr page_num) const
@@ -46,17 +74,19 @@ class Tlb
     unsigned capacity() const { return capacity_; }
 
   private:
-    struct Entry
-    {
-        PageState state;
-        std::uint64_t lruStamp;
-    };
-
     void evictLru();
+
+    void
+    notifyEvict(Addr page_num)
+    {
+        if (evictObserver_)
+            evictObserver_(page_num);
+    }
 
     unsigned capacity_;
     std::uint64_t clock_ = 0;
     std::unordered_map<Addr, Entry> entries_;
+    std::function<void(Addr)> evictObserver_;
 };
 
 } // namespace vm

@@ -8,15 +8,56 @@ namespace vm
 {
 
 Vm::Vm(const VmConfig &cfg)
-    : cfg_(cfg), pt_(std::make_unique<PageTable>(cfg.preserveReadOnly))
+    : cfg_(cfg), pt_(std::make_unique<PageTable>(cfg.preserveReadOnly)),
+      fastEnabled_(cfg.translationCache)
 {
+    cTlbHits_ = &stats_.counter("tlb_hits");
+    cTlbMisses_ = &stats_.counter("tlb_misses");
+    cMinorFaults_ = &stats_.counter("minor_faults");
+    cUnsafeTransitions_ = &stats_.counter("unsafe_transitions");
+    cShootdownSlaves_ = &stats_.counter("shootdown_slaves");
 }
 
 int
 Vm::addContext()
 {
     tlbs_.push_back(std::make_unique<Tlb>(cfg_.tlbEntries));
-    return int(tlbs_.size() - 1);
+    classCaches_.emplace_back(classSlots);
+    const int id = int(tlbs_.size() - 1);
+    // Any event that drops or rewrites a cached translation kills the
+    // memoized classification derived from it.
+    tlbs_[id]->setEvictObserver([this, id](Addr page) {
+        ClassEntry &e = classCaches_[id][page & (classSlots - 1)];
+        if (e.page == page)
+            e.page = ~Addr(0);
+    });
+    return id;
+}
+
+void
+Vm::fillClassEntry(int ctx, Addr page, PageState state, Tlb::Entry *te)
+{
+    if (!fastEnabled_)
+        return;
+    ClassEntry &e = classCaches_[ctx][page & (classSlots - 1)];
+    e.page = page;
+    e.tlbEntry = te;
+    if (cfg_.dynamicClassification) {
+        e.readSafe = pageStateSafe(state);
+        e.readRevocable = state != PageState::Annotated;
+        // PrivateRo/SharedRo transition on a write: keep those on the
+        // slow path so the FSM runs.
+        e.writeOk = state != PageState::PrivateRo &&
+                    state != PageState::SharedRo;
+        e.writeRevocable = state != PageState::Annotated;
+    } else {
+        // Conventional system: only irrevocable annotations classify,
+        // and no write ever transitions a page.
+        e.readSafe = state == PageState::Annotated;
+        e.readRevocable = state != PageState::Annotated;
+        e.writeOk = true;
+        e.writeRevocable = true;
+    }
 }
 
 void
@@ -43,19 +84,22 @@ Vm::translate(int ctx, ThreadId tid, Addr addr, AccessType type)
         // Conventional system: model TLB hit/miss timing only — except
         // that explicit programmer annotations (Notary-style) are still
         // honored: they need no sharing FSM.
-        PageState cached_state = PageState::SharedRw;
-        if (!tlb.lookup(res.pageNum, &cached_state)) {
-            ++stats_.counter("tlb_misses");
+        Tlb::Entry *e = tlb.lookupEntry(res.pageNum);
+        PageState cached_state;
+        if (!e) {
+            ++*cTlbMisses_;
             res.cost += cfg_.pageWalkCycles;
             cached_state = pt_->hasAnnotations() &&
                                    pt_->stateOf(addr) ==
                                        PageState::Annotated
                                ? PageState::Annotated
                                : PageState::SharedRw;
-            tlb.insert(res.pageNum, cached_state);
+            e = tlb.insert(res.pageNum, cached_state);
         } else {
-            ++stats_.counter("tlb_hits");
+            ++*cTlbHits_;
+            cached_state = e->state;
         }
+        fillClassEntry(ctx, res.pageNum, cached_state, e);
         if (cached_state == PageState::Annotated &&
             type == AccessType::Read) {
             res.safeRead = true;
@@ -68,21 +112,22 @@ Vm::translate(int ctx, ThreadId tid, Addr addr, AccessType type)
     // under this access needs no page-table visit. TLBs are per context
     // and transitions eagerly fix remote cached copies, so a cached
     // Private* entry implies this context's thread owns the page.
-    PageState cached;
-    const bool hit = tlb.lookup(res.pageNum, &cached);
+    Tlb::Entry *hit = tlb.lookupEntry(res.pageNum);
     if (hit) {
-        ++stats_.counter("tlb_hits");
+        ++*cTlbHits_;
+        const PageState cached = hit->state;
         const bool is_write = type == AccessType::Write;
         const bool transitions =
             (cached == PageState::PrivateRo && is_write) ||
             (cached == PageState::SharedRo && is_write);
         if (!transitions) {
+            fillClassEntry(ctx, res.pageNum, cached, hit);
             res.safeRead = !is_write && pageStateSafe(cached);
             res.revocable = cached != PageState::Annotated;
             return res;
         }
     } else {
-        ++stats_.counter("tlb_misses");
+        ++*cTlbMisses_;
         res.cost += cfg_.pageWalkCycles;
     }
 
@@ -90,12 +135,12 @@ Vm::translate(int ctx, ThreadId tid, Addr addr, AccessType type)
     const PageTransition tr = pt_->touch(tid, addr, type);
 
     if (tr.minorFault) {
-        ++stats_.counter("minor_faults");
+        ++*cMinorFaults_;
         res.cost += cfg_.minorFaultCycles;
     }
 
     if (tr.becameUnsafe) {
-        ++stats_.counter("unsafe_transitions");
+        ++*cUnsafeTransitions_;
         res.becameUnsafe = true;
         res.cost += cfg_.shootdownInitiatorCycles;
         // Shoot down every remote TLB caching the stale translation.
@@ -103,7 +148,7 @@ Vm::translate(int ctx, ThreadId tid, Addr addr, AccessType type)
             if (c == ctx)
                 continue;
             if (tlbs_[c]->invalidate(res.pageNum)) {
-                ++stats_.counter("shootdown_slaves");
+                ++*cShootdownSlaves_;
                 res.slaveCosts.emplace_back(
                     c, cfg_.shootdownSlaveCycles);
             }
@@ -117,7 +162,8 @@ Vm::translate(int ctx, ThreadId tid, Addr addr, AccessType type)
         }
     }
 
-    tlb.insert(res.pageNum, tr.after);
+    Tlb::Entry *e = tlb.insert(res.pageNum, tr.after);
+    fillClassEntry(ctx, res.pageNum, tr.after, e);
     res.safeRead = type == AccessType::Read && pageStateSafe(tr.after);
     res.revocable = tr.after != PageState::Annotated;
     return res;

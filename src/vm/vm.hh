@@ -5,6 +5,14 @@
  * safety bits, and the published cost model for minor faults and TLB
  * shootdowns (§V: 6600-cycle initiator, 1450-cycle slaves, 1450-cycle
  * minor fault).
+ *
+ * A per-context translation/classification cache (translateFast) memoizes
+ * the fused TLB-hit + safety derivation per page so the simulator's inner
+ * loop does one direct-mapped probe instead of a hash lookup plus FSM
+ * logic per access. It is invalidated through the TLB's evict observer on
+ * every event that could change a page's classification, and it refreshes
+ * the underlying TLB entry's LRU stamp on each hit, so results (timing,
+ * stats, classifications) are bit-identical to the uncached path.
  */
 
 #ifndef HINTM_VM_VM_HH
@@ -37,6 +45,10 @@ struct VmConfig
     Cycle minorFaultCycles = 1450;
     Cycle shootdownInitiatorCycles = 6600;
     Cycle shootdownSlaveCycles = 1450;
+
+    /** Enable the per-context translation/classification memo
+     * (translateFast). Off = reference path for cross-checking. */
+    bool translationCache = true;
 };
 
 /** Result of translating (and safety-classifying) one access. */
@@ -79,6 +91,34 @@ class Vm
                               AccessType type);
 
     /**
+     * Memoized fast path: resolve a TLB-hit, non-transitioning access
+     * from the per-context classification cache. @return true when
+     * @p res was filled (bit-identical to what translate() would
+     * produce, including stat/LRU effects); false means the caller must
+     * take translate().
+     */
+    bool
+    translateFast(int ctx, Addr addr, AccessType type,
+                  TranslateResult &res)
+    {
+        if (!fastEnabled_)
+            return false;
+        const Addr page = pageNumber(addr);
+        ClassEntry &e = classCaches_[ctx][page & (classSlots - 1)];
+        if (e.page != page)
+            return false;
+        const bool is_write = type == AccessType::Write;
+        if (is_write && !e.writeOk)
+            return false; // write would transition the page: slow path
+        ++*cTlbHits_;
+        tlbs_[ctx]->touch(e.tlbEntry);
+        res.pageNum = page;
+        res.safeRead = !is_write && e.readSafe;
+        res.revocable = is_write ? e.writeRevocable : e.readRevocable;
+        return true;
+    }
+
+    /**
      * Apply a Notary-style annotation: mark the pages covering
      * [base, base+len) permanently safe and refresh every TLB's cached
      * state so no stale classification survives.
@@ -92,10 +132,36 @@ class Vm
     stats::StatGroup &statGroup() { return stats_; }
 
   private:
+    static constexpr unsigned classSlots = 256;
+
+    /** One memoized (context, page) classification. Direct-mapped. */
+    struct ClassEntry
+    {
+        Addr page = ~Addr(0);
+        Tlb::Entry *tlbEntry = nullptr;
+        bool readSafe = false;
+        bool readRevocable = true;
+        bool writeOk = false;
+        bool writeRevocable = true;
+    };
+
+    /** Memoize @p state's derived classification for (ctx, page). */
+    void fillClassEntry(int ctx, Addr page, PageState state,
+                        Tlb::Entry *te);
+
     VmConfig cfg_;
     std::unique_ptr<PageTable> pt_;
     std::vector<std::unique_ptr<Tlb>> tlbs_;
+    std::vector<std::vector<ClassEntry>> classCaches_;
+    bool fastEnabled_;
     stats::StatGroup stats_{"vm"};
+
+    // Hot counters, resolved once instead of by-name per access.
+    stats::Counter *cTlbHits_;
+    stats::Counter *cTlbMisses_;
+    stats::Counter *cMinorFaults_;
+    stats::Counter *cUnsafeTransitions_;
+    stats::Counter *cShootdownSlaves_;
 };
 
 } // namespace vm

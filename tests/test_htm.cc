@@ -315,3 +315,91 @@ TEST(AbortTaxonomy, TransienceClassification)
     EXPECT_TRUE(abortIsTransient(AbortReason::FallbackLock));
     EXPECT_FALSE(abortIsTransient(AbortReason::Capacity));
 }
+
+// ---- interest hook: the controller publishes exactly when it needs
+// coherence events (in a live TX), matching its own early-return
+// predicate in onRemoteAccess/onEviction ---------------------------
+
+TEST(Controller, InterestHookPublishesImmediatelyAndOnBeginCommit)
+{
+    ControllerFixture f(HtmKind::P8);
+    bool interested = true;
+    unsigned calls = 0;
+    f.ctl->setInterestHook([&](bool on) {
+        interested = on;
+        ++calls;
+    });
+    // Installed outside a TX: published false right away.
+    EXPECT_EQ(calls, 1u);
+    EXPECT_FALSE(interested);
+
+    f.ctl->beginTx(0);
+    EXPECT_TRUE(interested);
+    f.ctl->commitTx(10);
+    EXPECT_FALSE(interested);
+}
+
+TEST(Controller, InterestDropsAtAbortNotAtAcknowledge)
+{
+    ControllerFixture f(HtmKind::P8);
+    bool interested = false;
+    f.ctl->setInterestHook([&](bool on) { interested = on; });
+
+    f.ctl->beginTx(0);
+    EXPECT_TRUE(interested);
+    // The instant the abort fires the controller ignores all further
+    // events, so interest must drop with it — not at acknowledge time.
+    f.ctl->requestAbort(AbortReason::FallbackLock);
+    EXPECT_FALSE(interested);
+    f.ctl->acknowledgeAbort(50);
+    EXPECT_FALSE(interested);
+}
+
+TEST(Controller, InterestSurvivesFallbackSubscribeUntilConversion)
+{
+    ControllerFixture f(HtmKind::P8, 2);
+    f.cfg.preAbortHandler = true;
+    f.ctl = std::make_unique<HtmController>(f.cfg, 0, &f.stats);
+    bool interested = false;
+    f.ctl->setInterestHook([&](bool on) { interested = on; });
+
+    f.ctl->beginTx(0);
+    // Lock subscription: the fallback-lock word joins the readset, so
+    // the TX stays interested while subscribed.
+    f.ctl->trackAccess(blk(1), AccessType::Read, false);
+    EXPECT_TRUE(interested);
+
+    // Overflow with the pre-abort handler: capacity pends but the TX is
+    // still live (and must still see a lock write to be conflicted out).
+    f.ctl->trackAccess(blk(2), AccessType::Read, false);
+    f.ctl->trackAccess(blk(3), AccessType::Write, false);
+    ASSERT_TRUE(f.ctl->capacityPending());
+    EXPECT_TRUE(interested);
+
+    // Conversion to a critical section stops hardware monitoring:
+    // events are ignored from here on, so interest drops.
+    f.ctl->convertToCriticalSection();
+    EXPECT_FALSE(interested);
+}
+
+TEST(Controller, InterestMatchesEventProcessingPredicate)
+{
+    // Property: whenever the hook says "uninterested", delivering an
+    // event anyway must be a no-op (gating can never change behavior).
+    ControllerFixture f(HtmKind::P8, 2);
+    bool interested = false;
+    f.ctl->setInterestHook([&](bool on) { interested = on; });
+
+    ASSERT_FALSE(interested);
+    f.ctl->onRemoteAccess(blk(1), AccessType::Write, 1);
+    EXPECT_FALSE(f.ctl->abortPending());
+
+    f.ctl->beginTx(0);
+    f.ctl->trackAccess(blk(1), AccessType::Read, false);
+    ASSERT_TRUE(interested);
+    f.ctl->onRemoteAccess(blk(1), AccessType::Write, 1);
+    EXPECT_TRUE(f.ctl->abortPending()); // interested -> event mattered
+    ASSERT_FALSE(interested);           // ...and the abort dropped it
+    f.ctl->onEviction(blk(1), false);   // ignored while abort pending
+    EXPECT_EQ(f.ctl->pendingReason(), AbortReason::Conflict);
+}

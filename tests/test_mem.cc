@@ -331,3 +331,187 @@ TEST(MemSystem, DirtyPeerSuppliesAndL2Catches)
     EXPECT_EQ(ms.probeL1(c0, 0x40)->state, CoherState::Shared);
     EXPECT_GE(ms.statGroup().counter("writebacks").value(), 1u);
 }
+
+// ---- snoop filter: sharer-mask maintenance -------------------------
+
+TEST(SnoopFilter, FillSetsMaskAndDecidesExclusiveVsShared)
+{
+    MemorySystem ms(smallConfig(), 2);
+    ASSERT_TRUE(ms.filterActive());
+    const ContextId c0 = ms.addContext(0);
+    const ContextId c1 = ms.addContext(1);
+
+    ms.access(c0, 0x40, AccessType::Read);
+    EXPECT_EQ(ms.sharerMaskOf(0x40), 0b01u); // only L1 0
+    EXPECT_EQ(ms.probeL1(c0, 0x40)->state, CoherState::Exclusive);
+
+    ms.access(c1, 0x40, AccessType::Read);
+    EXPECT_EQ(ms.sharerMaskOf(0x40), 0b11u); // both L1s
+    // The filter found the peer: the fill must be Shared, not Exclusive.
+    EXPECT_EQ(ms.probeL1(c1, 0x40)->state, CoherState::Shared);
+    EXPECT_EQ(ms.probeL1(c0, 0x40)->state, CoherState::Shared);
+}
+
+TEST(SnoopFilter, EvictionClearsMask)
+{
+    MemorySystem ms(smallConfig(), 1); // L1: 2 sets x 8 ways
+    const ContextId c0 = ms.addContext(0);
+
+    for (Addr i = 0; i <= 8; ++i) // overflow set 0; evicts block 0
+        ms.access(c0, i * 128, AccessType::Read);
+    EXPECT_EQ(ms.sharerMaskOf(0), 0u);
+    EXPECT_EQ(ms.sharerMaskOf(8 * 128), 0b1u);
+}
+
+TEST(SnoopFilter, UpgradeAndReadExclInvalidatePeerBits)
+{
+    MemorySystem ms(smallConfig(), 3);
+    const ContextId c0 = ms.addContext(0);
+    const ContextId c1 = ms.addContext(1);
+    const ContextId c2 = ms.addContext(2);
+
+    ms.access(c0, 0x40, AccessType::Read);
+    ms.access(c1, 0x40, AccessType::Read);
+    ms.access(c2, 0x40, AccessType::Read);
+    EXPECT_EQ(ms.sharerMaskOf(0x40), 0b111u);
+
+    // Upgrade (write hit on Shared) invalidates both peers' copies and
+    // their filter bits.
+    ms.access(c0, 0x40, AccessType::Write);
+    EXPECT_EQ(ms.sharerMaskOf(0x40), 0b001u);
+    EXPECT_EQ(ms.probeL1(c1, 0x40), nullptr);
+    EXPECT_EQ(ms.probeL1(c2, 0x40), nullptr);
+
+    // ReadExcl (write miss) steals the block from the owner.
+    ms.access(c1, 0x40, AccessType::Write);
+    EXPECT_EQ(ms.sharerMaskOf(0x40), 0b010u);
+    EXPECT_EQ(ms.probeL1(c0, 0x40), nullptr);
+}
+
+TEST(SnoopFilter, PinnedLineEvictionStillClearsMask)
+{
+    MemConfig cfg = smallConfig();
+    MemorySystem ms(cfg, 1);
+    const ContextId c0 = ms.addContext(0);
+    // Pin everything: insertions must still evict (pinned fallback) and
+    // the filter must track the forced victim.
+    ms.setPinChecker(0, [](Addr) { return true; });
+    for (Addr i = 0; i <= 8; ++i)
+        ms.access(c0, i * 128, AccessType::Read);
+    std::uint64_t tracked = 0;
+    for (Addr i = 0; i <= 8; ++i)
+        tracked += ms.sharerMaskOf(i * 128) != 0 ? 1 : 0;
+    EXPECT_EQ(tracked, 8u); // 9 fills, one eviction, 8 resident
+}
+
+TEST(SnoopFilter, DisabledConfigFallsBackToBroadcast)
+{
+    MemConfig cfg = smallConfig();
+    cfg.snoopFilter = false;
+    MemorySystem ms(cfg, 2);
+    const ContextId c0 = ms.addContext(0);
+    const ContextId c1 = ms.addContext(1);
+    EXPECT_FALSE(ms.filterActive());
+
+    ms.access(c0, 0x40, AccessType::Read);
+    EXPECT_EQ(ms.sharerMaskOf(0x40), 0u); // filter not maintained
+    ms.access(c1, 0x40, AccessType::Read);
+    // Broadcast snoop still finds the peer copy.
+    EXPECT_EQ(ms.probeL1(c0, 0x40)->state, CoherState::Shared);
+}
+
+// ---- interest-gated listener delivery ------------------------------
+
+TEST(InterestGating, PlainListenerStartsInterested)
+{
+    MemorySystem ms(smallConfig(), 2);
+    RecordingListener l1;
+    const ContextId c0 = ms.addContext(0);
+    const ContextId c1 = ms.addContext(1);
+    EXPECT_EQ(ms.listenerInterestMask(), 0u);
+    ms.setListener(c1, &l1);
+    EXPECT_EQ(ms.listenerInterestMask(), 0b10u);
+
+    ms.access(c0, 0x80, AccessType::Write);
+    EXPECT_EQ(l1.remote.size(), 1u);
+}
+
+TEST(InterestGating, UninterestedListenerIsSkipped)
+{
+    MemorySystem ms(smallConfig(), 2);
+    RecordingListener l1;
+    const ContextId c0 = ms.addContext(0);
+    const ContextId c1 = ms.addContext(1);
+    ms.setListener(c1, &l1);
+    ms.setListenerInterest(c1, false);
+    EXPECT_EQ(ms.listenerInterestMask(), 0u);
+
+    ms.access(c0, 0x80, AccessType::Write);
+    EXPECT_TRUE(l1.remote.empty());
+
+    // Re-raising interest resumes delivery.
+    ms.setListenerInterest(c1, true);
+    ms.access(c0, 0xC0, AccessType::Write);
+    ASSERT_EQ(l1.remote.size(), 1u);
+    EXPECT_EQ(l1.remote[0].block, 0xC0u);
+}
+
+TEST(InterestGating, EvictionDeliveryIsGatedToo)
+{
+    MemorySystem ms(smallConfig(), 1);
+    RecordingListener l0;
+    const ContextId c0 = ms.addContext(0);
+    ms.setListener(c0, &l0);
+    ms.setListenerInterest(c0, false);
+    for (Addr i = 0; i <= 8; ++i)
+        ms.access(c0, i * 128, AccessType::Read);
+    EXPECT_TRUE(l0.evictions.empty());
+}
+
+// ---- filtered vs broadcast equivalence at the event level ----------
+
+TEST(SnoopFilter, FilteredAndBroadcastDeliverIdenticalEventTraces)
+{
+    // Drive both modes through an access pattern exercising fills,
+    // sharing, upgrades, write-steals and evictions; every listener
+    // event and all final states/stats must match exactly.
+    const auto drive = [](MemorySystem &ms, RecordingListener *ls) {
+        const ContextId c0 = ms.addContext(0);
+        const ContextId c1 = ms.addContext(1);
+        const ContextId c2 = ms.addContext(0); // SMT sibling of c0
+        ms.setListener(c0, &ls[0]);
+        ms.setListener(c1, &ls[1]);
+        ms.setListener(c2, &ls[2]);
+        const ContextId ids[3] = {c0, c1, c2};
+        for (unsigned step = 0; step < 200; ++step) {
+            const ContextId c = ids[step % 3];
+            const Addr a = Addr(step * 7919 % 23) * 128;
+            const AccessType t = (step % 5 == 0) ? AccessType::Write
+                                                 : AccessType::Read;
+            ms.access(c, a, t);
+        }
+    };
+
+    MemConfig on = smallConfig();
+    MemConfig off = smallConfig();
+    off.snoopFilter = false;
+    MemorySystem msOn(on, 2), msOff(off, 2);
+    RecordingListener lsOn[3], lsOff[3];
+    drive(msOn, lsOn);
+    drive(msOff, lsOff);
+
+    for (int i = 0; i < 3; ++i) {
+        ASSERT_EQ(lsOn[i].remote.size(), lsOff[i].remote.size());
+        for (std::size_t j = 0; j < lsOn[i].remote.size(); ++j) {
+            EXPECT_EQ(lsOn[i].remote[j].block, lsOff[i].remote[j].block);
+            EXPECT_EQ(lsOn[i].remote[j].type, lsOff[i].remote[j].type);
+            EXPECT_EQ(lsOn[i].remote[j].from, lsOff[i].remote[j].from);
+        }
+        EXPECT_EQ(lsOn[i].evictions, lsOff[i].evictions);
+    }
+    for (const auto &[name, ctr] : msOn.statGroup().counters()) {
+        EXPECT_EQ(ctr.value(),
+                  msOff.statGroup().counter(name).value())
+            << "counter " << name;
+    }
+}

@@ -265,3 +265,107 @@ TEST(Vm, PreserveCountsRemoteDemotionFault)
     EXPECT_FALSE(r.becameUnsafe);
     EXPECT_GE(r.cost, cfg.minorFaultCycles);
 }
+
+// ---- translateFast: the memoized classification probe --------------
+
+TEST(Vm, TranslateFastHitMatchesTranslateAndCountsAsTlbHit)
+{
+    Vm vm(VmConfig{});
+    const int c = vm.addContext();
+    vm.translate(c, 0, pageA, AccessType::Read); // fill TLB + memo
+    const auto before = vm.statGroup().counter("tlb_hits").value();
+
+    TranslateResult fast;
+    ASSERT_TRUE(vm.translateFast(c, pageA + 64, AccessType::Read, fast));
+    const auto slow = vm.translate(c, 0, pageA + 128, AccessType::Read);
+    EXPECT_EQ(fast.safeRead, slow.safeRead);
+    EXPECT_EQ(fast.revocable, slow.revocable);
+    EXPECT_EQ(fast.cost, 0u);
+    EXPECT_EQ(fast.pageNum, slow.pageNum);
+    // Both paths bill the same counter.
+    EXPECT_EQ(vm.statGroup().counter("tlb_hits").value(), before + 2);
+}
+
+TEST(Vm, TranslateFastMissesOnColdAndTransitioningAccesses)
+{
+    Vm vm(VmConfig{});
+    const int c = vm.addContext();
+    TranslateResult r;
+    // Cold page: no memo yet.
+    EXPECT_FALSE(vm.translateFast(c, pageA, AccessType::Read, r));
+    vm.translate(c, 0, pageA, AccessType::Read); // private-ro
+    // A write to private-ro transitions the FSM: must take translate().
+    EXPECT_FALSE(vm.translateFast(c, pageA, AccessType::Write, r));
+    vm.translate(c, 0, pageA, AccessType::Write); // now private-rw
+    // Writes to private-rw are stable: fast path applies.
+    EXPECT_TRUE(vm.translateFast(c, pageA, AccessType::Write, r));
+    EXPECT_FALSE(r.safeRead);
+}
+
+TEST(Vm, TranslateFastInvalidatedByShootdown)
+{
+    Vm vm(VmConfig{});
+    const int c0 = vm.addContext();
+    const int c1 = vm.addContext();
+    vm.translate(c0, 0, pageA, AccessType::Read);
+    vm.translate(c1, 1, pageA, AccessType::Read); // shared-ro everywhere
+    TranslateResult r;
+    ASSERT_TRUE(vm.translateFast(c1, pageA, AccessType::Read, r));
+    EXPECT_TRUE(r.safeRead);
+
+    // Thread 0 writes: unsafe transition shoots down c1's TLB entry and
+    // must kill its memo too.
+    vm.translate(c0, 0, pageA, AccessType::Write);
+    EXPECT_FALSE(vm.translateFast(c1, pageA, AccessType::Read, r));
+    const auto ref = vm.translate(c1, 1, pageA, AccessType::Read);
+    EXPECT_FALSE(ref.safeRead); // shared-rw now
+}
+
+TEST(Vm, TranslateFastInvalidatedByTlbEviction)
+{
+    VmConfig cfg;
+    cfg.tlbEntries = 2;
+    Vm vm(cfg);
+    const int c = vm.addContext();
+    vm.translate(c, 0, 0x10000, AccessType::Read);
+    vm.translate(c, 0, 0x20000, AccessType::Read);
+    TranslateResult r;
+    ASSERT_TRUE(vm.translateFast(c, 0x10000, AccessType::Read, r));
+    vm.translate(c, 0, 0x20000, AccessType::Read); // refresh 0x20000
+    vm.translate(c, 0, 0x30000, AccessType::Read); // evicts 0x10000
+    // The memoized entry for the evicted page must be gone: a fast
+    // probe that succeeded here would skip the page-walk cost.
+    EXPECT_FALSE(vm.translateFast(c, 0x10000, AccessType::Read, r));
+}
+
+TEST(Vm, TranslateFastInvalidatedByAnnotation)
+{
+    Vm vm(VmConfig{});
+    const int c = vm.addContext();
+    vm.translate(c, 0, pageA, AccessType::Read); // private-ro, revocable
+    TranslateResult r;
+    ASSERT_TRUE(vm.translateFast(c, pageA, AccessType::Read, r));
+    EXPECT_TRUE(r.revocable);
+
+    vm.annotateRange(pageA, 64); // irrevocably safe now
+    // The in-place TLB state change must kill the stale memo.
+    EXPECT_FALSE(vm.translateFast(c, pageA, AccessType::Read, r));
+    const auto ref = vm.translate(c, 0, pageA, AccessType::Read);
+    EXPECT_TRUE(ref.safeRead);
+    EXPECT_FALSE(ref.revocable);
+    // After the refill, the fast path must agree with the annotation.
+    ASSERT_TRUE(vm.translateFast(c, pageA, AccessType::Read, r));
+    EXPECT_TRUE(r.safeRead);
+    EXPECT_FALSE(r.revocable);
+}
+
+TEST(Vm, TranslationCacheDisabledNeverFastPaths)
+{
+    VmConfig cfg;
+    cfg.translationCache = false;
+    Vm vm(cfg);
+    const int c = vm.addContext();
+    vm.translate(c, 0, pageA, AccessType::Read);
+    TranslateResult r;
+    EXPECT_FALSE(vm.translateFast(c, pageA, AccessType::Read, r));
+}

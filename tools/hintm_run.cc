@@ -56,6 +56,8 @@ usage(int code)
         "hardware concurrency)\n"
         "  --json FILE         write a per-run perf record to FILE\n"
         "  --stats             dump raw memory/VM statistics\n"
+        "  --no-snoop-filter   reference broadcast memory path "
+        "(cross-check)\n"
         "  --trace CATS        trace categories (tx,htm,vm,mem,sched|all)\n"
         "  --list              list workloads and exit\n");
     std::exit(code);
@@ -164,6 +166,9 @@ main(int argc, char **argv)
             bench::setJsonReport(next());
         } else if (a == "--stats") {
             stats = true;
+        } else if (a == "--no-snoop-filter") {
+            core::SystemOptions::setSnoopFilterDefault(false);
+            opts.snoopFilter = false;
         } else if (a == "--trace") {
             trace::enableFromSpec(next());
         } else if (a == "--list") {
@@ -182,6 +187,7 @@ main(int argc, char **argv)
 
     opts.profileSharing = profile;
     opts.collectTxSizes = cdf;
+    opts.collectRawStats = stats;
 
     bench::PreparedWorkload p;
     p.wl = workloads::byName(workload, scale);
