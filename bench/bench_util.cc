@@ -45,10 +45,13 @@ BenchArgs::parse(int argc, char **argv)
         } else if (arg == "--no-snoop-filter") {
             a.noSnoopFilter = true;
             core::SystemOptions::setSnoopFilterDefault(false);
+        } else if (arg == "--no-decode-cache") {
+            a.noDecodeCache = true;
+            core::SystemOptions::setDecodeCacheDefault(false);
         } else if (arg == "--help") {
             std::printf("options: [--tiny|--small|--large] [--preserve] "
                         "[--workload NAME]... [--jobs N] [--json FILE] "
-                        "[--no-snoop-filter]\n");
+                        "[--no-snoop-filter] [--no-decode-cache]\n");
             std::exit(0);
         } else {
             HINTM_FATAL("unknown argument ", arg);
@@ -125,7 +128,8 @@ jobKey(const MatrixJob &job)
        << o.smtPerCore << '|' << o.seed << '|' << o.collectTxSizes
        << o.profileSharing << o.validateSafeStores << '|'
        << o.bufferEntries << '|' << o.signatureBits << '|'
-       << o.maxRetries << '|' << o.snoopFilter << o.collectRawStats;
+       << o.maxRetries << '|' << o.snoopFilter << o.decodeCache
+       << o.collectRawStats;
     return os.str();
 }
 

@@ -37,6 +37,9 @@ struct BenchArgs
     /** --no-snoop-filter: run the reference broadcast memory path
      * (cross-check mode; also flips the process-wide default). */
     bool noSnoopFilter = false;
+    /** --no-decode-cache: run the reference Instr-walking interpreter
+     * (cross-check mode; also flips the process-wide default). */
+    bool noDecodeCache = false;
 
     static BenchArgs parse(int argc, char **argv);
     std::vector<std::string> names() const;

@@ -24,6 +24,7 @@ mechanismName(Mechanism m)
 namespace
 {
 bool snoopFilterDefault_ = true;
+bool decodeCacheDefault_ = true;
 } // namespace
 
 bool
@@ -36,6 +37,18 @@ void
 SystemOptions::setSnoopFilterDefault(bool on)
 {
     snoopFilterDefault_ = on;
+}
+
+bool
+SystemOptions::decodeCacheDefault()
+{
+    return decodeCacheDefault_;
+}
+
+void
+SystemOptions::setDecodeCacheDefault(bool on)
+{
+    decodeCacheDefault_ = on;
 }
 
 std::string
@@ -81,6 +94,7 @@ makeMachineConfig(const SystemOptions &opts)
     // One switch covers all three behavior-preserving fast-path layers.
     cfg.mem.snoopFilter = opts.snoopFilter;
     cfg.vm.translationCache = opts.snoopFilter;
+    cfg.decodeCache = opts.decodeCache;
     return cfg;
 }
 

@@ -65,6 +65,10 @@ struct SystemOptions
      * cache). Behavior-preserving; off = reference broadcast path for
      * cross-checking. Initialized from snoopFilterDefault(). */
     bool snoopFilter = snoopFilterDefault();
+    /** Interpreter fast path (pre-decoded fused op stream + flat frame
+     * arena). Behavior-preserving; off = reference Instr-walking
+     * interpreter for cross-checking. From decodeCacheDefault(). */
+    bool decodeCache = decodeCacheDefault();
     /** Populate RunResult::rawStats (costs time; off unless asked). */
     bool collectRawStats = false;
 
@@ -74,6 +78,10 @@ struct SystemOptions
      * can flip every subsequently-built config (--no-snoop-filter). */
     static bool snoopFilterDefault();
     static void setSnoopFilterDefault(bool on);
+
+    /** Same for SystemOptions::decodeCache (--no-decode-cache). */
+    static bool decodeCacheDefault();
+    static void setDecodeCacheDefault(bool on);
 };
 
 /** Expand high-level options into the full machine configuration. */

@@ -47,7 +47,8 @@ class Machine
   public:
     Machine(const MachineConfig &cfg, const tir::Module &module,
             unsigned num_threads)
-        : cfg_(cfg), prog_(module, num_threads, cfg.seed)
+        : cfg_(cfg),
+          prog_(module, num_threads, cfg.seed, cfg.decodeCache)
     {
         if (auto err = tir::verify(module))
             HINTM_FATAL("module fails verification: ", *err);
@@ -119,25 +120,29 @@ class Machine
             int best = -1;
             Cycle best_t = farFuture;
             unsigned live = 0;
+            // Rotate the scan starting point round-robin. The wrap is a
+            // compare, not a modulo — this loop runs once per context
+            // per simulated step. Scan order (and so tie-breaking on
+            // equal readyAt) is unchanged.
+            unsigned c = rr;
             for (unsigned i = 0; i < n; ++i) {
-                const unsigned c = (rr + i) % n;
                 const ContextState &cs = ctxs_[c];
-                if (cs.done)
-                    continue;
-                ++live;
-                if (cs.atBarrier)
-                    continue;
-                if (cs.readyAt < best_t) {
-                    best_t = cs.readyAt;
-                    best = int(c);
+                if (!cs.done) {
+                    ++live;
+                    if (!cs.atBarrier && cs.readyAt < best_t) {
+                        best_t = cs.readyAt;
+                        best = int(c);
+                    }
                 }
+                if (++c == n)
+                    c = 0;
             }
             if (live == 0)
                 break;
             HINTM_ASSERT(best >= 0, "deadlock: all live contexts blocked");
             now = std::max(now, best_t);
             step(unsigned(best), now);
-            rr = unsigned(best + 1) % n;
+            rr = unsigned(best) + 1 == n ? 0 : unsigned(best) + 1;
         }
 
         for (const ContextState &cs : ctxs_) {

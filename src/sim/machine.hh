@@ -69,6 +69,9 @@ struct MachineConfig
      * default: stringifying every counter costs time most callers
      * (benchmarks, tests) never look at. */
     bool collectRawStats = false;
+    /** Run threads on the pre-decoded fused op stream (interpreter fast
+     * path); false selects the reference Instr-walking interpreter. */
+    bool decodeCache = true;
 };
 
 /** Everything a run produces. */

@@ -1,0 +1,500 @@
+#include "decode.hh"
+
+#include "common/logging.hh"
+
+namespace hintm
+{
+namespace tir
+{
+
+const char *
+dopName(DOp op)
+{
+    switch (op) {
+      case DOp::Const: return "const";
+      case DOp::Mov: return "mov";
+      case DOp::Add: return "add";
+      case DOp::Sub: return "sub";
+      case DOp::Mul: return "mul";
+      case DOp::Div: return "div";
+      case DOp::Mod: return "mod";
+      case DOp::And: return "and";
+      case DOp::Or: return "or";
+      case DOp::Xor: return "xor";
+      case DOp::Shl: return "shl";
+      case DOp::Shr: return "shr";
+      case DOp::CmpEq: return "cmpeq";
+      case DOp::CmpNe: return "cmpne";
+      case DOp::CmpLt: return "cmplt";
+      case DOp::CmpLe: return "cmple";
+      case DOp::CmpGt: return "cmpgt";
+      case DOp::CmpGe: return "cmpge";
+      case DOp::AddI: return "addi";
+      case DOp::SubI: return "subi";
+      case DOp::MulI: return "muli";
+      case DOp::DivI: return "divi";
+      case DOp::ModI: return "modi";
+      case DOp::AndI: return "andi";
+      case DOp::OrI: return "ori";
+      case DOp::XorI: return "xori";
+      case DOp::ShlI: return "shli";
+      case DOp::ShrI: return "shri";
+      case DOp::CmpEqI: return "cmpeqi";
+      case DOp::CmpNeI: return "cmpnei";
+      case DOp::CmpLtI: return "cmplti";
+      case DOp::CmpLeI: return "cmplei";
+      case DOp::CmpGtI: return "cmpgti";
+      case DOp::CmpGeI: return "cmpgei";
+      case DOp::Alloca: return "alloca";
+      case DOp::Malloc: return "malloc";
+      case DOp::Free: return "free";
+      case DOp::Gep: return "gep";
+      case DOp::Load: return "load";
+      case DOp::Store: return "store";
+      case DOp::GepLoad: return "gepload";
+      case DOp::GepStore: return "gepstore";
+      case DOp::Jmp: return "jmp";
+      case DOp::CondJmp: return "condjmp";
+      case DOp::CmpBr: return "cmpbr";
+      case DOp::CmpBrI: return "cmpbri";
+      case DOp::Call: return "call";
+      case DOp::Ret: return "ret";
+      case DOp::TxBegin: return "txbegin";
+      case DOp::TxEnd: return "txend";
+      case DOp::TxSuspend: return "txsuspend";
+      case DOp::TxResume: return "txresume";
+      case DOp::Annotate: return "annotate";
+      case DOp::ThreadId: return "threadid";
+      case DOp::Rand: return "rand";
+      case DOp::Barrier: return "barrier";
+      case DOp::Print: return "print";
+      case DOp::Nop: return "nop";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Reg-reg ALU/compare opcode -> DOp (must stay table-identical). */
+bool
+aluDop(Opcode op, DOp &out)
+{
+    switch (op) {
+      case Opcode::Add: out = DOp::Add; return true;
+      case Opcode::Sub: out = DOp::Sub; return true;
+      case Opcode::Mul: out = DOp::Mul; return true;
+      case Opcode::Div: out = DOp::Div; return true;
+      case Opcode::Mod: out = DOp::Mod; return true;
+      case Opcode::And: out = DOp::And; return true;
+      case Opcode::Or: out = DOp::Or; return true;
+      case Opcode::Xor: out = DOp::Xor; return true;
+      case Opcode::Shl: out = DOp::Shl; return true;
+      case Opcode::Shr: out = DOp::Shr; return true;
+      case Opcode::CmpEq: out = DOp::CmpEq; return true;
+      case Opcode::CmpNe: out = DOp::CmpNe; return true;
+      case Opcode::CmpLt: out = DOp::CmpLt; return true;
+      case Opcode::CmpLe: out = DOp::CmpLe; return true;
+      case Opcode::CmpGt: out = DOp::CmpGt; return true;
+      case Opcode::CmpGe: out = DOp::CmpGe; return true;
+      default: return false;
+    }
+}
+
+/** Reg-reg DOp -> reg-imm DOp (the Const-folded form). */
+DOp
+immForm(DOp op)
+{
+    switch (op) {
+      case DOp::Add: return DOp::AddI;
+      case DOp::Sub: return DOp::SubI;
+      case DOp::Mul: return DOp::MulI;
+      case DOp::Div: return DOp::DivI;
+      case DOp::Mod: return DOp::ModI;
+      case DOp::And: return DOp::AndI;
+      case DOp::Or: return DOp::OrI;
+      case DOp::Xor: return DOp::XorI;
+      case DOp::Shl: return DOp::ShlI;
+      case DOp::Shr: return DOp::ShrI;
+      case DOp::CmpEq: return DOp::CmpEqI;
+      case DOp::CmpNe: return DOp::CmpNeI;
+      case DOp::CmpLt: return DOp::CmpLtI;
+      case DOp::CmpLe: return DOp::CmpLeI;
+      case DOp::CmpGt: return DOp::CmpGtI;
+      case DOp::CmpGe: return DOp::CmpGeI;
+      default: HINTM_PANIC("no imm form for ", dopName(op));
+    }
+}
+
+/** Mirrored DOp for swapping operands: a <op> b == b <mirror(op)> a.
+ * Only defined for commutative ops and compares. */
+bool
+mirrorDop(DOp op, DOp &out)
+{
+    switch (op) {
+      case DOp::Add: case DOp::Mul: case DOp::And:
+      case DOp::Or: case DOp::Xor: case DOp::CmpEq: case DOp::CmpNe:
+        out = op;
+        return true;
+      case DOp::CmpLt: out = DOp::CmpGt; return true;
+      case DOp::CmpLe: out = DOp::CmpGe; return true;
+      case DOp::CmpGt: out = DOp::CmpLt; return true;
+      case DOp::CmpGe: out = DOp::CmpLe; return true;
+      default: return false;
+    }
+}
+
+bool
+isCmp(DOp op)
+{
+    return op >= DOp::CmpEq && op <= DOp::CmpGe;
+}
+
+bool
+isCmpI(DOp op)
+{
+    return op >= DOp::CmpEqI && op <= DOp::CmpGeI;
+}
+
+Cond
+condOf(DOp op)
+{
+    switch (op) {
+      case DOp::CmpEq: case DOp::CmpEqI: return Cond::Eq;
+      case DOp::CmpNe: case DOp::CmpNeI: return Cond::Ne;
+      case DOp::CmpLt: case DOp::CmpLtI: return Cond::Lt;
+      case DOp::CmpLe: case DOp::CmpLeI: return Cond::Le;
+      case DOp::CmpGt: case DOp::CmpGtI: return Cond::Gt;
+      case DOp::CmpGe: case DOp::CmpGeI: return Cond::Ge;
+      default: HINTM_PANIC("no condition for ", dopName(op));
+    }
+}
+
+} // namespace
+
+DecodedFunction
+decodeFunction(const Module &mod, const Function &fn)
+{
+    DecodedFunction df;
+    df.numRegs = fn.numRegs;
+    df.numParams = fn.numParams;
+    HINTM_ASSERT(!fn.blocks.empty(), "decode of undefined function ",
+                 fn.name);
+
+    auto reg_ok = [&](int r, bool required) {
+        if (!required && r < 0)
+            return;
+        HINTM_ASSERT(r >= 0 && r < int(fn.numRegs), "bad register r", r,
+                     " decoding ", fn.name);
+    };
+    auto block_ok = [&](std::int64_t b) {
+        HINTM_ASSERT(b >= 0 && b < std::int64_t(fn.blocks.size()),
+                     "bad block target ", b, " decoding ", fn.name);
+    };
+
+    // Ops whose t1/t2 still hold source block ids, patched once all
+    // block start offsets are known.
+    std::vector<std::int32_t> patches;
+
+    df.blockStart.assign(fn.blocks.size(), 0);
+    for (int b = 0; b < int(fn.blocks.size()); ++b) {
+        df.blockStart[b] = std::int32_t(df.ops.size());
+        const auto &instrs = fn.blocks[b].instrs;
+        HINTM_ASSERT(!instrs.empty(), "empty block decoding ", fn.name);
+        for (std::size_t i = 0; i < instrs.size(); ++i) {
+            const Instr &ins = instrs[i];
+            const Instr *next =
+                i + 1 < instrs.size() ? &instrs[i + 1] : nullptr;
+            DecodedOp o;
+            switch (ins.op) {
+              case Opcode::Const:
+              case Opcode::GlobalAddr: {
+                reg_ok(ins.dst, true);
+                std::int64_t value = ins.imm;
+                if (ins.op == Opcode::GlobalAddr) {
+                    HINTM_ASSERT(ins.imm >= 0 &&
+                                     ins.imm <
+                                         std::int64_t(mod.globals.size()),
+                                 "bad global id decoding ", fn.name);
+                    value = std::int64_t(
+                        mod.globals[std::size_t(ins.imm)].addr);
+                }
+                // Try folding into the next ALU/compare as a reg-imm
+                // form. The Const's register is still written (the
+                // program may read it later); only the dispatch and the
+                // operand re-read are saved.
+                DecodedOp fused;
+                DOp alu;
+                bool can_fuse = false;
+                if (next && aluDop(next->op, alu)) {
+                    if (next->b == ins.dst) {
+                        // dst = a <op> k.
+                        can_fuse = !(alu == DOp::Div || alu == DOp::Mod)
+                                   || value != 0;
+                        fused.op = immForm(alu);
+                        fused.a = next->a;
+                    } else if (next->a == ins.dst &&
+                               next->b != ins.dst &&
+                               mirrorDop(alu, alu)) {
+                        // k <op> b == b <mirror(op)> k.
+                        can_fuse = true;
+                        fused.op = immForm(alu);
+                        fused.a = next->b;
+                    }
+                }
+                if (can_fuse) {
+                    reg_ok(next->dst, true);
+                    reg_ok(fused.a, true);
+                    fused.dst = next->dst;
+                    fused.xdst = ins.dst;
+                    fused.ximm = value;
+                    fused.n = 2;
+                    // Second-level fusion: a folded compare whose
+                    // result immediately feeds the block's CondBr.
+                    const Instr *third =
+                        i + 2 < instrs.size() ? &instrs[i + 2] : nullptr;
+                    if (isCmpI(fused.op) && third &&
+                        third->op == Opcode::CondBr &&
+                        third->a == fused.dst) {
+                        block_ok(third->imm);
+                        block_ok(third->imm2);
+                        fused.cc = condOf(fused.op);
+                        fused.op = DOp::CmpBrI;
+                        fused.t1 = std::int32_t(third->imm);
+                        fused.t2 = std::int32_t(third->imm2);
+                        fused.n = 3;
+                        patches.push_back(std::int32_t(df.ops.size()));
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                    df.ops.push_back(fused);
+                    continue;
+                }
+                o.op = DOp::Const;
+                o.dst = ins.dst;
+                o.imm = value;
+                break;
+              }
+              case Opcode::Mov:
+                reg_ok(ins.dst, true);
+                reg_ok(ins.a, true);
+                o.op = DOp::Mov;
+                o.dst = ins.dst;
+                o.a = ins.a;
+                break;
+              case Opcode::Add: case Opcode::Sub: case Opcode::Mul:
+              case Opcode::Div: case Opcode::Mod: case Opcode::And:
+              case Opcode::Or: case Opcode::Xor: case Opcode::Shl:
+              case Opcode::Shr: case Opcode::CmpEq: case Opcode::CmpNe:
+              case Opcode::CmpLt: case Opcode::CmpLe: case Opcode::CmpGt:
+              case Opcode::CmpGe: {
+                reg_ok(ins.dst, true);
+                reg_ok(ins.a, true);
+                reg_ok(ins.b, true);
+                DOp alu;
+                aluDop(ins.op, alu);
+                // Compare feeding the block's CondBr -> fused
+                // compare-and-branch.
+                if (isCmp(alu) && next && next->op == Opcode::CondBr &&
+                    next->a == ins.dst) {
+                    block_ok(next->imm);
+                    block_ok(next->imm2);
+                    o.op = DOp::CmpBr;
+                    o.cc = condOf(alu);
+                    o.dst = ins.dst;
+                    o.a = ins.a;
+                    o.b = ins.b;
+                    o.t1 = std::int32_t(next->imm);
+                    o.t2 = std::int32_t(next->imm2);
+                    o.n = 2;
+                    patches.push_back(std::int32_t(df.ops.size()));
+                    df.ops.push_back(o);
+                    i += 1;
+                    continue;
+                }
+                o.op = alu;
+                o.dst = ins.dst;
+                o.a = ins.a;
+                o.b = ins.b;
+                break;
+              }
+              case Opcode::Alloca:
+                reg_ok(ins.dst, true);
+                o.op = DOp::Alloca;
+                o.dst = ins.dst;
+                o.imm = ins.imm;
+                break;
+              case Opcode::Malloc:
+                reg_ok(ins.dst, true);
+                reg_ok(ins.a, true);
+                o.op = DOp::Malloc;
+                o.dst = ins.dst;
+                o.a = ins.a;
+                break;
+              case Opcode::Free:
+                reg_ok(ins.a, true);
+                o.op = DOp::Free;
+                o.a = ins.a;
+                break;
+              case Opcode::Gep:
+                reg_ok(ins.dst, true);
+                reg_ok(ins.a, true);
+                reg_ok(ins.b, false);
+                // Address computation feeding the next memory boundary
+                // folds into it: one dispatch computes the address,
+                // writes the Gep register, and stops at the access.
+                if (next && next->op == Opcode::Load &&
+                    next->a == ins.dst) {
+                    reg_ok(next->dst, true);
+                    o.op = DOp::GepLoad;
+                    o.dst = next->dst;
+                    o.ximm = next->imm;
+                    o.safe = next->safe;
+                } else if (next && next->op == Opcode::Store &&
+                           next->a == ins.dst) {
+                    reg_ok(next->b, true);
+                    o.op = DOp::GepStore;
+                    o.dst = next->b; // store value register
+                    o.ximm = next->imm;
+                    o.safe = next->safe;
+                } else {
+                    o.op = DOp::Gep;
+                    o.dst = ins.dst;
+                }
+                if (o.op != DOp::Gep) {
+                    o.xdst = ins.dst;
+                    o.n = 2;
+                }
+                o.a = ins.a;
+                o.b = ins.b;
+                o.imm = ins.imm;
+                o.imm2 = ins.imm2;
+                if (o.op != DOp::Gep)
+                    i += 1;
+                break;
+              case Opcode::Load:
+                reg_ok(ins.dst, true);
+                reg_ok(ins.a, true);
+                o.op = DOp::Load;
+                o.dst = ins.dst;
+                o.a = ins.a;
+                o.imm = ins.imm;
+                o.safe = ins.safe;
+                break;
+              case Opcode::Store:
+                reg_ok(ins.a, true);
+                reg_ok(ins.b, true);
+                o.op = DOp::Store;
+                o.a = ins.a;
+                o.b = ins.b;
+                o.imm = ins.imm;
+                o.safe = ins.safe;
+                break;
+              case Opcode::Br:
+                block_ok(ins.imm);
+                o.op = DOp::Jmp;
+                o.t1 = std::int32_t(ins.imm);
+                patches.push_back(std::int32_t(df.ops.size()));
+                break;
+              case Opcode::CondBr:
+                reg_ok(ins.a, true);
+                block_ok(ins.imm);
+                block_ok(ins.imm2);
+                o.op = DOp::CondJmp;
+                o.a = ins.a;
+                o.t1 = std::int32_t(ins.imm);
+                o.t2 = std::int32_t(ins.imm2);
+                patches.push_back(std::int32_t(df.ops.size()));
+                break;
+              case Opcode::Call: {
+                HINTM_ASSERT(ins.imm >= 0 &&
+                                 ins.imm <
+                                     std::int64_t(mod.functions.size()),
+                             "bad callee decoding ", fn.name);
+                const Function &callee =
+                    mod.functions[std::size_t(ins.imm)];
+                HINTM_ASSERT(!callee.blocks.empty(),
+                             "call of undefined function ", callee.name,
+                             " decoding ", fn.name);
+                HINTM_ASSERT(ins.args.size() == callee.numParams,
+                             "arity mismatch calling ", callee.name,
+                             " decoding ", fn.name);
+                reg_ok(ins.dst, false);
+                o.op = DOp::Call;
+                o.dst = ins.dst;
+                o.imm = ins.imm;
+                o.argsBegin = std::uint32_t(df.argPool.size());
+                o.argsCount = std::uint32_t(ins.args.size());
+                for (const int arg : ins.args) {
+                    reg_ok(arg, true);
+                    df.argPool.push_back(std::int32_t(arg));
+                }
+                break;
+              }
+              case Opcode::Ret:
+                reg_ok(ins.a, false);
+                o.op = DOp::Ret;
+                o.a = ins.a;
+                break;
+              case Opcode::TxBegin: o.op = DOp::TxBegin; break;
+              case Opcode::TxEnd: o.op = DOp::TxEnd; break;
+              case Opcode::TxSuspend: o.op = DOp::TxSuspend; break;
+              case Opcode::TxResume: o.op = DOp::TxResume; break;
+              case Opcode::Annotate:
+                reg_ok(ins.a, true);
+                reg_ok(ins.b, true);
+                o.op = DOp::Annotate;
+                o.a = ins.a;
+                o.b = ins.b;
+                break;
+              case Opcode::ThreadId:
+                reg_ok(ins.dst, true);
+                o.op = DOp::ThreadId;
+                o.dst = ins.dst;
+                break;
+              case Opcode::Rand:
+                reg_ok(ins.dst, true);
+                reg_ok(ins.a, true);
+                o.op = DOp::Rand;
+                o.dst = ins.dst;
+                o.a = ins.a;
+                break;
+              case Opcode::Barrier: o.op = DOp::Barrier; break;
+              case Opcode::Print:
+                reg_ok(ins.a, true);
+                o.op = DOp::Print;
+                o.a = ins.a;
+                break;
+              case Opcode::Nop: o.op = DOp::Nop; break;
+            }
+            df.ops.push_back(o);
+        }
+    }
+
+    // Branch targets: source block id -> absolute op index.
+    for (const std::int32_t at : patches) {
+        DecodedOp &o = df.ops[std::size_t(at)];
+        o.t1 = df.blockStart[std::size_t(o.t1)];
+        if (o.op != DOp::Jmp)
+            o.t2 = df.blockStart[std::size_t(o.t2)];
+    }
+    return df;
+}
+
+DecodedModule
+decodeModule(const Module &mod)
+{
+    DecodedModule dm;
+    dm.fns.reserve(mod.functions.size());
+    for (const Function &fn : mod.functions) {
+        if (fn.blocks.empty())
+            dm.fns.emplace_back(); // declared stub: never executed
+        else
+            dm.fns.push_back(decodeFunction(mod, fn));
+    }
+    return dm;
+}
+
+} // namespace tir
+} // namespace hintm

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Pre-decoded TxIR: a one-time, per-function translation of the nested
+ * `Function -> BasicBlock -> vector<Instr>` storage into one contiguous
+ * `DecodedOp` stream the interpreter can run without re-resolving
+ * blocks, call targets or global addresses per instruction. In the
+ * spirit of Bochs-style decoded-instruction trace caches:
+ *
+ *  - blocks are flattened in order into a single array; `Br`/`CondBr`
+ *    targets become absolute op indices (`Jmp`/`CondJmp`);
+ *  - `GlobalAddr` is folded to a `Const` of the laid-out address, so
+ *    decoding requires the module's globals to be assigned (it runs in
+ *    the `Program` constructor, after layout);
+ *  - common pairs fuse into superinstructions that preserve every
+ *    architectural register write and the exact instruction count of
+ *    their constituents (`DecodedOp::n`):
+ *      * `Const` + ALU/compare  -> reg-imm form (`AddI` .. `CmpGeI`);
+ *      * `Cmp*` + `CondBr`      -> `CmpBr` (and `CmpBrI` when the
+ *        compare itself was a folded `Const` + `Cmp*`, n = 3);
+ *      * `Gep` + `Load`/`Store` -> `GepLoad`/`GepStore`: the address
+ *        computation happens at the memory boundary, one dispatch
+ *        instead of two.
+ *
+ * Operand validity (register ranges, block targets, call arity) is
+ * checked once at decode time, which is what lets the decoded
+ * interpreter run without per-access assertions.
+ */
+
+#ifndef HINTM_TIR_DECODE_HH
+#define HINTM_TIR_DECODE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tir/ir.hh"
+
+namespace hintm
+{
+namespace tir
+{
+
+/** Decoded opcodes (fused forms included). */
+enum class DOp : std::uint8_t
+{
+    // dst = imm (also pre-resolved GlobalAddr).
+    Const,
+    Mov,
+
+    // Reg-reg ALU: dst = a <op> b.
+    Add, Sub, Mul, Div, Mod,
+    And, Or, Xor, Shl, Shr,
+    CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe,
+
+    // Fused Const + ALU: xdst = ximm; dst = a <op> ximm (n = 2).
+    AddI, SubI, MulI, DivI, ModI,
+    AndI, OrI, XorI, ShlI, ShrI,
+    CmpEqI, CmpNeI, CmpLtI, CmpLeI, CmpGtI, CmpGeI,
+
+    // Memory (non-boundary).
+    Alloca,   ///< dst = fresh imm-byte stack slot
+    Malloc,   ///< dst = heap alloc of a[=size] bytes
+    Free,     ///< release allocation at a
+    Gep,      ///< dst = a + b*imm + imm2 (b may be -1)
+
+    // Memory boundaries (Step protocol).
+    Load,     ///< dst = mem[a + imm]; `safe` = compiler hint
+    Store,    ///< mem[a + imm] = b; `safe` = compiler hint
+    GepLoad,  ///< xdst = a + b*imm + imm2; dst = mem[xdst + ximm] (n = 2)
+    GepStore, ///< xdst = a + b*imm + imm2; mem[xdst + ximm] = dst (n = 2)
+
+    // Control flow, targets resolved to absolute op indices.
+    Jmp,      ///< goto t1
+    CondJmp,  ///< goto a != 0 ? t1 : t2
+    CmpBr,    ///< dst = a <cc> b; goto dst ? t1 : t2 (n = 2)
+    CmpBrI,   ///< xdst = ximm; dst = a <cc> ximm; goto dst ? t1 : t2 (n = 3)
+    Call,     ///< dst = call function #imm(argPool[argsBegin..])
+    Ret,      ///< return a (a = -1 for void)
+
+    // Transactions, threading, miscellany.
+    TxBegin, TxEnd, TxSuspend, TxResume,
+    Annotate, ///< pages [a, a+b) are thread-private (boundary)
+    ThreadId, Rand, Barrier, Print, Nop,
+};
+
+const char *dopName(DOp op);
+
+/** Comparison condition of the fused compare-and-branch forms. */
+enum class Cond : std::uint8_t { Eq, Ne, Lt, Le, Gt, Ge };
+
+constexpr bool
+evalCond(Cond cc, std::int64_t a, std::int64_t b)
+{
+    switch (cc) {
+      case Cond::Eq: return a == b;
+      case Cond::Ne: return a != b;
+      case Cond::Lt: return a < b;
+      case Cond::Le: return a <= b;
+      case Cond::Gt: return a > b;
+      case Cond::Ge: return a >= b;
+    }
+    return false;
+}
+
+/**
+ * One decoded operation. Field roles per opcode are documented on the
+ * `DOp` enumerators; `n` is the number of source instructions the op
+ * stands for, so `Step::simpleInstrs` / `instrCount_` accounting stays
+ * bit-identical to the reference interpreter. For the fused memory
+ * forms only the non-boundary constituents count toward `n` at
+ * dispatch; the access itself is counted by `completeMem()`, exactly
+ * as in the reference path.
+ */
+struct DecodedOp
+{
+    DOp op = DOp::Nop;
+    /** Compiler safety hint of the (fused) Load/Store. */
+    bool safe = false;
+    /** Source instructions this op accounts for (1..3). */
+    std::uint8_t n = 1;
+    Cond cc = Cond::Eq;
+
+    std::int32_t dst = -1;
+    std::int32_t a = -1;
+    std::int32_t b = -1;
+    /** Secondary destination: the folded Const's or Gep's register. */
+    std::int32_t xdst = -1;
+
+    /** Absolute op-index branch targets (taken / fall-through). */
+    std::int32_t t1 = 0;
+    std::int32_t t2 = 0;
+
+    /** Call arguments: slice of DecodedFunction::argPool. */
+    std::uint32_t argsBegin = 0;
+    std::uint32_t argsCount = 0;
+
+    std::int64_t imm = 0;
+    std::int64_t imm2 = 0;
+    /** Folded immediate: Const value or fused Load/Store offset. */
+    std::int64_t ximm = 0;
+};
+
+/** A function translated into one flat op stream. */
+struct DecodedFunction
+{
+    std::vector<DecodedOp> ops;
+    /** Call-argument registers, shared by all Call ops of the function. */
+    std::vector<std::int32_t> argPool;
+    /** Op index of each source basic block's first op (testing aid). */
+    std::vector<std::int32_t> blockStart;
+    std::uint32_t numRegs = 0;
+    std::uint32_t numParams = 0;
+};
+
+/** All decoded functions of a module, indexed like Module::functions. */
+struct DecodedModule
+{
+    std::vector<DecodedFunction> fns;
+};
+
+/**
+ * Decode @p fn against @p mod. Globals must already be laid out
+ * (GlobalAddr folds to the assigned address). Panics on malformed
+ * input — the checks mirror the verifier's.
+ */
+DecodedFunction decodeFunction(const Module &mod, const Function &fn);
+
+/** Decode every defined function (declared stubs stay empty). */
+DecodedModule decodeModule(const Module &mod);
+
+} // namespace tir
+} // namespace hintm
+
+#endif // HINTM_TIR_DECODE_HH

@@ -7,6 +7,20 @@
  * the timing layer can interleave threads, drive the memory hierarchy and
  * coordinate the HTM.
  *
+ * Two execution front-ends share one state representation:
+ *
+ *  - the *decoded* path (default) runs the pre-decoded, fused op stream
+ *    built by decode.hh — see its header comment for the translation;
+ *  - the *reference* path walks the original `Instr` storage and is kept
+ *    reachable behind `--no-decode-cache` as the semantic baseline the
+ *    decoded path is cross-checked against (DecodeCacheEquivalence).
+ *
+ * Thread state lives in a flat frame arena: one contiguous register file
+ * (`regs_`) plus a stack of trivially-copyable FrameMeta records. Call is
+ * a bump-pointer push into the arena (no allocation on the steady state)
+ * and the TxBegin checkpoint/rollback is a bounded copy of the live arena
+ * prefix instead of a deep copy of nested per-frame vectors.
+ *
  * Transactional semantics are split: this layer provides functional
  * checkpoint/rollback (registers, stack, heap allocations, store undo
  * log); abort *decisions* belong to the HTM controller.
@@ -24,6 +38,7 @@
 #include "common/types.hh"
 #include "tir/address_space.hh"
 #include "tir/allocator.hh"
+#include "tir/decode.hh"
 #include "tir/ir.hh"
 
 namespace hintm
@@ -39,12 +54,19 @@ class Program
      * Lay out globals and create per-thread resources.
      * @param num_threads worker threads (the init phase gets one extra
      * arena and runs with tid == num_threads)
+     * @param decode_cache pre-decode every function into the fused op
+     * stream (interpreter fast path); false selects the reference
+     * Instr-walking interpreter
      */
-    Program(Module mod, unsigned num_threads, std::uint64_t seed = 1);
+    Program(Module mod, unsigned num_threads, std::uint64_t seed = 1,
+            bool decode_cache = true);
 
     const Module &module() const { return mod_; }
     unsigned numThreads() const { return numThreads_; }
     ThreadId initTid() const { return ThreadId(numThreads_); }
+
+    /** Decoded image, or nullptr when running the reference path. */
+    const DecodedModule *decoded() const { return decoded_.get(); }
 
     AddressSpace &space() { return space_; }
     Allocator &allocator() { return allocator_; }
@@ -63,6 +85,7 @@ class Program
     AddressSpace space_;
     Allocator allocator_;
     std::vector<Rng> rngs_;
+    std::unique_ptr<DecodedModule> decoded_;
 };
 
 /** What a thread is stopped at. */
@@ -162,32 +185,59 @@ class ThreadInterp
     std::uint64_t instrCount() const { return instrCount_; }
 
   private:
-    struct Frame
+    /**
+     * Per-call activation record. Registers live in the shared arena at
+     * [regBase, regBase + numRegs); `ip` is the instruction index within
+     * `block` on the reference path and the absolute decoded-op index
+     * (block stays 0) on the decoded path. Trivially copyable so the
+     * TX checkpoint is a flat vector copy.
+     */
+    struct FrameMeta
     {
-        int fn;
-        int block = 0;
-        int ip = 0;
-        std::vector<std::int64_t> regs;
-        Addr stackOnEntry;
-        int retDst = -1;
+        std::int32_t fn = -1;
+        std::int32_t block = 0;
+        std::int32_t ip = 0;
+        std::int32_t retDst = -1;
+        std::uint32_t regBase = 0;
+        std::uint32_t numRegs = 0;
+        Addr stackOnEntry = 0;
     };
 
     struct Checkpoint
     {
-        std::vector<Frame> frames;
-        Addr stackPtr;
+        std::vector<FrameMeta> frames;
+        /** Live arena prefix: regs_[0 .. frames.back() live window). */
+        std::vector<std::int64_t> regs;
+        Addr stackPtr = 0;
     };
 
+    Step nextRef();
+    Step nextDec();
+    void completeMemRef();
+    void completeMemDec();
+
     const Instr &currentInstr() const;
+    const DecodedOp &currentDOp() const;
+    /** The boundary op the thread is stopped at matches, on either path. */
+    bool atBoundary(Opcode op, DOp dop) const;
     void advance();
-    /** Execute a non-boundary instruction. */
+    /** Reference path: execute a non-boundary instruction. */
     void execute(const Instr &ins);
+    /** Push a callee activation: bump-pointer arena window, zero-filled,
+     * params copied from the caller window. */
+    void pushFrame(int fn, std::uint32_t num_regs, int ret_dst,
+                   const std::int32_t *arg_regs, std::size_t num_args);
     std::int64_t reg(int r) const;
     void setReg(int r, std::int64_t v);
 
     Program &prog_;
     ThreadId tid_;
-    std::vector<Frame> frames_;
+    /** Decoded image (null = reference path). */
+    const DecodedModule *dec_;
+    std::vector<FrameMeta> frames_;
+    /** Flat register arena; frame windows stacked bottom-up. Never
+     * shrinks — a frame pop just lowers the live prefix. */
+    std::vector<std::int64_t> regs_;
     Addr stackPtr_;
     bool done_ = false;
 
@@ -209,6 +259,13 @@ class ThreadInterp
 
     bool memPending_ = false;
     Addr pendingAddr_ = 0;
+    /** Decoded path: the op of the pending access plus its register
+     * window, cached at the boundary so completeMem() skips the
+     * frame/function lookup chain. Stable between next() and
+     * completeMem(): nothing pushes frames or grows the arena while an
+     * access is outstanding. */
+    const DecodedOp *pendingDOp_ = nullptr;
+    std::int64_t *pendingRegs_ = nullptr;
 
     std::uint64_t instrCount_ = 0;
 };

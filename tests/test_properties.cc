@@ -303,3 +303,66 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(htm::HtmKind::P8,
                                          htm::HtmKind::P8S,
                                          htm::HtmKind::L1TM)));
+
+// ---------------------------------------------------------------------
+// Interpreter fast path: the pre-decoded fused op stream + flat frame
+// arena must be a pure performance change. Full RunResult equality —
+// cycle counts, instruction counts, per-reason abort breakdowns, final
+// memory contents and the raw stats dump — across workloads and HTM
+// kinds, decoded versus the reference Instr-walking interpreter.
+
+class DecodeCacheEquivalence
+    : public ::testing::TestWithParam<std::tuple<std::string, htm::HtmKind>>
+{
+};
+
+TEST_P(DecodeCacheEquivalence, DecodedMatchesReferenceExactly)
+{
+    const auto &[name, kind] = GetParam();
+    workloads::Workload w1 =
+        workloads::byName(name, workloads::Scale::Tiny);
+    workloads::Workload w2 =
+        workloads::byName(name, workloads::Scale::Tiny);
+    core::compileHints(w1.module);
+    core::compileHints(w2.module);
+
+    core::SystemOptions opts;
+    opts.htmKind = kind;
+    opts.mechanism = core::Mechanism::Full;
+    opts.collectTxSizes = true;
+    opts.collectRawStats = true;
+    opts.decodeCache = true;
+    const sim::RunResult fast =
+        core::simulate(opts, w1.module, w1.threads);
+    opts.decodeCache = false;
+    const sim::RunResult ref = core::simulate(opts, w2.module, w2.threads);
+
+    EXPECT_EQ(fast.cycles, ref.cycles);
+    EXPECT_EQ(fast.instructions, ref.instructions);
+    EXPECT_EQ(fast.committedTxs, ref.committedTxs);
+    EXPECT_EQ(fast.fallbackRuns, ref.fallbackRuns);
+    EXPECT_EQ(fast.htm.commits, ref.htm.commits);
+    for (unsigned a = 0; a < htm::numAbortReasons; ++a) {
+        EXPECT_EQ(fast.htm.aborts[a], ref.htm.aborts[a]) << "reason " << a;
+        EXPECT_EQ(fast.htm.cyclesLost[a], ref.htm.cyclesLost[a]);
+    }
+    EXPECT_EQ(fast.txReadsStaticSafe, ref.txReadsStaticSafe);
+    EXPECT_EQ(fast.txReadsDynSafe, ref.txReadsDynSafe);
+    EXPECT_EQ(fast.txReadsAnnotated, ref.txReadsAnnotated);
+    EXPECT_EQ(fast.txReadsUnsafe, ref.txReadsUnsafe);
+    EXPECT_EQ(fast.txWritesStaticSafe, ref.txWritesStaticSafe);
+    EXPECT_EQ(fast.txWritesUnsafe, ref.txWritesUnsafe);
+    EXPECT_EQ(fast.pageModeOverheadCycles, ref.pageModeOverheadCycles);
+    EXPECT_EQ(fast.safePages, ref.safePages);
+    EXPECT_EQ(fast.totalPages, ref.totalPages);
+    EXPECT_EQ(fast.finalGlobals, ref.finalGlobals);
+    EXPECT_EQ(fast.rawStats, ref.rawStats);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TwoWorkloadsThreeHtms, DecodeCacheEquivalence,
+    ::testing::Combine(::testing::Values(std::string("kmeans"),
+                                         std::string("intruder")),
+                       ::testing::Values(htm::HtmKind::P8,
+                                         htm::HtmKind::P8S,
+                                         htm::HtmKind::L1TM)));

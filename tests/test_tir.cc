@@ -8,7 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "tir/address_space.hh"
+#include "tir/decode.hh"
 #include "tir/allocator.hh"
 #include "tir/builder.hh"
 #include "tir/interp.hh"
@@ -505,4 +508,198 @@ TEST(Interp, StackOverflowDetected)
     Program prog(m, 1);
     ThreadInterp ti(prog, 0, m.threadFunc, {0});
     EXPECT_THROW(runToCompletion(ti), std::logic_error);
+}
+
+// ---------------------------------------------------------------------
+// Decoder (interpreter fast path): translation of TxIR into the flat
+// fused op stream, and the arena checkpoint machinery it runs on.
+
+TEST(Decoder, BranchTargetsResolveToAbsoluteOpIndices)
+{
+    Module m;
+    FunctionBuilder f(m, "worker", 1);
+    const Reg acc = f.freshVar();
+    f.setI(acc, 0);
+    f.forRangeI(0, 10, [&](Reg i) {
+        f.ifThenElse(
+            f.cmpLtI(i, 5), [&] { f.set(acc, f.add(acc, i)); },
+            [&] { f.set(acc, f.sub(acc, i)); });
+    });
+    f.ret(acc);
+    m.threadFunc = f.finish();
+    ASSERT_FALSE(verify(m).has_value());
+
+    const DecodedFunction df =
+        decodeFunction(m, m.functions[std::size_t(m.threadFunc)]);
+    ASSERT_EQ(df.blockStart.size(),
+              m.functions[std::size_t(m.threadFunc)].blocks.size());
+    const auto is_block_start = [&](std::int32_t t) {
+        return std::find(df.blockStart.begin(), df.blockStart.end(), t) !=
+               df.blockStart.end();
+    };
+    unsigned jumps = 0, cond_branches = 0;
+    for (const DecodedOp &o : df.ops) {
+        switch (o.op) {
+          case DOp::Jmp:
+            ++jumps;
+            EXPECT_TRUE(is_block_start(o.t1)) << "jmp to op " << o.t1;
+            break;
+          case DOp::CondJmp:
+          case DOp::CmpBr:
+          case DOp::CmpBrI:
+            ++cond_branches;
+            EXPECT_TRUE(is_block_start(o.t1)) << "branch to op " << o.t1;
+            EXPECT_TRUE(is_block_start(o.t2)) << "branch to op " << o.t2;
+            break;
+          default:
+            break;
+        }
+    }
+    // The loop + if/else shape must have produced both target kinds.
+    EXPECT_GT(jumps, 0u);
+    EXPECT_GT(cond_branches, 0u);
+}
+
+TEST(Decoder, FusionPreservesSemanticsAndInstructionAccounting)
+{
+    Module m;
+    m.globals.push_back({"arr", 80, 0});
+    m.globals.push_back({"out", 8, 0});
+    FunctionBuilder f(m, "worker", 1);
+    const Reg base = f.globalAddr("arr");
+    const Reg acc = f.freshVar();
+    f.setI(acc, 0);
+    f.forRangeI(0, 10, [&](Reg i) {
+        // Const+Mul -> MulI; Gep immediately before Store -> GepStore.
+        const Reg v = f.mulI(i, 3);
+        const Reg p = f.gep(base, i, 8);
+        f.store(p, v);
+    });
+    f.forRangeI(0, 10, [&](Reg i) {
+        // Gep immediately before Load -> GepLoad.
+        f.set(acc, f.add(acc, f.load(f.gep(base, i, 8))));
+    });
+    f.store(f.globalAddr("out"), acc);
+    f.retVoid();
+    m.threadFunc = f.finish();
+    ASSERT_FALSE(verify(m).has_value());
+
+    Program fast(m, 1, /*seed=*/1, /*decode_cache=*/true);
+    Program ref(m, 1, /*seed=*/1, /*decode_cache=*/false);
+    ASSERT_NE(fast.decoded(), nullptr);
+    EXPECT_EQ(ref.decoded(), nullptr);
+
+    // Every source instruction is accounted for by exactly one decoded
+    // op: the op `n` fields sum to the source instruction count.
+    const Function &fn = m.functions[std::size_t(m.threadFunc)];
+    const DecodedFunction &df =
+        fast.decoded()->fns[std::size_t(m.threadFunc)];
+    std::uint64_t n_sum = 0, src_count = 0;
+    bool saw_imm_alu = false, saw_cmp_br = false;
+    bool saw_gep_load = false, saw_gep_store = false;
+    bool saw_global_const = false;
+    for (const DecodedOp &o : df.ops) {
+        n_sum += o.n;
+        switch (o.op) {
+          case DOp::MulI: saw_imm_alu = true; EXPECT_EQ(o.n, 2); break;
+          case DOp::CmpBr: saw_cmp_br = true; EXPECT_EQ(o.n, 2); break;
+          case DOp::GepLoad: saw_gep_load = true; EXPECT_EQ(o.n, 2); break;
+          case DOp::GepStore:
+            saw_gep_store = true;
+            EXPECT_EQ(o.n, 2);
+            break;
+          case DOp::Const:
+            // GlobalAddr pre-resolves to the laid-out address.
+            if (Addr(o.imm) == fast.globalAddrByName("arr"))
+                saw_global_const = true;
+            break;
+          default: break;
+        }
+    }
+    for (const BasicBlock &b : fn.blocks)
+        src_count += b.instrs.size();
+    EXPECT_EQ(n_sum, src_count);
+    EXPECT_TRUE(saw_imm_alu);
+    EXPECT_TRUE(saw_cmp_br);
+    EXPECT_TRUE(saw_gep_load);
+    EXPECT_TRUE(saw_gep_store);
+    EXPECT_TRUE(saw_global_const);
+
+    // Decoded and reference execution agree instruction-for-instruction.
+    ThreadInterp td(fast, 0, m.threadFunc, {0});
+    ThreadInterp tr(ref, 0, m.threadFunc, {0});
+    EXPECT_EQ(runToCompletion(td), runToCompletion(tr));
+    EXPECT_EQ(td.instrCount(), tr.instrCount());
+    // sum of 3*i for i in 0..9 = 135.
+    EXPECT_EQ(fast.space().read(fast.globalAddrByName("out")), 135);
+    EXPECT_EQ(ref.space().read(ref.globalAddrByName("out")), 135);
+}
+
+TEST(Interp, ArenaRollbackAcrossNestedCallsWithAllocaLive)
+{
+    Module m;
+    m.globals.push_back({"out", 8, 0});
+    declareFunction(m, "helper", 1);
+    {
+        FunctionBuilder h(m, "helper", 1);
+        const Reg p = h.param(0);
+        const Reg s = h.allocaBytes(32);
+        h.storeI(s, 21);                  // helper-local scratch
+        h.store(p, h.mulI(h.load(s), 2)); // tracked store: *p = 42
+        h.ret(h.load(s));
+        h.finish();
+    }
+    FunctionBuilder f(m, "worker", 1);
+    const Reg a = f.allocaBytes(8);
+    f.storeI(a, 5);
+    const Reg acc = f.freshVar();
+    f.setI(acc, 100);
+    f.txBegin();
+    f.set(acc, f.constI(200));
+    const Reg r = f.call("helper", {a});
+    f.txEnd();
+    f.store(f.globalAddr("out"), f.add(f.add(f.load(a), r), acc));
+    f.retVoid();
+    m.threadFunc = f.finish();
+    ASSERT_FALSE(verify(m).has_value());
+
+    Program prog(m, 1);
+    ThreadInterp ti(prog, 0, m.threadFunc, {0});
+
+    Step st;
+    while ((st = ti.next()).kind != StepKind::TxBegin)
+        ti.completeMem();
+    ti.enterTx(true);
+
+    // First in-TX Mem boundary: helper's scratch store (we're now in the
+    // nested frame, with its Alloca live).
+    st = ti.next();
+    ASSERT_EQ(st.kind, StepKind::Mem);
+    const Addr scratch_first = st.addr;
+    ti.completeMem();
+    // Complete the load of the scratch and the tracked store through p.
+    for (int i = 0; i < 2; ++i) {
+        st = ti.next();
+        ASSERT_EQ(st.kind, StepKind::Mem);
+        ti.completeMem();
+    }
+    EXPECT_EQ(prog.space().read(Addr(layout::stackBase(0))), 42);
+
+    // Abort with the nested frame and its Alloca live.
+    ti.undoStores();
+    ti.rollbackToTxBegin();
+    EXPECT_EQ(prog.space().read(Addr(layout::stackBase(0))), 5);
+
+    // Retry resumes AT TxBegin, back in the outer frame, with the stack
+    // pointer rewound: helper's scratch lands at the same address.
+    st = ti.next();
+    ASSERT_EQ(st.kind, StepKind::TxBegin);
+    ti.enterTx(true);
+    st = ti.next();
+    ASSERT_EQ(st.kind, StepKind::Mem);
+    EXPECT_EQ(st.addr, scratch_first);
+    ti.completeMem();
+    runToCompletion(ti);
+    // out = *a (42) + helper return (21) + acc (200).
+    EXPECT_EQ(prog.space().read(prog.globalAddrByName("out")), 263);
 }

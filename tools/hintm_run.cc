@@ -58,6 +58,8 @@ usage(int code)
         "  --stats             dump raw memory/VM statistics\n"
         "  --no-snoop-filter   reference broadcast memory path "
         "(cross-check)\n"
+        "  --no-decode-cache   reference Instr-walking interpreter "
+        "(cross-check)\n"
         "  --trace CATS        trace categories (tx,htm,vm,mem,sched|all)\n"
         "  --list              list workloads and exit\n");
     std::exit(code);
@@ -169,6 +171,9 @@ main(int argc, char **argv)
         } else if (a == "--no-snoop-filter") {
             core::SystemOptions::setSnoopFilterDefault(false);
             opts.snoopFilter = false;
+        } else if (a == "--no-decode-cache") {
+            core::SystemOptions::setDecodeCacheDefault(false);
+            opts.decodeCache = false;
         } else if (a == "--trace") {
             trace::enableFromSpec(next());
         } else if (a == "--list") {
