@@ -12,6 +12,7 @@
 
 #include "common/logging.hh"
 #include "common/parallel.hh"
+#include "compiler/race_lint.hh"
 #include "htm/abort.hh"
 
 namespace hintm
@@ -48,10 +49,14 @@ BenchArgs::parse(int argc, char **argv)
         } else if (arg == "--no-decode-cache") {
             a.noDecodeCache = true;
             core::SystemOptions::setDecodeCacheDefault(false);
+        } else if (arg == "--lint") {
+            a.lint = true;
+            setLintOnPrepare(true);
         } else if (arg == "--help") {
             std::printf("options: [--tiny|--small|--large] [--preserve] "
                         "[--workload NAME]... [--jobs N] [--json FILE] "
-                        "[--no-snoop-filter] [--no-decode-cache]\n");
+                        "[--no-snoop-filter] [--no-decode-cache] "
+                        "[--lint]\n");
             std::exit(0);
         } else {
             HINTM_FATAL("unknown argument ", arg);
@@ -68,11 +73,29 @@ BenchArgs::names() const
     return only.empty() ? workloads::allNames() : only;
 }
 
+namespace
+{
+bool lintOnPrepare = false;
+} // namespace
+
+void
+setLintOnPrepare(bool on)
+{
+    lintOnPrepare = on;
+}
+
 PreparedWorkload
 prepare(const std::string &name, workloads::Scale s)
 {
     PreparedWorkload p{workloads::byName(name, s), {}, s};
     p.compileReport = core::compileHints(p.wl.module);
+    if (lintOnPrepare) {
+        const compiler::LintReport lr = compiler::lintRaces(p.wl.module);
+        if (!lr.clean()) {
+            HINTM_FATAL("--lint: ", name, ": ", lr.summary(), "\n",
+                        lr.render());
+        }
+    }
     return p;
 }
 
@@ -129,7 +152,7 @@ jobKey(const MatrixJob &job)
        << o.profileSharing << o.validateSafeStores << '|'
        << o.bufferEntries << '|' << o.signatureBits << '|'
        << o.maxRetries << '|' << o.snoopFilter << o.decodeCache
-       << o.collectRawStats;
+       << o.collectRawStats << o.hintOracle;
     return os.str();
 }
 

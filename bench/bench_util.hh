@@ -40,10 +40,19 @@ struct BenchArgs
     /** --no-decode-cache: run the reference Instr-walking interpreter
      * (cross-check mode; also flips the process-wide default). */
     bool noDecodeCache = false;
+    /** --lint: run the static race-lint pass over every workload as it
+     * is prepared and abort on any diagnostic (soundness gate). */
+    bool lint = false;
 
     static BenchArgs parse(int argc, char **argv);
     std::vector<std::string> names() const;
 };
+
+/** Process-wide switch behind BenchArgs::lint: when on, prepare()
+ * re-derives the race obligations after hint compilation and fatals on
+ * any diagnostic. Exposed so drivers with their own argument parsing
+ * (hintm_run) can enable the same gate. */
+void setLintOnPrepare(bool on);
 
 /** A workload with hints compiled once, reusable across configs. */
 struct PreparedWorkload

@@ -1,0 +1,877 @@
+#include "race_lint.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/logging.hh"
+#include "compiler/points_to.hh"
+
+namespace hintm
+{
+namespace compiler
+{
+
+using tir::Instr;
+using tir::Module;
+using tir::Opcode;
+
+std::string
+LintDiagnostic::line() const
+{
+    std::ostringstream os;
+    os << "RACE-LINT [ob" << obligation << "] " << where << ": " << witness;
+    return os.str();
+}
+
+std::string
+LintReport::summary() const
+{
+    unsigned ob[4] = {0, 0, 0, 0};
+    for (const auto &d : diagnostics) {
+        if (d.obligation >= 1 && d.obligation <= 3)
+            ++ob[d.obligation];
+    }
+    std::ostringstream os;
+    os << "race lint: " << diagnostics.size() << " diagnostic(s)";
+    if (!diagnostics.empty())
+        os << " (ob1 " << ob[1] << ", ob2 " << ob[2] << ", ob3 " << ob[3]
+           << ")";
+    os << " over " << safeLoadsChecked << " safe loads + "
+       << safeStoresChecked << " safe stores";
+    return os.str();
+}
+
+std::string
+LintReport::render() const
+{
+    std::ostringstream os;
+    for (const auto &d : diagnostics)
+        os << d.line() << "\n";
+    return os.str();
+}
+
+namespace
+{
+
+/** Instruction position (also the diagnostic key). */
+struct Ref
+{
+    int fn = -1, block = -1, instr = -1;
+    bool operator<(const Ref &o) const
+    {
+        if (fn != o.fn)
+            return fn < o.fn;
+        if (block != o.block)
+            return block < o.block;
+        return instr < o.instr;
+    }
+    bool operator==(const Ref &o) const
+    {
+        return fn == o.fn && block == o.block && instr == o.instr;
+    }
+};
+
+/**
+ * May-have-been-initialized object set for the initializing-store
+ * dataflow (union meet over paths). A load of o is a first-access
+ * witness only when o is absent here at the load — i.e. when NO path
+ * from the region entry can initialize o first. This is deliberately
+ * the may side of the lattice: flagging the must side would reject
+ * feasibility-correlated loop bounds (a copy loop followed by a
+ * same-bounds read loop) that the classifier's listing order accepts.
+ */
+struct InitSet
+{
+    std::set<int> objs;
+    /** Distinguishes an empty solved state from a not-yet-seen block. */
+    bool reached = false;
+
+    bool contains(int o) const { return objs.count(o) != 0; }
+    void insert(int o) { objs.insert(o); }
+
+    /** Union meet. @return true when this state changed. */
+    bool
+    meet(const InitSet &other)
+    {
+        bool changed = !reached;
+        reached = true;
+        for (int o : other.objs)
+            changed |= objs.insert(o).second;
+        return changed;
+    }
+};
+
+/** Bottom-up obligation-2 facts about one whole function body. */
+struct FnSummary
+{
+    /** Objects a load may touch as the function's first access to them
+     * (no possible prior initialization), with a witness position. */
+    std::map<int, Ref> firstMay;
+    /** Objects some path through the function may store or allocate. */
+    std::set<int> mayInit;
+    bool done = false;
+    bool inProgress = false;
+};
+
+class Linter
+{
+  public:
+    explicit Linter(const Module &mod) : mod_(mod), pt_(mod) {}
+
+    LintReport
+    run()
+    {
+        HINTM_ASSERT(mod_.threadFunc >= 0,
+                     "race lint needs a thread function");
+        parallel_ = pt_.reachableFrom(mod_.threadFunc);
+        if (mod_.initFunc >= 0)
+            init_ = pt_.reachableFrom(mod_.initFunc);
+
+        const std::size_t n = pt_.objects().size();
+        summaries_.assign(mod_.functions.size(), FnSummary{});
+        conservative_.assign(mod_.functions.size(), FnSummary{});
+        localLoads_.assign(mod_.functions.size(), {});
+        localInits_.assign(mod_.functions.size(), {});
+        collectLocalLoads();
+        computeEscape();
+        computeWrites();
+
+        privateObj_.assign(n, false);
+        for (int o = 0; o < int(n); ++o)
+            privateObj_[std::size_t(o)] = isPrivate(o);
+
+        collectSafeStores();
+        checkRegions();
+        checkHints();
+        checkVariants();
+
+        std::sort(rep_.diagnostics.begin(), rep_.diagnostics.end(),
+                  [](const LintDiagnostic &a, const LintDiagnostic &b) {
+                      if (a.fn != b.fn)
+                          return a.fn < b.fn;
+                      if (a.block != b.block)
+                          return a.block < b.block;
+                      if (a.instr != b.instr)
+                          return a.instr < b.instr;
+                      return a.obligation < b.obligation;
+                  });
+        return rep_;
+    }
+
+  private:
+    // ---- formatting -----------------------------------------------------
+
+    std::string
+    refStr(const Ref &r) const
+    {
+        std::ostringstream os;
+        os << mod_.functions[std::size_t(r.fn)].name << ":" << r.block
+           << ":" << r.instr;
+        return os.str();
+    }
+
+    std::string
+    objName(int o) const
+    {
+        const AbstractObject &obj = pt_.objects()[std::size_t(o)];
+        std::ostringstream os;
+        switch (obj.kind) {
+          case ObjKind::Global:
+            os << "global '"
+               << mod_.globals[std::size_t(obj.globalId)].name << "'";
+            break;
+          case ObjKind::Alloca:
+            os << "alloca@"
+               << refStr(Ref{obj.fn, obj.block, obj.instr});
+            break;
+          case ObjKind::Malloc:
+            os << "malloc@"
+               << refStr(Ref{obj.fn, obj.block, obj.instr});
+            break;
+        }
+        return os.str();
+    }
+
+    /** Witness path from @p o up the escape chain to its root. */
+    std::string
+    escapeChain(int o) const
+    {
+        std::ostringstream os;
+        os << objName(o);
+        int cur = o;
+        for (int hop = 0; hop < 32; ++hop) {
+            auto root = rootNote_.find(cur);
+            if (root != rootNote_.end()) {
+                os << " " << root->second;
+                break;
+            }
+            auto par = escapeParent_.find(cur);
+            if (par == escapeParent_.end())
+                break;
+            cur = par->second;
+            os << " <- held by " << objName(cur);
+        }
+        return os.str();
+    }
+
+    void
+    diag(const Ref &r, int obligation, const std::string &witness)
+    {
+        LintDiagnostic d;
+        d.fn = r.fn;
+        d.block = r.block;
+        d.instr = r.instr;
+        d.obligation = obligation;
+        d.where = refStr(r);
+        d.witness = witness;
+        rep_.diagnostics.push_back(std::move(d));
+        flagged_.emplace(r, obligation);
+    }
+
+    // ---- object facts ---------------------------------------------------
+
+    void
+    collectLocalLoads()
+    {
+        for (int f = 0; f < int(mod_.functions.size()); ++f) {
+            const auto &fn = mod_.functions[std::size_t(f)];
+            for (int b = 0; b < int(fn.blocks.size()); ++b) {
+                const auto &instrs = fn.blocks[std::size_t(b)].instrs;
+                for (int i = 0; i < int(instrs.size()); ++i) {
+                    const Instr &ins = instrs[std::size_t(i)];
+                    if (ins.op == Opcode::Load) {
+                        for (int o : pt_.accessPts(f, ins))
+                            localLoads_[std::size_t(f)].emplace(
+                                o, Ref{f, b, i});
+                    } else if (ins.op == Opcode::Store) {
+                        for (int o : pt_.accessPts(f, ins))
+                            localInits_[std::size_t(f)].insert(o);
+                    } else if (ins.op == Opcode::Alloca ||
+                               ins.op == Opcode::Malloc) {
+                        const int o = pt_.siteOf(f, b, i);
+                        if (o >= 0)
+                            localInits_[std::size_t(f)].insert(o);
+                    }
+                }
+            }
+        }
+    }
+
+    /**
+     * Own escape lattice: everything reachable (via the heap graph) from
+     * a global, or from a value stored through a pointer the analysis
+     * could not resolve. The second root family is the conservatism the
+     * classifier lacks — it trusts unresolved stores to touch nothing.
+     */
+    void
+    computeEscape()
+    {
+        std::vector<int> work;
+        auto root = [&](int o, const std::string &note) {
+            if (escaped_.insert(o).second) {
+                rootNote_.emplace(o, note);
+                work.push_back(o);
+            }
+        };
+        for (int o = 0; o < int(pt_.objects().size()); ++o) {
+            if (pt_.objects()[std::size_t(o)].kind == ObjKind::Global)
+                root(o, "(is a global)");
+        }
+        for (int f = 0; f < int(mod_.functions.size()); ++f) {
+            const auto &fn = mod_.functions[std::size_t(f)];
+            for (int b = 0; b < int(fn.blocks.size()); ++b) {
+                const auto &instrs = fn.blocks[std::size_t(b)].instrs;
+                for (int i = 0; i < int(instrs.size()); ++i) {
+                    const Instr &ins = instrs[std::size_t(i)];
+                    if (ins.op != Opcode::Store ||
+                        !pt_.accessPts(f, ins).empty())
+                        continue;
+                    for (int v : pt_.regPts(f, ins.b))
+                        root(v, "(stored through untracked pointer at " +
+                                    refStr(Ref{f, b, i}) + ")");
+                }
+            }
+        }
+        while (!work.empty()) {
+            const int o = work.back();
+            work.pop_back();
+            for (int t : pt_.fieldPts(o)) {
+                if (escaped_.insert(t).second) {
+                    escapeParent_.emplace(t, o);
+                    work.push_back(t);
+                }
+            }
+        }
+    }
+
+    /** First store in the parallel region that may write each object. */
+    void
+    computeWrites()
+    {
+        for (int f : parallel_) {
+            const auto &fn = mod_.functions[std::size_t(f)];
+            for (int b = 0; b < int(fn.blocks.size()); ++b) {
+                const auto &instrs = fn.blocks[std::size_t(b)].instrs;
+                for (int i = 0; i < int(instrs.size()); ++i) {
+                    const Instr &ins = instrs[std::size_t(i)];
+                    if (ins.op != Opcode::Store)
+                        continue;
+                    const ObjSet &objs = pt_.accessPts(f, ins);
+                    if (objs.empty()) {
+                        if (!hasWildStore_) {
+                            hasWildStore_ = true;
+                            wildStore_ = Ref{f, b, i};
+                        }
+                        continue;
+                    }
+                    for (int o : objs)
+                        writeWitness_.emplace(o, Ref{f, b, i});
+                }
+            }
+        }
+    }
+
+    bool
+    writtenInParallel(int o, Ref *witness) const
+    {
+        auto it = writeWitness_.find(o);
+        if (it != writeWitness_.end()) {
+            *witness = it->second;
+            return true;
+        }
+        if (hasWildStore_) {
+            *witness = wildStore_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    isPrivate(int o) const
+    {
+        const AbstractObject &obj = pt_.objects()[std::size_t(o)];
+        if (escaped_.count(o) != 0)
+            return false;
+        switch (obj.kind) {
+          case ObjKind::Alloca:
+            return true;
+          case ObjKind::Malloc:
+            return parallel_.count(obj.fn) != 0 &&
+                   init_.count(obj.fn) == 0;
+          case ObjKind::Global:
+            return false;
+        }
+        return false;
+    }
+
+    /** Why @p o is not thread-private, for obligation-1 store witnesses. */
+    std::string
+    notPrivateReason(int o) const
+    {
+        const AbstractObject &obj = pt_.objects()[std::size_t(o)];
+        if (obj.kind == ObjKind::Global)
+            return objName(o) + " is shared by construction";
+        if (escaped_.count(o) != 0)
+            return "escapes: " + escapeChain(o);
+        if (obj.kind == ObjKind::Malloc) {
+            if (init_.count(obj.fn) != 0)
+                return objName(o) +
+                       " is allocated in the initialization phase";
+            if (parallel_.count(obj.fn) == 0)
+                return objName(o) +
+                       " is allocated outside the parallel region";
+        }
+        return objName(o) + " is not provably thread-private";
+    }
+
+    // ---- obligation-2 function summaries --------------------------------
+
+    std::string
+    baseName(const std::string &name) const
+    {
+        const std::size_t pos = name.find("$safe");
+        return pos == std::string::npos ? name : name.substr(0, pos);
+    }
+
+    const std::set<int> &
+    reach(int f)
+    {
+        auto it = reachCache_.find(f);
+        if (it == reachCache_.end())
+            it = reachCache_.emplace(f, pt_.reachableFrom(f)).first;
+        return it->second;
+    }
+
+    /** Objects stored or allocated anywhere under @p f. */
+    const std::set<int> &
+    initsClosure(int f)
+    {
+        auto it = initsClosure_.find(f);
+        if (it != initsClosure_.end())
+            return it->second;
+        std::set<int> all;
+        for (int g : reach(f))
+            all.insert(localInits_[std::size_t(g)].begin(),
+                       localInits_[std::size_t(g)].end());
+        return initsClosure_.emplace(f, std::move(all)).first->second;
+    }
+
+    /** Recursion fallback: every load anywhere under @p f may be first. */
+    const FnSummary &
+    conservativeOf(int f)
+    {
+        FnSummary &s = conservative_[std::size_t(f)];
+        if (!s.done) {
+            for (int g : reach(f)) {
+                for (const auto &kv : localLoads_[std::size_t(g)])
+                    s.firstMay.emplace(kv.first, kv.second);
+            }
+            s.done = true;
+        }
+        return s;
+    }
+
+    const FnSummary &
+    summaryOf(int f)
+    {
+        FnSummary &s = summaries_[std::size_t(f)];
+        if (s.done)
+            return s;
+        if (s.inProgress)
+            return conservativeOf(f);
+        s.inProgress = true;
+
+        const auto &fn = mod_.functions[std::size_t(f)];
+        std::vector<InitSet> in(fn.blocks.size());
+        if (!fn.blocks.empty()) {
+            in[0].reached = true;
+            std::vector<int> work{0};
+            while (!work.empty()) {
+                const int b = work.back();
+                work.pop_back();
+                InitSet st = in[std::size_t(b)];
+                std::vector<int> succ;
+                transferBlock(f, b, 0, st, nullptr, &succ);
+                for (int t : succ) {
+                    if (in[std::size_t(t)].meet(st))
+                        work.push_back(t);
+                }
+            }
+        }
+        // Recording pass over the solved states.
+        for (int b = 0; b < int(fn.blocks.size()); ++b) {
+            if (!in[std::size_t(b)].reached)
+                continue; // unreachable
+            InitSet st = in[std::size_t(b)];
+            transferBlock(f, b, 0, st, &s, nullptr);
+        }
+        s.mayInit = initsClosure(f);
+        s.inProgress = false;
+        s.done = true;
+        return s;
+    }
+
+    /**
+     * Run the initializing-store transfer function over the instructions
+     * of block @p b starting at @p start. When @p record is set, loads
+     * that no path can have initialized are captured into it; when
+     * @p succ is set, branch targets are appended (unless the scan
+     * leaves the TX region first).
+     * @return true when the scan ended the region (TxEnd) or the
+     *         function (Ret) rather than falling through to a branch.
+     */
+    bool
+    transferBlock(int f, int b, int start, InitSet &st, FnSummary *record,
+                  std::vector<int> *succ)
+    {
+        const auto &instrs =
+            mod_.functions[std::size_t(f)].blocks[std::size_t(b)].instrs;
+        for (int i = start; i < int(instrs.size()); ++i) {
+            const Instr &ins = instrs[std::size_t(i)];
+            switch (ins.op) {
+              case Opcode::Load:
+                if (record) {
+                    for (int o : pt_.accessPts(f, ins)) {
+                        if (!st.contains(o))
+                            record->firstMay.emplace(o, Ref{f, b, i});
+                    }
+                }
+                break;
+              case Opcode::Store:
+                for (int o : pt_.accessPts(f, ins))
+                    st.insert(o);
+                break;
+              case Opcode::Alloca:
+              case Opcode::Malloc: {
+                // A fresh object has no prior value an abort could
+                // expose: allocation counts as initialization.
+                const int o = pt_.siteOf(f, b, i);
+                if (o >= 0)
+                    st.insert(o);
+                break;
+              }
+              case Opcode::Call: {
+                if (record) {
+                    const FnSummary &cs = summaryOf(int(ins.imm));
+                    for (const auto &kv : cs.firstMay) {
+                        if (!st.contains(kv.first))
+                            record->firstMay.emplace(kv.first,
+                                                     kv.second);
+                    }
+                }
+                for (int o : initsClosure(int(ins.imm)))
+                    st.insert(o);
+                break;
+              }
+              case Opcode::TxEnd:
+                return true;
+              case Opcode::Ret:
+                return true;
+              case Opcode::Br:
+                if (succ)
+                    succ->push_back(int(ins.imm));
+                break;
+              case Opcode::CondBr:
+                if (succ) {
+                    succ->push_back(int(ins.imm));
+                    succ->push_back(int(ins.imm2));
+                }
+                break;
+              default:
+                break;
+            }
+        }
+        return false;
+    }
+
+    // ---- obligation 2: per-TX-span CFG check ----------------------------
+
+    void
+    collectSafeStores()
+    {
+        for (int f = 0; f < int(mod_.functions.size()); ++f) {
+            const auto &fn = mod_.functions[std::size_t(f)];
+            for (int b = 0; b < int(fn.blocks.size()); ++b) {
+                const auto &instrs = fn.blocks[std::size_t(b)].instrs;
+                for (int i = 0; i < int(instrs.size()); ++i) {
+                    const Instr &ins = instrs[std::size_t(i)];
+                    if (ins.op == Opcode::Store && ins.safe)
+                        safeStores_.push_back(Ref{f, b, i});
+                }
+            }
+        }
+    }
+
+    void
+    checkRegions()
+    {
+        for (int f = 0; f < int(mod_.functions.size()); ++f) {
+            const auto &fn = mod_.functions[std::size_t(f)];
+            for (int b = 0; b < int(fn.blocks.size()); ++b) {
+                const auto &instrs = fn.blocks[std::size_t(b)].instrs;
+                for (int i = 0; i < int(instrs.size()); ++i) {
+                    if (instrs[std::size_t(i)].op == Opcode::TxBegin)
+                        analyzeSpan(f, b, i);
+                }
+            }
+        }
+    }
+
+    /**
+     * One static TX span: dataflow from the instruction after the
+     * TxBegin at (@p f, @p b0, @p i0), stopping at TxEnd. Collects, per
+     * object, whether some path's first access is a load, then checks
+     * every safe store the span contains.
+     */
+    void
+    analyzeSpan(int f, int b0, int i0)
+    {
+        // Span-scoped recorder: firstMay doubles as the may-load-first
+        // map, mustStore is unused.
+        FnSummary span;
+        std::set<Ref> directStores;
+        std::set<int> spanFns;
+
+        std::map<int, InitSet> in;
+        {
+            InitSet st;
+            st.reached = true;
+            std::vector<int> succ;
+            std::vector<int> work;
+            if (!transferBlock(f, b0, i0 + 1, st, nullptr, &succ)) {
+                for (int t : succ) {
+                    auto it = in.emplace(t, InitSet{}).first;
+                    if (it->second.meet(st))
+                        work.push_back(t);
+                }
+            }
+            while (!work.empty()) {
+                const int b = work.back();
+                work.pop_back();
+                InitSet st2 = in[b];
+                std::vector<int> succ2;
+                if (transferBlock(f, b, 0, st2, nullptr, &succ2))
+                    continue;
+                for (int t : succ2) {
+                    auto it = in.emplace(t, InitSet{}).first;
+                    if (it->second.meet(st2))
+                        work.push_back(t);
+                }
+            }
+        }
+
+        // Recording pass: suffix of the TxBegin block, then every block
+        // the span reaches, with a span-membership recorder.
+        auto recordIn = [&](int blk, int start, InitSet st) {
+            const auto &instrs = mod_.functions[std::size_t(f)]
+                                     .blocks[std::size_t(blk)]
+                                     .instrs;
+            for (int i = start; i < int(instrs.size()); ++i) {
+                const Instr &ins = instrs[std::size_t(i)];
+                if (ins.op == Opcode::TxEnd || ins.op == Opcode::Ret)
+                    break;
+                if (ins.op == Opcode::Store)
+                    directStores.insert(Ref{f, blk, i});
+                if (ins.op == Opcode::Call) {
+                    const auto &r = reach(int(ins.imm));
+                    spanFns.insert(r.begin(), r.end());
+                }
+            }
+            InitSet tmp = st;
+            transferBlock(f, blk, start, tmp, &span, nullptr);
+        };
+        {
+            InitSet st;
+            st.reached = true;
+            recordIn(b0, i0 + 1, st);
+        }
+        for (const auto &kv : in) {
+            if (kv.second.reached)
+                recordIn(kv.first, 0, kv.second);
+        }
+
+        // Every safe store this span contains must target only objects
+        // no path of the span may load first.
+        std::ostringstream region;
+        region << refStr(Ref{f, b0, i0});
+        for (const Ref &s : safeStores_) {
+            const bool contained = s.fn == f
+                                       ? directStores.count(s) != 0
+                                       : spanFns.count(s.fn) != 0;
+            if (!contained)
+                continue;
+            ++containCount_[s];
+            if (flaggedOb2_.count(s) != 0)
+                continue;
+            const Instr &ins = mod_.functions[std::size_t(s.fn)]
+                                   .blocks[std::size_t(s.block)]
+                                   .instrs[std::size_t(s.instr)];
+            for (int o : pt_.accessPts(s.fn, ins)) {
+                auto it = span.firstMay.find(o);
+                if (it == span.firstMay.end())
+                    continue;
+                flaggedOb2_.insert(s);
+                diag(s, 2,
+                     "not an initializing store: in TX region " +
+                         region.str() + ", the first access to " +
+                         objName(o) + " may be the load at " +
+                         refStr(it->second));
+                break;
+            }
+        }
+    }
+
+    // ---- obligation 1 + hint walk ---------------------------------------
+
+    void
+    checkHints()
+    {
+        for (int f = 0; f < int(mod_.functions.size()); ++f) {
+            const auto &fn = mod_.functions[std::size_t(f)];
+            for (int b = 0; b < int(fn.blocks.size()); ++b) {
+                const auto &instrs = fn.blocks[std::size_t(b)].instrs;
+                for (int i = 0; i < int(instrs.size()); ++i) {
+                    const Instr &ins = instrs[std::size_t(i)];
+                    if (!ins.safe || !tir::isMemAccess(ins.op))
+                        continue;
+                    const Ref ref{f, b, i};
+                    if (ins.op == Opcode::Load)
+                        checkSafeLoad(ref, ins);
+                    else
+                        checkSafeStore(ref, ins);
+                }
+            }
+        }
+    }
+
+    void
+    checkSafeLoad(const Ref &ref, const Instr &ins)
+    {
+        ++rep_.safeLoadsChecked;
+        const ObjSet &objs = pt_.accessPts(ref.fn, ins);
+        if (objs.empty()) {
+            diag(ref, 1,
+                 "safe load of an unresolved address: the points-to set "
+                 "is empty, nothing justifies the hint");
+            return;
+        }
+        for (int o : objs) {
+            if (privateObj_[std::size_t(o)])
+                continue;
+            Ref w;
+            if (!writtenInParallel(o, &w))
+                continue; // read-only in the parallel region
+            std::string why = "may race: " + objName(o) +
+                              " is written in the parallel region at " +
+                              refStr(w);
+            if (escaped_.count(o) != 0 &&
+                pt_.objects()[std::size_t(o)].kind != ObjKind::Global)
+                why += "; " + escapeChain(o);
+            diag(ref, 1, why);
+            return; // one witness per access is enough
+        }
+    }
+
+    void
+    checkSafeStore(const Ref &ref, const Instr &ins)
+    {
+        ++rep_.safeStoresChecked;
+        const ObjSet &objs = pt_.accessPts(ref.fn, ins);
+        if (objs.empty()) {
+            diag(ref, 1,
+                 "safe store through an unresolved address: the "
+                 "points-to set is empty, nothing justifies the hint");
+        } else {
+            for (int o : objs) {
+                if (privateObj_[std::size_t(o)])
+                    continue;
+                diag(ref, 1, "safe store to a non-private object: " +
+                                 notPrivateReason(o));
+                break;
+            }
+        }
+        if (containCount_.count(ref) == 0) {
+            diag(ref, 2,
+                 "safe store is not contained in any TX region, so no "
+                 "initializing-store argument applies");
+        }
+    }
+
+    // ---- obligation 3: replicated-variant consistency -------------------
+
+    void
+    checkVariants()
+    {
+        std::map<std::string, int> originals;
+        for (int f = 0; f < int(mod_.functions.size()); ++f) {
+            const std::string &name =
+                mod_.functions[std::size_t(f)].name;
+            if (baseName(name) == name)
+                originals.emplace(name, f);
+        }
+        for (int f = 0; f < int(mod_.functions.size()); ++f) {
+            const std::string &name =
+                mod_.functions[std::size_t(f)].name;
+            const std::string base = baseName(name);
+            if (base == name)
+                continue;
+            auto it = originals.find(base);
+            if (it == originals.end())
+                continue;
+            compareVariant(it->second, f);
+        }
+    }
+
+    void
+    compareVariant(int orig, int clone)
+    {
+        const auto &a = mod_.functions[std::size_t(orig)];
+        const auto &b = mod_.functions[std::size_t(clone)];
+        if (a.blocks.size() != b.blocks.size())
+            return;
+        for (std::size_t blk = 0; blk < a.blocks.size(); ++blk) {
+            const auto &ia = a.blocks[blk].instrs;
+            const auto &ib = b.blocks[blk].instrs;
+            if (ia.size() != ib.size())
+                return;
+            for (std::size_t i = 0; i < ia.size(); ++i) {
+                if (ia[i].op != ib[i].op)
+                    return;
+            }
+        }
+        // Structural twins: a hint present on one side only is fine when
+        // sound (that asymmetry is the point of replication), but a
+        // diverging hint that itself failed obligation 1/2 is corrupt.
+        for (std::size_t blk = 0; blk < a.blocks.size(); ++blk) {
+            const auto &ia = a.blocks[blk].instrs;
+            const auto &ib = b.blocks[blk].instrs;
+            for (std::size_t i = 0; i < ia.size(); ++i) {
+                if (ia[i].safe == ib[i].safe ||
+                    !tir::isMemAccess(ia[i].op))
+                    continue;
+                const Ref safeSide = ia[i].safe
+                                         ? Ref{orig, int(blk), int(i)}
+                                         : Ref{clone, int(blk), int(i)};
+                auto fl = flagged_.find(safeSide);
+                if (fl == flagged_.end())
+                    continue;
+                const int other =
+                    safeSide.fn == orig ? clone : orig;
+                std::ostringstream os;
+                os << "hint diverges from replicated variant '"
+                   << mod_.functions[std::size_t(other)].name
+                   << "' and already failed obligation " << fl->second
+                   << " here";
+                diag(safeSide, 3, os.str());
+            }
+        }
+    }
+
+    // ---- state ----------------------------------------------------------
+
+    const Module &mod_;
+    PointsTo pt_;
+    LintReport rep_;
+
+    std::set<int> parallel_;
+    std::set<int> init_;
+
+    std::set<int> escaped_;
+    std::map<int, int> escapeParent_;
+    std::map<int, std::string> rootNote_;
+
+    std::map<int, Ref> writeWitness_;
+    bool hasWildStore_ = false;
+    Ref wildStore_;
+
+    std::vector<bool> privateObj_;
+
+    std::vector<FnSummary> summaries_;
+    std::vector<FnSummary> conservative_;
+    std::vector<std::map<int, Ref>> localLoads_;
+    std::vector<std::set<int>> localInits_;
+    std::unordered_map<int, std::set<int>> initsClosure_;
+    std::unordered_map<int, std::set<int>> reachCache_;
+
+    std::vector<Ref> safeStores_;
+    std::map<Ref, unsigned> containCount_;
+    std::set<Ref> flaggedOb2_;
+    std::map<Ref, int> flagged_;
+};
+
+} // namespace
+
+LintReport
+lintRaces(const Module &mod)
+{
+    Linter linter(mod);
+    return linter.run();
+}
+
+} // namespace compiler
+} // namespace hintm

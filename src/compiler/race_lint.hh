@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Static soundness checker for safety hints: independently re-derives
+ * may-race facts over TxIR and verifies every safe-hinted load/store
+ * against three obligations:
+ *
+ *  1. Every object the access may touch is provably thread-private or
+ *     read-only within the parallel region (own conservative escape
+ *     lattice, rebuilt from the points-to heap graph rather than trusting
+ *     the classifier's escape set).
+ *  2. Safe stores satisfy the initializing-store discipline: along every
+ *     CFG path of every enclosing TX region, the first access to each
+ *     target object is a store (the classifier only approximates this in
+ *     block-listing order).
+ *  3. Hints are consistent across replicated function variants: a
+ *     structural twin may carry extra hints only when those hints are
+ *     themselves sound.
+ *
+ * The pass is deliberately redundant with compiler::annotateSafety — it
+ * shares points_to but nothing else, so a classifier bug (or a corrupted
+ * hint bit) shows up as a structured diagnostic instead of silent
+ * conflict-tracking loss in the HTM.
+ */
+
+#ifndef HINTM_COMPILER_RACE_LINT_HH
+#define HINTM_COMPILER_RACE_LINT_HH
+
+#include <string>
+#include <vector>
+
+#include "tir/ir.hh"
+
+namespace hintm
+{
+namespace compiler
+{
+
+/** One unsoundness witness against a safe-hinted access. */
+struct LintDiagnostic
+{
+    /** Position of the suspect safe-hinted instruction. */
+    int fn = -1;
+    int block = -1;
+    int instr = -1;
+    /** Which obligation failed (1 = may-race, 2 = initializing store,
+     * 3 = replicated-variant consistency). */
+    int obligation = 0;
+    /** `function:block:instr` of the suspect access. */
+    std::string where;
+    /** Witness path / explanation (escape chain, racing store,
+     * load-before-store position, diverging variant). */
+    std::string witness;
+
+    /** One formatted diagnostic line. */
+    std::string line() const;
+};
+
+/** Everything the lint pass found. */
+struct LintReport
+{
+    std::vector<LintDiagnostic> diagnostics;
+    unsigned safeLoadsChecked = 0;
+    unsigned safeStoresChecked = 0;
+
+    bool clean() const { return diagnostics.empty(); }
+    /** One-line outcome (counts per obligation). */
+    std::string summary() const;
+    /** All diagnostic lines, newline-separated. */
+    std::string render() const;
+};
+
+/**
+ * Verify all safety hints in @p mod. The module must verify and have a
+ * thread function; the pass never modifies it.
+ */
+LintReport lintRaces(const tir::Module &mod);
+
+} // namespace compiler
+} // namespace hintm
+
+#endif // HINTM_COMPILER_RACE_LINT_HH

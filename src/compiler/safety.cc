@@ -35,11 +35,22 @@ struct InstrRef
     }
 };
 
+/** Which analysis classified an object (SafetyReport attribution). */
+enum class Prov : std::uint8_t
+{
+    None,
+    Stack,
+    Heap,
+    ReadOnly,
+};
+
 /** Object safety classification for one analysis round. */
 struct ObjectClasses
 {
     std::vector<bool> loadSafe;   ///< loads of the object are safe
     std::vector<bool> storable;   ///< candidate for safe (init) stores
+    /** Justifying analysis per object (None when not loadSafe). */
+    std::vector<Prov> provenance;
     unsigned stackObjects = 0;
     unsigned heapObjects = 0;
     unsigned readOnlyObjects = 0;
@@ -155,6 +166,7 @@ classifyObjects(const Module &mod, const PointsTo &pt,
     const auto &objects = pt.objects();
     oc.loadSafe.assign(objects.size(), false);
     oc.storable.assign(objects.size(), false);
+    oc.provenance.assign(objects.size(), Prov::None);
 
     const std::set<int> parallel = pt.reachableFrom(mod.threadFunc);
     std::set<int> init;
@@ -189,6 +201,7 @@ classifyObjects(const Module &mod, const PointsTo &pt,
             if (opts.stackAnalysis && !pt.isEscaped(o)) {
                 oc.loadSafe[std::size_t(o)] = true;
                 oc.storable[std::size_t(o)] = true;
+                oc.provenance[std::size_t(o)] = Prov::Stack;
                 ++oc.stackObjects;
             }
             break;
@@ -202,6 +215,7 @@ classifyObjects(const Module &mod, const PointsTo &pt,
                  freedInParallel[std::size_t(o)])) {
                 oc.loadSafe[std::size_t(o)] = true;
                 oc.storable[std::size_t(o)] = true;
+                oc.provenance[std::size_t(o)] = Prov::Heap;
                 ++oc.heapObjects;
             }
             break;
@@ -214,6 +228,7 @@ classifyObjects(const Module &mod, const PointsTo &pt,
         if (opts.readOnlyAnalysis && !oc.loadSafe[std::size_t(o)] &&
             !storedInParallel[std::size_t(o)]) {
             oc.loadSafe[std::size_t(o)] = true;
+            oc.provenance[std::size_t(o)] = Prov::ReadOnly;
             ++oc.readOnlyObjects;
         }
     }
@@ -230,6 +245,21 @@ allLoadSafe(const ObjSet &objs, const ObjectClasses &oc)
             return false;
     }
     return true;
+}
+
+/** Common justifying analysis of a points-to set (None = mixed). */
+Prov
+mergedProv(const ObjSet &objs, const ObjectClasses &oc)
+{
+    Prov p = Prov::None;
+    for (int o : objs) {
+        const Prov q = oc.provenance[std::size_t(o)];
+        if (p == Prov::None)
+            p = q;
+        else if (q != p)
+            return Prov::None;
+    }
+    return p;
 }
 
 /**
@@ -313,7 +343,11 @@ SafetyReport::summary() const
        << ", safe stores " << safeStores << "/" << totalStores
        << " (stack objs " << safeStackObjects << ", heap objs "
        << safeHeapObjects << ", ro objs " << readOnlyObjects
-       << ", clones " << replicatedFunctions << ")";
+       << ", clones " << replicatedFunctions << ")"
+       << " [loads stack " << safeLoadsStack << " heap " << safeLoadsHeap
+       << " ro " << safeLoadsReadOnly << " mixed " << safeLoadsMixed
+       << "; stores stack " << safeStoresStack << " heap "
+       << safeStoresHeap << " mixed " << safeStoresMixed << "]";
     return os.str();
 }
 
@@ -408,6 +442,20 @@ annotateSafety(Module &mod, const SafetyOptions &opts)
                     if (allLoadSafe(pt.regPts(f, ins.a), oc)) {
                         ins.safe = true;
                         ++rep.safeLoads;
+                        switch (mergedProv(pt.regPts(f, ins.a), oc)) {
+                        case Prov::Stack:
+                            ++rep.safeLoadsStack;
+                            break;
+                        case Prov::Heap:
+                            ++rep.safeLoadsHeap;
+                            break;
+                        case Prov::ReadOnly:
+                            ++rep.safeLoadsReadOnly;
+                            break;
+                        case Prov::None:
+                            ++rep.safeLoadsMixed;
+                            break;
+                        }
                     }
                 } else if (ins.op == Opcode::Store) {
                     ++rep.totalStores;
@@ -417,6 +465,17 @@ annotateSafety(Module &mod, const SafetyOptions &opts)
                         safeVotes[ref] == cc->second) {
                         ins.safe = true;
                         ++rep.safeStores;
+                        switch (mergedProv(pt.regPts(f, ins.a), oc)) {
+                        case Prov::Stack:
+                            ++rep.safeStoresStack;
+                            break;
+                        case Prov::Heap:
+                            ++rep.safeStoresHeap;
+                            break;
+                        default:
+                            ++rep.safeStoresMixed;
+                            break;
+                        }
                     }
                 }
             }

@@ -59,6 +59,18 @@ struct SafetyReport
     unsigned readOnlyObjects = 0;
     unsigned replicatedFunctions = 0;
 
+    // Provenance of the emitted hints: which analysis justified each
+    // safe access (every object in the instruction's points-to set was
+    // classified by that analysis; "mixed" = the set spans several).
+    // Feeds Fig. 5 attribution and the race-lint diagnostics.
+    unsigned safeLoadsStack = 0;
+    unsigned safeLoadsHeap = 0;
+    unsigned safeLoadsReadOnly = 0;
+    unsigned safeLoadsMixed = 0;
+    unsigned safeStoresStack = 0;
+    unsigned safeStoresHeap = 0;
+    unsigned safeStoresMixed = 0;
+
     std::string summary() const;
 };
 

@@ -90,6 +90,7 @@ makeMachineConfig(const SystemOptions &opts)
     cfg.profileSharing = opts.profileSharing;
     cfg.validateSafeStores = opts.validateSafeStores;
     cfg.collectRawStats = opts.collectRawStats;
+    cfg.hintOracle = opts.hintOracle;
 
     // One switch covers all three behavior-preserving fast-path layers.
     cfg.mem.snoopFilter = opts.snoopFilter;

@@ -71,6 +71,10 @@ struct SystemOptions
     bool decodeCache = decodeCacheDefault();
     /** Populate RunResult::rawStats (costs time; off unless asked). */
     bool collectRawStats = false;
+    /** Dynamic hint-soundness oracle: shadow-track safe-hinted accesses
+     * and report remote-write overlaps (RunResult::oracleWitnesses).
+     * Observation only — simulation results are bit-identical. */
+    bool hintOracle = false;
 
     std::string label() const;
 

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "common/logging.hh"
+#include "htm/hint_oracle.hh"
 
 namespace hintm
 {
@@ -107,6 +108,8 @@ HtmController::trackAccess(Addr addr, AccessType type, bool safe)
     if (safe) {
         // The whole point of HinTM: safe accesses consume no tracking
         // resources and may spill from caches freely.
+        if (oracle_)
+            oracle_->onSafeSkip();
         return;
     }
     const Addr block = blockAlign(addr);

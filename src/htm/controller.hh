@@ -25,6 +25,8 @@ namespace hintm
 namespace htm
 {
 
+class HintOracle;
+
 /** Baseline HTM hardware organization. */
 enum class HtmKind : std::uint8_t
 {
@@ -111,6 +113,13 @@ class HtmController : public mem::SnoopListener
      * context's access completes: must functionally undo the TX's stores.
      */
     void setUndoHook(std::function<void()> hook) { undoHook_ = hook; }
+
+    /**
+     * Attach the dynamic hint oracle (may be null). The controller only
+     * reports safe-skip events to it; all shadow tracking happens on the
+     * oracle's MemorySystem observer side.
+     */
+    void setHintOracle(HintOracle *oracle) { oracle_ = oracle; }
 
     /**
      * Hook publishing whether this controller currently needs coherence
@@ -201,6 +210,7 @@ class HtmController : public mem::SnoopListener
     HtmStats *stats_;
     std::function<void()> undoHook_;
     std::function<void(bool)> interestHook_;
+    HintOracle *oracle_ = nullptr;
 
     bool inTx_ = false;
     bool abortPending_ = false;

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * HintOracle implementation — see hint_oracle.hh for the model.
+ */
+
+#include "htm/hint_oracle.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hintm
+{
+namespace htm
+{
+
+HintOracle::WordShadow &
+HintOracle::wordAt(Addr word_addr)
+{
+    BlockShadow &blk = shadow_[blockAlign(word_addr)];
+    return blk.words[std::size_t((word_addr - blockAlign(word_addr)) /
+                                 accessBytes)];
+}
+
+void
+HintOracle::emit(const Witness &w)
+{
+    const auto key = std::make_tuple(w.safeSrc.fn, w.safeSrc.block,
+                                     w.safeSrc.instr);
+    if (!seen_.insert(key).second)
+        return;
+    witnesses_.push_back(w);
+}
+
+void
+HintOracle::recordWrite(unsigned ctx, Addr word_addr, const Src &src)
+{
+    WordShadow &ws = wordAt(word_addr);
+
+    // A remote write lands on a word some other context already
+    // safe-accessed: that access escaped this writer's conflict
+    // detection.
+    for (const SafeRec &s : ws.safeAccs) {
+        if (s.ctx == ctx)
+            continue;
+        Witness w;
+        w.safeSrc = s.src;
+        w.type = s.type;
+        w.addr = s.addr;
+        w.safeCtx = s.ctx;
+        w.writerSrc = src;
+        w.writerCtx = ctx;
+        w.writerFirst = false;
+        emit(w);
+    }
+
+    for (const WriteRec &r : ws.writers) {
+        if (r.ctx == ctx)
+            return; // keep the first write per context
+    }
+    ws.writers.push_back(WriteRec{ctx, src});
+}
+
+void
+HintOracle::checkSafe(unsigned ctx, Addr word_addr, Addr addr,
+                      AccessType type, const Src &src)
+{
+    WordShadow &ws = wordAt(word_addr);
+
+    // A safe access lands on a word some other context already wrote:
+    // it may observe (or clobber) racing data without any tracking.
+    for (const WriteRec &r : ws.writers) {
+        if (r.ctx == ctx)
+            continue;
+        Witness w;
+        w.safeSrc = src;
+        w.type = type;
+        w.addr = addr;
+        w.safeCtx = ctx;
+        w.writerSrc = r.src;
+        w.writerCtx = r.ctx;
+        w.writerFirst = true;
+        emit(w);
+    }
+
+    for (const SafeRec &s : ws.safeAccs) {
+        if (s.ctx == ctx)
+            return; // keep the first safe access per context
+    }
+    ws.safeAccs.push_back(SafeRec{ctx, src, type, addr});
+}
+
+void
+HintOracle::onAccess(mem::ContextId ctx, Addr addr, AccessType type)
+{
+    // Consume the stamp; accesses without one are runtime traffic.
+    Src src;
+    bool check_safe = false;
+    if (stampCtx_ == int(ctx)) {
+        src = stampSrc_;
+        check_safe = stampCheckSafe_;
+    }
+    stampCtx_ = -1;
+    stampCheckSafe_ = false;
+
+    if (check_safe)
+        ++safeChecked_;
+
+    // The interpreter accesses 64-bit words; an unaligned access
+    // touches two shadow words.
+    const Addr w0 = addr & ~(accessBytes - 1);
+    const Addr w1 = (addr + accessBytes - 1) & ~(accessBytes - 1);
+    for (Addr w = w0; w <= w1; w += accessBytes) {
+        if (check_safe)
+            checkSafe(unsigned(ctx), w, addr, type, src);
+        if (type == AccessType::Write)
+            recordWrite(unsigned(ctx), w, src);
+    }
+}
+
+void
+HintOracle::onFree(Addr p, std::uint64_t bytes)
+{
+    if (bytes == 0 || shadow_.empty())
+        return;
+    const Addr first = p & ~(accessBytes - 1);
+    const Addr last = (p + bytes - 1) & ~(accessBytes - 1);
+    for (Addr blk = blockAlign(first); blk <= blockAlign(last);
+         blk += blockBytes) {
+        auto it = shadow_.find(blk);
+        if (it == shadow_.end())
+            continue;
+        const Addr lo = std::max(first, blk);
+        const Addr hi = std::min(last, blk + blockBytes - accessBytes);
+        for (Addr w = lo; w <= hi; w += accessBytes) {
+            WordShadow &ws =
+                it->second.words[std::size_t((w - blk) / accessBytes)];
+            ws.writers.clear();
+            ws.safeAccs.clear();
+        }
+    }
+}
+
+namespace
+{
+
+std::string
+srcStr(const HintOracle::Src &s, const tir::Module &mod)
+{
+    if (s.fn < 0)
+        return "(runtime)";
+    std::ostringstream os;
+    os << mod.functions[std::size_t(s.fn)].name << ":" << s.block << ":"
+       << s.instr;
+    return os.str();
+}
+
+} // namespace
+
+std::string
+HintOracle::describe(const Witness &w, const tir::Module &mod)
+{
+    std::ostringstream os;
+    os << "HINT-ORACLE safe "
+       << (w.type == AccessType::Read ? "load" : "store") << " at "
+       << srcStr(w.safeSrc, mod) << " (ctx " << w.safeCtx << ", addr 0x"
+       << std::hex << w.addr << std::dec << ") overlaps a write by ctx "
+       << w.writerCtx << " at " << srcStr(w.writerSrc, mod)
+       << (w.writerFirst ? " (write observed first)"
+                         : " (write arrived after the safe access)");
+    return os.str();
+}
+
+} // namespace htm
+} // namespace hintm

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Dynamic safety-hint oracle: an opt-in, observation-only shadow tracker
+ * that cross-validates the static classifier at run time. The sim layer
+ * stamps each memory access with its TxIR source position just before it
+ * enters the memory hierarchy; the oracle (installed as the
+ * MemorySystem's AccessObserver) shadow-tracks every access at cache-
+ * block granularity and flags any statically-safe-hinted transactional
+ * access whose data is also written by another thread in the same
+ * parallel region, naming the offending TxIR instruction.
+ *
+ * Soundness of the flag, not of the hint, is the design constraint:
+ *
+ *  - *Word refinement.* Shadow state is kept per 8-byte word inside each
+ *    block entry. Tolerating block-level false sharing without word
+ *    overlap is HinTM's legitimate benefit, not a bug — only true word
+ *    overlap between a safe access and a remote write is a violation.
+ *  - *Synchronization boundaries.* Barriers order everything, so the
+ *    shadow map is cleared when one releases (onBarrier). Heap frees
+ *    order reuse through the allocator, so a freed range's shadow words
+ *    are cleared too (onFree) — otherwise an address recycled from a
+ *    shared object into a thread-private one would report a stale race.
+ *  - *Unstamped accesses* are runtime traffic (the fallback lock); they
+ *    are tracked as writers with no TxIR position.
+ *
+ * The oracle never touches caches, timing or statistics: a run with it
+ * enabled is bit-identical to one without (asserted by tests).
+ */
+
+#ifndef HINTM_HTM_HINT_ORACLE_HH
+#define HINTM_HTM_HINT_ORACLE_HH
+
+#include <array>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "mem/mem_system.hh"
+#include "tir/ir.hh"
+
+namespace hintm
+{
+namespace htm
+{
+
+/** Shadow-tracking conflict oracle for static safety hints. */
+class HintOracle : public mem::AccessObserver
+{
+  public:
+    /** TxIR source position; fn == -1 marks runtime (unstamped) traffic. */
+    struct Src
+    {
+        std::int32_t fn = -1;
+        std::int32_t block = 0;
+        std::int32_t instr = 0;
+    };
+
+    /** One flagged safe access (deduplicated per safe instruction). */
+    struct Witness
+    {
+        Src safeSrc;           ///< the safe-hinted Load/Store
+        AccessType type;       ///< access type of the safe access
+        Addr addr = 0;         ///< address of the safe access
+        unsigned safeCtx = 0;  ///< context that performed it
+        Src writerSrc;         ///< the offending remote write
+        unsigned writerCtx = 0;
+        /** True when the remote write was observed before the safe
+         * access (the safe access read possibly-racing data); false
+         * when the write arrived after (the safe access escaped the
+         * writer's conflict detection). */
+        bool writerFirst = false;
+    };
+
+    /**
+     * Provenance stamp for the next observed access of @p ctx. The sim
+     * layer calls this immediately before the one MemorySystem::access
+     * the stamp describes (squashed accesses are never stamped);
+     * onAccess consumes and clears it. @p check_safe marks a
+     * statically-safe-hinted access inside a hardware TX — the accesses
+     * the oracle validates.
+     */
+    void
+    stamp(unsigned ctx, std::int32_t fn, std::int32_t block,
+          std::int32_t instr, bool check_safe)
+    {
+        stampCtx_ = int(ctx);
+        stampSrc_ = Src{fn, block, instr};
+        stampCheckSafe_ = check_safe;
+    }
+
+    // mem::AccessObserver: one access entering the hierarchy.
+    void onAccess(mem::ContextId ctx, Addr addr, AccessType type) override;
+
+    /** HtmController-side count of accesses that skipped tracking. */
+    void onSafeSkip() { ++safeSkips_; }
+
+    /** A barrier released: everything before it is ordered. */
+    void onBarrier() { shadow_.clear(); }
+
+    /** [p, p+bytes) was freed: reuse is ordered by the allocator. */
+    void onFree(Addr p, std::uint64_t bytes);
+
+    const std::vector<Witness> &witnesses() const { return witnesses_; }
+    std::uint64_t safeAccessesChecked() const { return safeChecked_; }
+    std::uint64_t safeSkips() const { return safeSkips_; }
+
+    /** Render a witness against the module it was observed on. */
+    static std::string describe(const Witness &w, const tir::Module &mod);
+
+  private:
+    /** Access width the interpreter performs (64-bit words). */
+    static constexpr Addr accessBytes = 8;
+    static constexpr std::size_t wordsPerBlock =
+        std::size_t(blockBytes / accessBytes);
+
+    struct WriteRec
+    {
+        unsigned ctx;
+        Src src;
+    };
+
+    struct SafeRec
+    {
+        unsigned ctx;
+        Src src;
+        AccessType type;
+        Addr addr;
+    };
+
+    /** Per-word shadow: first write / first safe access per context. */
+    struct WordShadow
+    {
+        std::vector<WriteRec> writers;
+        std::vector<SafeRec> safeAccs;
+    };
+
+    struct BlockShadow
+    {
+        std::array<WordShadow, wordsPerBlock> words;
+    };
+
+    WordShadow &wordAt(Addr word_addr);
+    void recordWrite(unsigned ctx, Addr word_addr, const Src &src);
+    void checkSafe(unsigned ctx, Addr word_addr, Addr addr,
+                   AccessType type, const Src &src);
+    void emit(const Witness &w);
+
+    std::unordered_map<Addr, BlockShadow> shadow_;
+    std::vector<Witness> witnesses_;
+    /** Safe sites already flagged (one witness per instruction). */
+    std::set<std::tuple<std::int32_t, std::int32_t, std::int32_t>> seen_;
+    std::uint64_t safeChecked_ = 0;
+    std::uint64_t safeSkips_ = 0;
+
+    int stampCtx_ = -1;
+    Src stampSrc_;
+    bool stampCheckSafe_ = false;
+};
+
+} // namespace htm
+} // namespace hintm
+
+#endif // HINTM_HTM_HINT_ORACLE_HH

@@ -246,6 +246,8 @@ MemorySystem::access(ContextId ctx, Addr addr, AccessType type)
 {
     HINTM_ASSERT(ctx >= 0 && ctx < ContextId(contexts_.size()),
                  "bad context ", ctx);
+    if (observer_)
+        observer_->onAccess(ctx, addr, type);
     const Addr block = blockAlign(addr);
     const unsigned l1_id = contexts_[ctx].l1;
     CacheArray &l1 = *l1s_[l1_id];

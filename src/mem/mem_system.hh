@@ -60,6 +60,18 @@ struct AccessResult
 };
 
 /**
+ * Optional tap on every access entering the hierarchy (the hint
+ * oracle's shadow tracker). Purely observational: implementations must
+ * not touch caches or timing.
+ */
+class AccessObserver
+{
+  public:
+    virtual ~AccessObserver() = default;
+    virtual void onAccess(ContextId ctx, Addr addr, AccessType type) = 0;
+};
+
+/**
  * The full memory system. Hardware thread contexts are registered up front
  * with the L1 they share (SMT siblings share one L1); each access then
  * flows L1 -> snoop bus -> L2 -> memory with MESI state maintenance,
@@ -98,6 +110,13 @@ class MemorySystem
      * state in the cache, so tracked lines are sticky).
      */
     void setPinChecker(unsigned l1_id, CacheArray::PinPredicate pred);
+
+    /**
+     * Install an observer invoked at the entry of every access(), before
+     * any cache state changes (may be null to detach). Observation only:
+     * the access proceeds identically with or without it.
+     */
+    void setAccessObserver(AccessObserver *obs) { observer_ = obs; }
 
     /**
      * Perform one access and return its latency. Remote-context listeners
@@ -167,6 +186,7 @@ class MemorySystem
      * masks. */
     bool filterOn_ = true;
     SnoopFilter filter_;
+    AccessObserver *observer_ = nullptr;
     std::uint64_t interestMask_ = 0;
     std::vector<std::uint64_t> l1CtxMask_;
 

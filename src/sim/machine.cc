@@ -9,6 +9,7 @@
 #include "common/flat_set.hh"
 #include "common/logging.hh"
 #include "common/trace.hh"
+#include "htm/hint_oracle.hh"
 #include "tir/interp.hh"
 #include "tir/verifier.hh"
 
@@ -66,6 +67,17 @@ class Machine
         mem_ = std::make_unique<mem::MemorySystem>(cfg.mem, cfg.numCores);
         vm_ = std::make_unique<vm::Vm>(cfg.vm);
 
+        if (cfg.hintOracle) {
+            oracle_ = std::make_unique<htm::HintOracle>();
+            mem_->setAccessObserver(oracle_.get());
+            // Free clears shadow state: reuse of a heap address is
+            // ordered through the allocator, not a race.
+            prog_.allocator().onRelease =
+                [o = oracle_.get()](Addr p, std::uint64_t bytes) {
+                    o->onFree(p, bytes);
+                };
+        }
+
         runInitPhase(module);
         for (unsigned t = 0; t < num_threads; ++t) {
             const int mem_ctx = mem_->addContext(t % cfg.numCores);
@@ -80,6 +92,7 @@ class Machine
                 cfg.htm, mem::ContextId(t), &res_.htm);
             tir::ThreadInterp *ip = cs.interp.get();
             cs.htm->setUndoHook([ip] { ip->undoStores(); });
+            cs.htm->setHintOracle(oracle_.get());
             mem_->setListener(mem::ContextId(t), cs.htm.get());
             // Interest gating: the memory system only delivers coherence
             // events to this context while its controller is in a live TX.
@@ -157,6 +170,13 @@ class Machine
         if (cfg_.profileSharing) {
             res_.blockSharing = profiler_.blockSummary();
             res_.pageSharing = profiler_.pageSummary();
+        }
+        if (oracle_) {
+            res_.oracleSafeChecked = oracle_->safeAccessesChecked();
+            res_.oracleSafeSkips = oracle_->safeSkips();
+            for (const htm::HintOracle::Witness &w : oracle_->witnesses())
+                res_.oracleWitnesses.push_back(
+                    htm::HintOracle::describe(w, prog_.module()));
         }
         if (cfg_.collectRawStats) {
             std::ostringstream os;
@@ -505,6 +525,14 @@ class Machine
         // hooks run before we read). Under L1TM this access can also
         // abort *us*: filling the L1 may evict one of our own tracked
         // lines (set-conflict capacity abort). Squash in that case.
+        // Stamp the oracle here and only here: every earlier exit is a
+        // squashed access that never reaches the hierarchy. A context
+        // that just converted to a critical section proceeds untracked,
+        // so its access is no longer a hint-driven skip.
+        if (oracle_) {
+            oracle_->stamp(c, st.fn, st.srcBlock, st.srcInstr,
+                           static_safe && in_htm_tx && !cs.inFallback);
+        }
         const auto ar =
             mem_->access(mem::ContextId(c), st.addr, st.accessType);
         cost += ar.latency;
@@ -545,12 +573,15 @@ class Machine
             cs.atBarrier = false;
             cs.readyAt = std::max(cs.readyAt, now) + 1;
         }
+        if (oracle_)
+            oracle_->onBarrier();
     }
 
     MachineConfig cfg_;
     tir::Program prog_;
     std::unique_ptr<mem::MemorySystem> mem_;
     std::unique_ptr<vm::Vm> vm_;
+    std::unique_ptr<htm::HintOracle> oracle_;
     std::vector<ContextState> ctxs_;
     int lockHolder_ = -1;
     std::uint64_t shootdownCycles_ = 0;

@@ -72,6 +72,10 @@ struct MachineConfig
     /** Run threads on the pre-decoded fused op stream (interpreter fast
      * path); false selects the reference Instr-walking interpreter. */
     bool decodeCache = true;
+    /** Shadow-track safe-hinted accesses and report any that overlap a
+     * remote write (dynamic hint-soundness oracle). Observation only:
+     * simulation results are bit-identical with or without it. */
+    bool hintOracle = false;
 };
 
 /** Everything a run produces. */
@@ -121,6 +125,15 @@ struct RunResult
      * shootdowns), gem5-stats style. Only populated when
      * MachineConfig::collectRawStats is set. */
     std::string rawStats;
+
+    // Hint-oracle results (MachineConfig::hintOracle only).
+    /** Rendered oracle witnesses; empty means every checked safe access
+     * was conflict-free. */
+    std::vector<std::string> oracleWitnesses;
+    /** Safe-hinted in-TX accesses the oracle validated. */
+    std::uint64_t oracleSafeChecked = 0;
+    /** Controller-side count of accesses that skipped HTM tracking. */
+    std::uint64_t oracleSafeSkips = 0;
 
     std::uint64_t
     txAccessesTotal() const

@@ -50,6 +50,8 @@ Allocator::release(Addr p)
     live_.erase(it);
     liveBytes_ -= alloc.size;
     arenas_[alloc.arena].freeLists[alloc.size].push_back(p);
+    if (onRelease)
+        onRelease(p, alloc.size);
 }
 
 std::uint64_t

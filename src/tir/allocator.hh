@@ -11,6 +11,7 @@
 #define HINTM_TIR_ALLOCATOR_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <unordered_map>
 #include <vector>
@@ -42,6 +43,11 @@ class Allocator
 
     /** Total bytes currently live across all arenas. */
     std::uint64_t liveBytes() const { return liveBytes_; }
+
+    /** Optional observer invoked on every release with the freed range
+     * (the hint oracle clears shadow state across lifetime boundaries).
+     * Purely observational — allocation behavior is unaffected. */
+    std::function<void(Addr, std::uint64_t)> onRelease;
 
     unsigned numArenas() const { return unsigned(arenas_.size()); }
 

@@ -203,6 +203,8 @@ decodeFunction(const Module &mod, const Function &fn)
         HINTM_ASSERT(!instrs.empty(), "empty block decoding ", fn.name);
         for (std::size_t i = 0; i < instrs.size(); ++i) {
             const Instr &ins = instrs[i];
+            // Source index of this op, captured before fusion advances i.
+            const std::int32_t src_i = std::int32_t(i);
             const Instr *next =
                 i + 1 < instrs.size() ? &instrs[i + 1] : nullptr;
             DecodedOp o;
@@ -269,6 +271,7 @@ decodeFunction(const Module &mod, const Function &fn)
                         i += 1;
                     }
                     df.ops.push_back(fused);
+                    df.srcRefs.push_back({std::int32_t(b), src_i});
                     continue;
                 }
                 o.op = DOp::Const;
@@ -310,6 +313,7 @@ decodeFunction(const Module &mod, const Function &fn)
                     o.n = 2;
                     patches.push_back(std::int32_t(df.ops.size()));
                     df.ops.push_back(o);
+                    df.srcRefs.push_back({std::int32_t(b), src_i});
                     i += 1;
                     continue;
                 }
@@ -469,6 +473,13 @@ decodeFunction(const Module &mod, const Function &fn)
               case Opcode::Nop: o.op = DOp::Nop; break;
             }
             df.ops.push_back(o);
+            // The fused memory forms answer for the access instruction
+            // (the Load/Store after the Gep), matching the reference
+            // interpreter's position at the memory boundary.
+            const bool fused_mem =
+                o.op == DOp::GepLoad || o.op == DOp::GepStore;
+            df.srcRefs.push_back(
+                {std::int32_t(b), fused_mem ? src_i + 1 : src_i});
         }
     }
 

@@ -139,12 +139,23 @@ struct DecodedOp
     std::int64_t ximm = 0;
 };
 
+/** Source position of a decoded op (diagnostics / oracle provenance). */
+struct SrcRef
+{
+    std::int32_t block = 0;
+    /** For the fused memory forms this is the access instruction (the
+     * Load/Store), not the leading Gep. */
+    std::int32_t instr = 0;
+};
+
 /** A function translated into one flat op stream. */
 struct DecodedFunction
 {
     std::vector<DecodedOp> ops;
     /** Call-argument registers, shared by all Call ops of the function. */
     std::vector<std::int32_t> argPool;
+    /** Source position of each op, parallel to `ops`. */
+    std::vector<SrcRef> srcRefs;
     /** Op index of each source basic block's first op (testing aid). */
     std::vector<std::int32_t> blockStart;
     std::uint32_t numRegs = 0;

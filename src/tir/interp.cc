@@ -261,6 +261,9 @@ ThreadInterp::nextRef()
             st.accessType = ins.op == Opcode::Load ? AccessType::Read
                                                    : AccessType::Write;
             st.staticSafe = ins.safe;
+            st.fn = std::int32_t(f.fn);
+            st.srcBlock = std::int32_t(f.block);
+            st.srcInstr = std::int32_t(f.ip);
             return st;
           case Opcode::TxBegin:
             st.kind = StepKind::TxBegin;
@@ -477,6 +480,9 @@ ThreadInterp::nextDec()
             st.accessType = o.op == DOp::Load ? AccessType::Read
                                               : AccessType::Write;
             st.staticSafe = o.safe;
+            st.fn = std::int32_t(f->fn);
+            st.srcBlock = df->srcRefs[std::size_t(pc)].block;
+            st.srcInstr = df->srcRefs[std::size_t(pc)].instr;
             return st;
           case DOp::GepLoad:
           case DOp::GepStore: {
@@ -497,6 +503,9 @@ ThreadInterp::nextDec()
             st.accessType = o.op == DOp::GepLoad ? AccessType::Read
                                                  : AccessType::Write;
             st.staticSafe = o.safe;
+            st.fn = std::int32_t(f->fn);
+            st.srcBlock = df->srcRefs[std::size_t(pc)].block;
+            st.srcInstr = df->srcRefs[std::size_t(pc)].instr;
             return st;
           }
 

@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include "compiler/points_to.hh"
+#include "compiler/race_lint.hh"
 #include "compiler/safety.hh"
 #include "tir/builder.hh"
 #include "tir/verifier.hh"
@@ -559,4 +560,116 @@ TEST(Safety, SafetyReportSummaryIsReadable)
     const std::string s = rep.summary();
     EXPECT_NE(s.find("4/10"), std::string::npos);
     EXPECT_NE(s.find("clones 1"), std::string::npos);
+}
+
+namespace
+{
+
+/**
+ * A forwarding chain worker -> l1 -> l2 -> l3(leaf load), entered once
+ * with a thread-private buffer (inside a TX) and once with a shared
+ * one. Recovering safety for the private entry requires one replication
+ * round per layer: l1 splits first, which makes l2's callers mixed,
+ * which makes l3's callers mixed.
+ */
+Module
+deepChainModule()
+{
+    Module m;
+    m.globals.push_back({"g", 8, 0});
+    declareFunction(m, "l1", 1);
+    declareFunction(m, "l2", 1);
+    declareFunction(m, "l3", 1);
+    {
+        FunctionBuilder f(m, "l3", 1);
+        const Reg acc = f.freshVar();
+        f.setI(acc, 0);
+        f.forRangeI(0, 8, [&](Reg i) {
+            f.set(acc, f.add(acc, f.load(f.gep(f.param(0), i, 8))));
+        });
+        f.ret(acc);
+        f.finish();
+    }
+    {
+        FunctionBuilder f(m, "l2", 1);
+        f.ret(f.call("l3", {f.param(0)}));
+        f.finish();
+    }
+    {
+        FunctionBuilder f(m, "l1", 1);
+        f.ret(f.call("l2", {f.param(0)}));
+        f.finish();
+    }
+    {
+        FunctionBuilder f(m, "init", 0);
+        const Reg shared = f.mallocI(64);
+        f.store(f.globalAddr("g"), shared);
+        f.retVoid();
+        m.initFunc = f.finish();
+    }
+    FunctionBuilder f(m, "worker", 1);
+    const Reg priv = f.mallocI(64);
+    f.forRangeI(0, 8, [&](Reg i) { f.store(f.gep(priv, i, 8), i); });
+    const Reg shared = f.load(f.globalAddr("g"));
+    f.store(shared, f.param(0)); // written in parallel: not read-only
+    const Reg a = f.call("l1", {shared});
+    f.txBegin();
+    const Reg b = f.call("l1", {priv});
+    f.store(f.globalAddr("g"), f.add(a, b), 0);
+    f.txEnd();
+    f.freePtr(priv);
+    f.retVoid();
+    m.threadFunc = f.finish();
+    return m;
+}
+
+} // namespace
+
+TEST(Safety, ReplicationPropagatesThroughDeepCallChains)
+{
+    Module m = deepChainModule();
+    ASSERT_FALSE(tir::verify(m).has_value());
+    const SafetyReport rep = annotateSafety(m);
+
+    // One clone per layer: the safe context reaches the leaf only after
+    // every intermediate forwarder has been split.
+    EXPECT_GE(rep.replicatedFunctions, 3u);
+    bool leaf_clone = false;
+    for (const auto &fn : m.functions) {
+        if (fn.name.find("l3$safe") == std::string::npos)
+            continue;
+        leaf_clone = true;
+        const Flags fl = flagsOf(m, fn.name);
+        EXPECT_EQ(fl.safeLoads, fl.loads) << fn.name;
+    }
+    EXPECT_TRUE(leaf_clone);
+    // The original leaf still serves the shared chain: all unsafe.
+    EXPECT_EQ(flagsOf(m, "l3").safeLoads, 0u);
+    // The re-derived obligations accept the whole annotation.
+    EXPECT_TRUE(lintRaces(m).clean()) << lintRaces(m).render();
+}
+
+TEST(Safety, ReplicationBudgetExhaustionStaysConservative)
+{
+    // With the round budget cut below the chain depth the split never
+    // reaches the leaf: hints must stay conservative (leaf unsafe, no
+    // safety invented), never unsound.
+    Module full_m = deepChainModule();
+    const SafetyReport full = annotateSafety(full_m);
+
+    Module m = deepChainModule();
+    SafetyOptions starved;
+    starved.replicationRounds = 1;
+    const SafetyReport rep = annotateSafety(m, starved);
+
+    EXPECT_LT(rep.replicatedFunctions, full.replicatedFunctions);
+    EXPECT_LE(rep.safeLoads, full.safeLoads);
+    // The leaf was never split, so the merged view keeps it unsafe.
+    EXPECT_EQ(flagsOf(m, "l3").safeLoads, 0u);
+    for (const auto &fn : m.functions) {
+        if (fn.name.find("l3$safe") != std::string::npos)
+            ADD_FAILURE() << "leaf was cloned despite a 1-round budget";
+    }
+    // Conservative is still sound: the lint pass stays clean.
+    EXPECT_TRUE(lintRaces(m).clean()) << lintRaces(m).render();
 }

@@ -56,6 +56,11 @@ usage(int code)
         "hardware concurrency)\n"
         "  --json FILE         write a per-run perf record to FILE\n"
         "  --stats             dump raw memory/VM statistics\n"
+        "  --lint              run the static race-lint pass after hint\n"
+        "                      compilation; abort on any diagnostic\n"
+        "  --oracle            shadow-track safe accesses and report\n"
+        "                      conflicting remote writes (observation "
+        "only)\n"
         "  --no-snoop-filter   reference broadcast memory path "
         "(cross-check)\n"
         "  --no-decode-cache   reference Instr-walking interpreter "
@@ -168,6 +173,10 @@ main(int argc, char **argv)
             bench::setJsonReport(next());
         } else if (a == "--stats") {
             stats = true;
+        } else if (a == "--lint") {
+            bench::setLintOnPrepare(true);
+        } else if (a == "--oracle") {
+            opts.hintOracle = true;
         } else if (a == "--no-snoop-filter") {
             core::SystemOptions::setSnoopFilterDefault(false);
             opts.snoopFilter = false;
@@ -194,10 +203,7 @@ main(int argc, char **argv)
     opts.collectTxSizes = cdf;
     opts.collectRawStats = stats;
 
-    bench::PreparedWorkload p;
-    p.wl = workloads::byName(workload, scale);
-    p.compileReport = core::compileHints(p.wl.module);
-    p.scale = scale;
+    const bench::PreparedWorkload p = bench::prepare(workload, scale);
     const workloads::Workload &wl = p.wl;
     const unsigned threads =
         threads_override ? threads_override : wl.threads;
@@ -270,8 +276,17 @@ main(int argc, char **argv)
                     100 * r.txSizeNoStatic.cdfAt(64),
                     100 * r.txSizeUnsafe.cdfAt(64));
     }
+    if (opts.hintOracle) {
+        std::printf("hint oracle       : %llu safe accesses checked, "
+                    "%llu tracking skips, %zu witness(es)\n",
+                    (unsigned long long)r.oracleSafeChecked,
+                    (unsigned long long)r.oracleSafeSkips,
+                    r.oracleWitnesses.size());
+        for (const std::string &w : r.oracleWitnesses)
+            std::printf("  %s\n", w.c_str());
+    }
     if (stats) {
         std::printf("\n-- raw statistics --\n%s", r.rawStats.c_str());
     }
-    return 0;
+    return opts.hintOracle && !r.oracleWitnesses.empty() ? 1 : 0;
 }
