@@ -14,6 +14,7 @@
 #include "common/parallel.hh"
 #include "compiler/race_lint.hh"
 #include "htm/abort.hh"
+#include "sim/journal_io.hh"
 
 namespace hintm
 {
@@ -52,18 +53,34 @@ BenchArgs::parse(int argc, char **argv)
         } else if (arg == "--lint") {
             a.lint = true;
             setLintOnPrepare(true);
+        } else if (arg == "--journal") {
+            a.journal = true;
+        } else if (arg == "--perfetto") {
+            a.perfettoPath = "perfetto_trace.json";
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                a.perfettoPath = argv[++i];
+            a.journal = true; // a timeline needs records
+        } else if (arg == "--stats-json") {
+            a.statsJsonPath = "stats.json";
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                a.statsJsonPath = argv[++i];
         } else if (arg == "--help") {
             std::printf("options: [--tiny|--small|--large] [--preserve] "
                         "[--workload NAME]... [--jobs N] [--json FILE] "
                         "[--no-snoop-filter] [--no-decode-cache] "
-                        "[--lint]\n");
+                        "[--lint] [--journal] [--perfetto [FILE]] "
+                        "[--stats-json [FILE]]\n");
             std::exit(0);
         } else {
             HINTM_FATAL("unknown argument ", arg);
         }
     }
+    if (a.journal)
+        core::SystemOptions::setJournalDefault(true);
     if (!a.jsonPath.empty())
         setJsonReport(a.jsonPath);
+    if (!a.perfettoPath.empty() || !a.statsJsonPath.empty())
+        setObservabilityExport(a.perfettoPath, a.statsJsonPath);
     return a;
 }
 
@@ -99,10 +116,19 @@ prepare(const std::string &name, workloads::Scale s)
     return p;
 }
 
+namespace
+{
+void recordObservability(const std::string &workload,
+                         const core::SystemOptions &opts,
+                         unsigned threads, const sim::RunResult &r);
+} // namespace
+
 sim::RunResult
 run(const PreparedWorkload &p, core::SystemOptions opts)
 {
-    return core::simulate(opts, p.wl.module, p.wl.threads);
+    sim::RunResult r = core::simulate(opts, p.wl.module, p.wl.threads);
+    recordObservability(p.wl.name, opts, p.wl.threads, r);
+    return r;
 }
 
 namespace
@@ -119,6 +145,20 @@ struct MatrixState
     std::mutex jsonMu;
     std::string jsonPath;
     std::vector<std::string> jsonRecords;
+
+    /** Observability export sink (--perfetto / --stats-json). Results
+     * are stored by value; the journal rides along as a shared_ptr. */
+    std::mutex obsMu;
+    std::string perfettoPath;
+    std::string statsPath;
+    struct ObsRun
+    {
+        std::string workload;
+        std::string config;
+        unsigned threads;
+        sim::RunResult result;
+    };
+    std::vector<ObsRun> obsRuns;
 };
 
 MatrixState &
@@ -152,7 +192,8 @@ jobKey(const MatrixJob &job)
        << o.profileSharing << o.validateSafeStores << '|'
        << o.bufferEntries << '|' << o.signatureBits << '|'
        << o.maxRetries << '|' << o.snoopFilter << o.decodeCache
-       << o.collectRawStats << o.hintOracle;
+       << o.collectRawStats << o.hintOracle << o.journal << '|'
+       << o.journalCapacity;
     return os.str();
 }
 
@@ -214,7 +255,50 @@ recordJson(const MatrixJob &job, const sim::RunResult &r,
     st.jsonRecords.push_back(os.str());
 }
 
+void
+recordObservability(const std::string &workload,
+                    const core::SystemOptions &opts, unsigned threads,
+                    const sim::RunResult &r)
+{
+    MatrixState &st = state();
+    std::lock_guard<std::mutex> lock(st.obsMu);
+    if (st.perfettoPath.empty() && st.statsPath.empty())
+        return;
+    st.obsRuns.push_back({workload, opts.label(), threads, r});
+}
+
+void
+flushObservabilityExport()
+{
+    MatrixState &st = state();
+    std::lock_guard<std::mutex> lock(st.obsMu);
+    std::vector<sim::JournalRun> runs;
+    runs.reserve(st.obsRuns.size());
+    for (const MatrixState::ObsRun &o : st.obsRuns)
+        runs.push_back({o.workload, o.config, o.threads, &o.result});
+    if (!st.perfettoPath.empty())
+        sim::writePerfettoTrace(st.perfettoPath, runs);
+    if (!st.statsPath.empty())
+        sim::writeStatsJson(st.statsPath, runs);
+}
+
 } // namespace
+
+void
+setObservabilityExport(const std::string &perfetto_path,
+                       const std::string &stats_path)
+{
+    MatrixState &st = state();
+    bool first;
+    {
+        std::lock_guard<std::mutex> lock(st.obsMu);
+        first = st.perfettoPath.empty() && st.statsPath.empty();
+        st.perfettoPath = perfetto_path;
+        st.statsPath = stats_path;
+    }
+    if (first && (!perfetto_path.empty() || !stats_path.empty()))
+        std::atexit(flushObservabilityExport);
+}
 
 void
 setJsonReport(const std::string &path)
@@ -296,6 +380,8 @@ runMatrix(const std::vector<MatrixJob> &jobs, unsigned host_jobs)
                             std::chrono::steady_clock::now() - t0)
                             .count();
                     recordJson(job, results[i], wall_ms);
+                    recordObservability(job.wl->wl.name, job.opts,
+                                        jobThreads(job), results[i]);
                     std::lock_guard<std::mutex> lock(st.mu);
                     st.cache.emplace(keys[i], results[i]);
                 });

@@ -43,6 +43,15 @@ struct BenchArgs
     /** --lint: run the static race-lint pass over every workload as it
      * is prepared and abort on any diagnostic (soundness gate). */
     bool lint = false;
+    /** --journal: record every TX attempt (flips the process-wide
+     * SystemOptions default; observation only, results bit-identical). */
+    bool journal = false;
+    /** --perfetto [FILE]: write a Chrome-trace timeline of every
+     * journal-carrying run at exit (implies --journal). */
+    std::string perfettoPath;
+    /** --stats-json [FILE]: write machine-readable per-run stats
+     * records at exit (journal sections when --journal is on). */
+    std::string statsJsonPath;
 
     static BenchArgs parse(int argc, char **argv);
     std::vector<std::string> names() const;
@@ -110,6 +119,18 @@ void clearMatrixCache();
  * BenchArgs::parse for --json.
  */
 void setJsonReport(const std::string &path);
+
+/**
+ * Arrange for observability exports at process exit: a combined
+ * Perfetto/Chrome-trace timeline (@p perfetto_path, one trace process
+ * per run) and/or a stats-JSON array (@p stats_path, one record per
+ * run, journal sections included when runs carried journals). Either
+ * path may be empty. Runs executed through runMatrix/run after this
+ * call are collected; called automatically by BenchArgs::parse for
+ * --perfetto / --stats-json.
+ */
+void setObservabilityExport(const std::string &perfetto_path,
+                            const std::string &stats_path);
 
 /** "2.98x"-style speedup formatting. */
 std::string speedupStr(double s);

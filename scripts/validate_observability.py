@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Validate HinTM observability exports against the checked-in schemas.
+
+Stdlib only (CI runs it with a bare python3): loads the JSON, then walks
+it against the JSON-Schema subset the schemas in docs/schemas/ use —
+type / required / properties / items / enum. Extra semantic checks make
+sure the files are not just well-formed but non-trivial: the Perfetto
+trace must contain TX events, and --expect-journal requires at least one
+stats record with a populated journal section.
+
+Usage:
+  validate_observability.py --schema docs/schemas/stats.schema.json \
+      --expect-journal stats.json
+  validate_observability.py --schema docs/schemas/perfetto_trace.schema.json \
+      perfetto_trace.json
+"""
+
+import argparse
+import json
+import sys
+
+TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    # bool is an int subclass in Python; keep the taxonomy strict.
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def validate(value, schema, path="$"):
+    """Yield error strings for every schema violation under value."""
+    types = schema.get("type")
+    if types is not None:
+        if isinstance(types, str):
+            types = [types]
+        if not any(TYPE_CHECKS[t](value) for t in types):
+            yield f"{path}: expected {'/'.join(types)}, got " \
+                  f"{type(value).__name__}"
+            return
+        if value is None:
+            return  # a null that matched ["object","null"] needs no keys
+
+    if "enum" in schema and value not in schema["enum"]:
+        yield f"{path}: {value!r} not in {schema['enum']}"
+
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                yield f"{path}: missing required key '{key}'"
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                yield from validate(value[key], sub, f"{path}.{key}")
+
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            yield from validate(item, schema["items"], f"{path}[{i}]")
+
+
+def check_perfetto(doc):
+    events = doc.get("traceEvents", [])
+    tx = [e for e in events if e.get("ph") == "X"]
+    if not tx:
+        yield "$.traceEvents: no TX duration (ph=X) events"
+    meta = [e for e in events if e.get("ph") == "M"]
+    if not meta:
+        yield "$.traceEvents: no metadata (ph=M) naming events"
+    for e in tx:
+        args = e.get("args", {})
+        if "outcome" not in args:
+            yield f"TX event '{e.get('name')}' lacks args.outcome"
+            break
+
+
+def check_stats(doc, expect_journal):
+    if not doc:
+        yield "$: empty stats array"
+        return
+    journals = [r for r in doc if r.get("journal")]
+    if expect_journal and not journals:
+        yield "$: --expect-journal but every record has journal=null"
+    for r in journals:
+        j = r["journal"]
+        t = j["totals"]
+        if j["pushed"] != j["recorded"] + j["dropped"]:
+            yield (f"$: {r['workload']}: pushed != recorded + dropped "
+                   f"({j['pushed']} != {j['recorded']} + {j['dropped']})")
+        if t["commits"] != r["htm"]["commits"]:
+            yield (f"$: {r['workload']}: journal commits "
+                   f"{t['commits']} != htm commits "
+                   f"{r['htm']['commits']}")
+        if t["committed_attempts"] != r["committed_txs"]:
+            yield (f"$: {r['workload']}: journal committed attempts "
+                   f"{t['committed_attempts']} != committed_txs "
+                   f"{r['committed_txs']}")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--schema", required=True)
+    ap.add_argument("--expect-journal", action="store_true",
+                    help="require at least one populated journal section")
+    ap.add_argument("file")
+    args = ap.parse_args()
+
+    with open(args.schema) as f:
+        schema = json.load(f)
+    with open(args.file) as f:
+        doc = json.load(f)
+
+    errors = list(validate(doc, schema))
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        errors += list(check_perfetto(doc))
+    elif isinstance(doc, list):
+        errors += list(check_stats(doc, args.expect_journal))
+
+    for e in errors:
+        print(f"FAIL {args.file}: {e}", file=sys.stderr)
+    if errors:
+        return 1
+    print(f"OK {args.file}: valid against {args.schema}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,5 +1,6 @@
 #include "trace.hh"
 
+#include <cctype>
 #include <cstdlib>
 #include <iostream>
 #include <mutex>
@@ -16,8 +17,20 @@ constexpr unsigned numCategories =
     unsigned(Category::NumCategories);
 
 const char *const categoryNames[numCategories] = {
-    "tx", "htm", "vm", "mem", "sched",
+    "tx", "htm", "vm", "mem", "sched", "journal",
 };
+
+/** Strip leading/trailing whitespace from a spec token. */
+std::string
+trimmed(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
 
 bool enabled_[numCategories] = {};
 std::ostream *sink_ = nullptr;
@@ -36,7 +49,14 @@ categoryFromName(const std::string &name)
         if (name == categoryNames[i])
             return Category(i);
     }
-    HINTM_FATAL("unknown trace category '", name, "'");
+    std::string valid;
+    for (unsigned i = 0; i < numCategories; ++i) {
+        if (i)
+            valid += ", ";
+        valid += categoryNames[i];
+    }
+    HINTM_FATAL("unknown trace category '", name, "' (valid: ", valid,
+                ", or 'all')");
 }
 
 void
@@ -48,21 +68,21 @@ enable(Category c)
 void
 enableFromSpec(const std::string &spec)
 {
-    if (spec.empty())
-        return;
-    if (spec == "all") {
-        for (unsigned i = 0; i < numCategories; ++i)
-            enabled_[i] = true;
-        return;
-    }
     std::size_t pos = 0;
-    while (pos < spec.size()) {
+    while (pos <= spec.size()) {
         const std::size_t comma = spec.find(',', pos);
         const std::size_t end =
             comma == std::string::npos ? spec.size() : comma;
-        if (end > pos)
-            enable(categoryFromName(spec.substr(pos, end - pos)));
-        pos = end + 1;
+        const std::string name = trimmed(spec.substr(pos, end - pos));
+        if (name == "all") {
+            for (unsigned i = 0; i < numCategories; ++i)
+                enabled_[i] = true;
+        } else if (!name.empty()) {
+            enable(categoryFromName(name));
+        }
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
     }
 }
 

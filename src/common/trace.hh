@@ -24,21 +24,24 @@ namespace trace
 /** Trace categories (keep names in category_names in trace.cc). */
 enum class Category : unsigned
 {
-    Tx,    ///< begin / commit / abort / fallback
-    Htm,   ///< tracking decisions, conflicts
-    Vm,    ///< page transitions, shootdowns, annotations
-    Mem,   ///< misses, evictions
-    Sched, ///< context scheduling, barriers
+    Tx,      ///< begin / commit / abort / fallback
+    Htm,     ///< tracking decisions, conflicts
+    Vm,      ///< page transitions, shootdowns, annotations
+    Mem,     ///< misses, evictions
+    Sched,   ///< context scheduling, barriers
+    Journal, ///< TX-journal ring drops and end-of-run flushes
     NumCategories,
 };
 
-/** Parse a category name ("tx", "vm", ...); fatal on unknown names. */
+/** Parse a category name ("tx", "vm", ...); fatal on unknown names,
+ * with the error listing every valid name. */
 Category categoryFromName(const std::string &name);
 
 /** Enable one category. */
 void enable(Category c);
 
-/** Enable from a spec like "tx,vm" or "all" (empty = no-op). */
+/** Enable from a spec like "tx,vm" or "all" (empty = no-op).
+ * Whitespace around commas and names is ignored. */
 void enableFromSpec(const std::string &spec);
 
 /** Apply the HINTM_TRACE environment variable (called lazily too). */

@@ -25,6 +25,7 @@ namespace
 {
 bool snoopFilterDefault_ = true;
 bool decodeCacheDefault_ = true;
+bool journalDefault_ = false;
 } // namespace
 
 bool
@@ -49,6 +50,18 @@ void
 SystemOptions::setDecodeCacheDefault(bool on)
 {
     decodeCacheDefault_ = on;
+}
+
+bool
+SystemOptions::journalDefault()
+{
+    return journalDefault_;
+}
+
+void
+SystemOptions::setJournalDefault(bool on)
+{
+    journalDefault_ = on;
 }
 
 std::string
@@ -91,6 +104,8 @@ makeMachineConfig(const SystemOptions &opts)
     cfg.validateSafeStores = opts.validateSafeStores;
     cfg.collectRawStats = opts.collectRawStats;
     cfg.hintOracle = opts.hintOracle;
+    cfg.journal = opts.journal;
+    cfg.journalCapacity = opts.journalCapacity;
 
     // One switch covers all three behavior-preserving fast-path layers.
     cfg.mem.snoopFilter = opts.snoopFilter;

@@ -75,6 +75,13 @@ struct SystemOptions
      * and report remote-write overlaps (RunResult::oracleWitnesses).
      * Observation only — simulation results are bit-identical. */
     bool hintOracle = false;
+    /** Per-TX event journal (RunResult::journal): site-attributed
+     * outcome records, abort attribution, interval sampling, Perfetto
+     * export. Observation only — simulation results are bit-identical.
+     * Initialized from journalDefault() (--journal). */
+    bool journal = journalDefault();
+    /** TX-journal ring capacity in records (bounded memory). */
+    std::size_t journalCapacity = 1u << 16;
 
     std::string label() const;
 
@@ -86,6 +93,10 @@ struct SystemOptions
     /** Same for SystemOptions::decodeCache (--no-decode-cache). */
     static bool decodeCacheDefault();
     static void setDecodeCacheDefault(bool on);
+
+    /** Same for SystemOptions::journal (--journal). */
+    static bool journalDefault();
+    static void setJournalDefault(bool on);
 };
 
 /** Expand high-level options into the full machine configuration. */

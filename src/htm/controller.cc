@@ -143,9 +143,10 @@ HtmController::trackAccess(Addr addr, AccessType type, bool safe)
     if (cfg_.preAbortHandler) {
         // Defer: the runtime decides between conversion and abort.
         capacityPending_ = true;
+        capacityPendingBlock_ = block;
         return;
     }
-    triggerAbort(AbortReason::Capacity);
+    triggerAbort(AbortReason::Capacity, block, true, -1);
 }
 
 void
@@ -194,7 +195,7 @@ HtmController::declineConversion()
 {
     HINTM_ASSERT(capacityPending_, "no pending capacity overflow");
     capacityPending_ = false;
-    triggerAbort(AbortReason::Capacity);
+    triggerAbort(AbortReason::Capacity, capacityPendingBlock_, true, -1);
 }
 
 void
@@ -205,7 +206,8 @@ HtmController::onPageBecameUnsafe(Addr page_num)
     if (safePages_.contains(page_num)) {
         // Untracked (safe) reads to this page can no longer be trusted:
         // conservatively abort (§III-B).
-        triggerAbort(AbortReason::PageMode);
+        triggerAbort(AbortReason::PageMode, page_num * pageBytes, true,
+                     -1);
     }
 }
 
@@ -213,7 +215,6 @@ void
 HtmController::onRemoteAccess(Addr block_addr, AccessType type,
                               mem::ContextId requester)
 {
-    (void)requester;
     if (!inTx_ || abortPending_)
         return;
 
@@ -224,15 +225,18 @@ HtmController::onRemoteAccess(Addr block_addr, AccessType type,
 
     if (type == AccessType::Write) {
         if (in_read || in_write) {
-            triggerAbort(AbortReason::Conflict);
+            triggerAbort(AbortReason::Conflict, block_addr, true,
+                         std::int32_t(requester));
         } else if (cfg_.kind == HtmKind::P8S &&
                    signature_.test(block_addr)) {
             // Aliased hit in the summarizing bitvector only.
-            triggerAbort(AbortReason::FalseConflict);
+            triggerAbort(AbortReason::FalseConflict, block_addr, true,
+                         std::int32_t(requester));
         }
     } else {
         if (in_write)
-            triggerAbort(AbortReason::Conflict);
+            triggerAbort(AbortReason::Conflict, block_addr, true,
+                         std::int32_t(requester));
     }
 }
 
@@ -246,13 +250,35 @@ HtmController::onEviction(Addr block_addr, bool dirty)
     // line (capacity or set conflict, including SMT-sibling pressure)
     // loses it, so the TX must abort.
     if (buffer_.find(block_addr))
-        triggerAbort(AbortReason::Capacity);
+        triggerAbort(AbortReason::Capacity, block_addr, true, -1);
 }
 
 std::size_t
 HtmController::trackedBlocks() const
 {
     return buffer_.size() + overflowReads_.size();
+}
+
+std::size_t
+HtmController::readSetBlocks() const
+{
+    std::size_t n = overflowReads_.size();
+    for (const auto &kv : buffer_.entries()) {
+        if (kv.second.read)
+            ++n;
+    }
+    return n;
+}
+
+std::size_t
+HtmController::writeSetBlocks() const
+{
+    std::size_t n = 0;
+    for (const auto &kv : buffer_.entries()) {
+        if (kv.second.written)
+            ++n;
+    }
+    return n;
 }
 
 bool
@@ -280,12 +306,16 @@ HtmController::conflictsWith(Addr block_addr, AccessType type) const
 }
 
 void
-HtmController::triggerAbort(AbortReason r)
+HtmController::triggerAbort(AbortReason r, Addr offending_addr,
+                            bool addr_valid, std::int32_t offender)
 {
     if (!inTx_ || abortPending_)
         return;
     abortPending_ = true;
     pendingReason_ = r;
+    lastAbortAddr_ = offending_addr;
+    lastAbortAddrValid_ = addr_valid;
+    lastAbortCtx_ = offender;
     publishInterest(); // a dead TX no longer listens
     // Restore memory values immediately so that the access which killed
     // this TX observes pre-transactional data.

@@ -157,8 +157,13 @@ class HtmController : public mem::SnoopListener
     /** A page this TX may have read as safe turned unsafe. */
     void onPageBecameUnsafe(Addr page_num);
 
-    /** External abort request (e.g. fallback-lock acquisition). */
-    void requestAbort(AbortReason r) { triggerAbort(r); }
+    /** External abort request (e.g. fallback-lock acquisition).
+     * @p offender optionally names the context responsible (journal
+     * attribution; -1 = unknown). */
+    void requestAbort(AbortReason r, std::int32_t offender = -1)
+    {
+        triggerAbort(r, 0, false, offender);
+    }
 
     /** Pre-abort handler: a capacity overflow awaits a runtime decision
      * (only raised when config().preAbortHandler). */
@@ -185,8 +190,22 @@ class HtmController : public mem::SnoopListener
     AbortReason pendingReason() const { return pendingReason_; }
     Cycle txStartCycle() const { return txStart_; }
 
+    // Abort attribution (journal observability). Captured at the point
+    // the abort is signalled; valid from then until the next abort.
+    /** Offending block-aligned address (page base for page-mode);
+     * meaningful only when lastAbortAddrValid(). */
+    Addr lastAbortAddr() const { return lastAbortAddr_; }
+    bool lastAbortAddrValid() const { return lastAbortAddrValid_; }
+    /** Context whose access killed the TX (-1 = none/unknown). */
+    std::int32_t lastAbortCtx() const { return lastAbortCtx_; }
+
     /** Distinct tracked (unsafe) blocks in the current TX. */
     std::size_t trackedBlocks() const;
+
+    /** Readset blocks (precise buffer reads + signature spills). */
+    std::size_t readSetBlocks() const;
+    /** Writeset blocks. */
+    std::size_t writeSetBlocks() const;
 
     /** True when @p block_addr is in the precise readset. */
     bool readsBlock(Addr block_addr) const;
@@ -201,7 +220,12 @@ class HtmController : public mem::SnoopListener
     const HtmConfig &config() const { return cfg_; }
 
   private:
-    void triggerAbort(AbortReason r);
+    void triggerAbort(AbortReason r)
+    {
+        triggerAbort(r, 0, false, -1);
+    }
+    void triggerAbort(AbortReason r, Addr offending_addr,
+                      bool addr_valid, std::int32_t offender);
     void clearTxState();
     void publishInterest();
 
@@ -217,6 +241,11 @@ class HtmController : public mem::SnoopListener
     bool capacityPending_ = false;
     AbortReason pendingReason_ = AbortReason::None;
     Cycle txStart_ = 0;
+    Addr lastAbortAddr_ = 0;
+    bool lastAbortAddrValid_ = false;
+    std::int32_t lastAbortCtx_ = -1;
+    /** Block that raised a pending pre-abort capacity overflow. */
+    Addr capacityPendingBlock_ = 0;
 
     /** Precise tracking structure. For P8/P8S this is the dedicated
      * buffer (bounded); for L1TM/InfCap an unbounded shadow of the

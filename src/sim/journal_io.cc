@@ -1,0 +1,383 @@
+#include "journal_io.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "htm/abort.hh"
+
+namespace hintm
+{
+namespace sim
+{
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+std::string
+hexAddr(Addr a)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << a;
+    return os.str();
+}
+
+const char *
+reasonName(unsigned r)
+{
+    if (r < htm::numAbortReasons)
+        return htm::abortReasonName(htm::AbortReason(r));
+    return "unknown";
+}
+
+/** {"conflict":N,...,"total":N} over an aborts[] array. */
+void
+emitAbortMap(std::ostream &os, const std::uint64_t *aborts,
+             unsigned n, std::uint64_t total)
+{
+    os << "{";
+    for (unsigned r = 1; r < n; ++r) {
+        if (aborts[r] == 0 && r >= htm::numAbortReasons)
+            continue; // padding slots past the real taxonomy
+        os << "\"" << reasonName(r) << "\":" << aborts[r] << ",";
+    }
+    os << "\"total\":" << total << "}";
+}
+
+} // namespace
+
+// ---- Perfetto / Chrome trace ---------------------------------------
+
+void
+writePerfettoTrace(std::ostream &os, const std::vector<JournalRun> &runs)
+{
+    os << "{\"traceEvents\":[\n";
+    bool first = true;
+    auto sep = [&]() {
+        if (!first)
+            os << ",\n";
+        first = false;
+    };
+
+    std::uint32_t pid = 0;
+    for (const JournalRun &run : runs) {
+        ++pid;
+        if (!run.result || !run.result->journal)
+            continue;
+        const TxJournal &j = *run.result->journal;
+
+        sep();
+        os << "{\"ph\":\"M\",\"pid\":" << pid
+           << ",\"name\":\"process_name\",\"args\":{\"name\":\""
+           << jsonEscape(run.workload) << " " << jsonEscape(run.config)
+           << " t" << run.threads << "\"}}";
+
+        // One named track per hardware context that shows up.
+        std::vector<bool> seenCtx;
+        const std::size_t n = j.size();
+        for (std::size_t i = 0; i < n; ++i) {
+            const std::uint32_t c = j.at(i).ctx;
+            if (c >= seenCtx.size())
+                seenCtx.resize(c + 1, false);
+            if (!seenCtx[c]) {
+                seenCtx[c] = true;
+                sep();
+                os << "{\"ph\":\"M\",\"pid\":" << pid << ",\"tid\":" << c
+                   << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+                   << "ctx " << c << "\"}}";
+            }
+        }
+
+        for (std::size_t i = 0; i < n; ++i) {
+            const TxRecord &r = j.at(i);
+            const Cycle dur = r.end > r.begin ? r.end - r.begin : 1;
+            sep();
+            os << "{\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << r.ctx
+               << ",\"ts\":" << r.begin << ",\"dur\":" << dur
+               << ",\"name\":\""
+               << jsonEscape(j.siteName(r.fn, r.block, r.instr))
+               << "\",\"cat\":\"" << txOutcomeName(r.outcome)
+               << "\",\"args\":{\"outcome\":\"" << txOutcomeName(r.outcome)
+               << "\",\"retry\":" << r.retry
+               << ",\"read_blocks\":" << r.readBlocks
+               << ",\"write_blocks\":" << r.writeBlocks;
+            if (r.outcome == TxOutcome::Abort) {
+                os << ",\"reason\":\"" << reasonName(r.reason) << "\"";
+                if (r.offendingValid)
+                    os << ",\"offending_addr\":\"" << hexAddr(r.offendingAddr)
+                       << "\"";
+                if (r.offendingCtx >= 0)
+                    os << ",\"offending_ctx\":" << r.offendingCtx;
+            }
+            os << "}}";
+        }
+    }
+    os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+bool
+writePerfettoTrace(const std::string &path,
+                   const std::vector<JournalRun> &runs)
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("cannot write Perfetto trace to ", path);
+        return false;
+    }
+    writePerfettoTrace(os, runs);
+    return true;
+}
+
+// ---- stats JSON ----------------------------------------------------
+
+Cycle
+defaultIntervalWindow(Cycle run_cycles)
+{
+    if (run_cycles == 0)
+        return 1000;
+    // Aim for ~50 windows, rounded down to a power of ten (min 100).
+    Cycle w = 100;
+    while (w * 10 <= run_cycles / 50)
+        w *= 10;
+    return w;
+}
+
+std::string
+statsJsonRecord(const JournalRun &run, Cycle window)
+{
+    HINTM_ASSERT(run.result != nullptr, "stats record needs a result");
+    const RunResult &r = *run.result;
+    std::ostringstream os;
+    os << "{\"workload\":\"" << jsonEscape(run.workload)
+       << "\",\"config\":\"" << jsonEscape(run.config)
+       << "\",\"threads\":" << run.threads << ",\"cycles\":" << r.cycles
+       << ",\"instructions\":" << r.instructions
+       << ",\"committed_txs\":" << r.committedTxs
+       << ",\"fallback_runs\":" << r.fallbackRuns << ",\"htm\":{"
+       << "\"commits\":" << r.htm.commits << ",\"aborts\":";
+    emitAbortMap(os, r.htm.aborts, htm::numAbortReasons,
+                 r.htm.totalAborts());
+    os << "},\"tx_accesses\":{"
+       << "\"reads_static_safe\":" << r.txReadsStaticSafe
+       << ",\"reads_dyn_safe\":" << r.txReadsDynSafe
+       << ",\"reads_annotated\":" << r.txReadsAnnotated
+       << ",\"writes_static_safe\":" << r.txWritesStaticSafe
+       << ",\"reads_unsafe\":" << r.txReadsUnsafe
+       << ",\"writes_unsafe\":" << r.txWritesUnsafe
+       << ",\"suspended\":" << r.txAccessesSuspended
+       << ",\"total\":" << r.txAccessesTotal() << "}"
+       << ",\"pages\":{\"safe\":" << r.safePages
+       << ",\"total\":" << r.totalPages << "}";
+
+    if (!r.journal) {
+        os << ",\"journal\":null}";
+        return os.str();
+    }
+
+    const TxJournal &j = *r.journal;
+    os << ",\"journal\":{\"capacity\":" << j.capacity()
+       << ",\"pushed\":" << j.pushed() << ",\"recorded\":" << j.size()
+       << ",\"dropped\":" << j.dropped() << ",\"totals\":{"
+       << "\"commits\":" << j.totals().commits
+       << ",\"fallback_commits\":" << j.totals().fallbackCommits
+       << ",\"converted_commits\":" << j.totals().convertedCommits
+       << ",\"committed_attempts\":" << j.totals().committedAttempts()
+       << ",\"cycles_lost_to_aborts\":" << j.totals().cyclesLostToAborts
+       << ",\"aborts\":";
+    emitAbortMap(os, j.totals().aborts, TxJournal::maxReasons,
+                 j.totals().totalAborts());
+    os << "},\"sites\":[";
+
+    const auto sites = j.sitesByAborts();
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+        const TxJournal::SiteStats &s = *sites[i];
+        if (i)
+            os << ",";
+        os << "{\"site\":\""
+           << jsonEscape(j.siteName(s.fn, s.block, s.instr))
+           << "\",\"commits\":" << s.commits
+           << ",\"fallback_commits\":" << s.fallbackCommits
+           << ",\"converted_commits\":" << s.convertedCommits
+           << ",\"cycles_lost_to_aborts\":" << s.cyclesLostToAborts
+           << ",\"mean_footprint\":";
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.1f",
+                      s.commits ? double(s.footprintSum) / s.commits
+                                : 0.0);
+        os << buf << ",\"aborts\":";
+        emitAbortMap(os, s.aborts, TxJournal::maxReasons,
+                     s.totalAborts());
+        os << ",\"hot_blocks\":[";
+        // Hottest first; ties by address for deterministic output.
+        std::vector<TxJournal::HotBlock> hot = s.hotBlocks;
+        std::sort(hot.begin(), hot.end(),
+                  [](const TxJournal::HotBlock &a,
+                     const TxJournal::HotBlock &b) {
+                      if (a.count != b.count)
+                          return a.count > b.count;
+                      return a.addr < b.addr;
+                  });
+        for (std::size_t h = 0; h < hot.size(); ++h) {
+            if (h)
+                os << ",";
+            os << "{\"addr\":\"" << hexAddr(hot[h].addr)
+               << "\",\"count\":" << hot[h].count << "}";
+        }
+        os << "],\"other_offenders\":" << s.otherOffenders << "}";
+    }
+    os << "],";
+
+    const Cycle w = window ? window : defaultIntervalWindow(r.cycles);
+    os << "\"intervals\":{\"window\":" << w << ",\"samples\":[";
+    const auto samples = j.sampleIntervals(w);
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        const IntervalSample &s = samples[i];
+        if (i)
+            os << ",";
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.1f", s.meanFootprint());
+        os << "{\"start\":" << s.start << ",\"commits\":" << s.commits
+           << ",\"aborts\":";
+        emitAbortMap(os, s.aborts, IntervalSample::maxReasons,
+                     s.totalAborts());
+        os << ",\"mean_footprint\":" << buf
+           << ",\"fallback_cycles\":" << s.fallbackCycles << "}";
+    }
+    os << "]}}}";
+    return os.str();
+}
+
+void
+writeStatsJson(std::ostream &os, const std::vector<JournalRun> &runs,
+               Cycle window)
+{
+    os << "[\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        os << "  " << statsJsonRecord(runs[i], window)
+           << (i + 1 < runs.size() ? ",\n" : "\n");
+    }
+    os << "]\n";
+}
+
+bool
+writeStatsJson(const std::string &path,
+               const std::vector<JournalRun> &runs, Cycle window)
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("cannot write stats JSON to ", path);
+        return false;
+    }
+    writeStatsJson(os, runs, window);
+    return true;
+}
+
+// ---- attribution table ---------------------------------------------
+
+std::string
+renderAttributionTable(const TxJournal &journal, std::size_t top_n)
+{
+    TextTable t;
+    t.header({"tx site", "commits", "fb", "conv", "aborts", "conflict",
+              "false", "capacity", "pagemode", "lock", "cyc lost",
+              "hottest blocks"});
+
+    const auto sites = journal.sitesByAborts();
+    const std::size_t n = std::min(top_n, sites.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        const TxJournal::SiteStats &s = *sites[i];
+        std::vector<TxJournal::HotBlock> hot = s.hotBlocks;
+        std::sort(hot.begin(), hot.end(),
+                  [](const TxJournal::HotBlock &a,
+                     const TxJournal::HotBlock &b) {
+                      if (a.count != b.count)
+                          return a.count > b.count;
+                      return a.addr < b.addr;
+                  });
+        std::ostringstream hs;
+        for (std::size_t h = 0; h < std::min<std::size_t>(hot.size(), 3);
+             ++h) {
+            if (h)
+                hs << " ";
+            hs << hexAddr(hot[h].addr) << "(" << hot[h].count << ")";
+        }
+        if (hot.size() > 3 || s.otherOffenders)
+            hs << " ...";
+        auto u = [](std::uint64_t v) { return std::to_string(v); };
+        t.row({journal.siteName(s.fn, s.block, s.instr), u(s.commits),
+               u(s.fallbackCommits), u(s.convertedCommits),
+               u(s.totalAborts()),
+               u(s.aborts[unsigned(htm::AbortReason::Conflict)]),
+               u(s.aborts[unsigned(htm::AbortReason::FalseConflict)]),
+               u(s.aborts[unsigned(htm::AbortReason::Capacity)]),
+               u(s.aborts[unsigned(htm::AbortReason::PageMode)]),
+               u(s.aborts[unsigned(htm::AbortReason::FallbackLock)]),
+               u(s.cyclesLostToAborts), hs.str()});
+    }
+
+    std::ostringstream os;
+    os << t;
+    if (sites.size() > n)
+        os << "(" << sites.size() - n << " more sites)\n";
+    return os.str();
+}
+
+std::string
+renderIntervalTable(const TxJournal &journal, Cycle run_cycles,
+                    Cycle window)
+{
+    const Cycle w = window ? window : defaultIntervalWindow(run_cycles);
+    const auto samples = journal.sampleIntervals(w);
+    TextTable t;
+    t.header({"cycle", "commits", "aborts", "conflict", "capacity",
+              "mean fp", "lock occ"});
+    for (const IntervalSample &s : samples) {
+        t.row({std::to_string(s.start), std::to_string(s.commits),
+               std::to_string(s.totalAborts()),
+               std::to_string(
+                   s.aborts[unsigned(htm::AbortReason::Conflict)]),
+               std::to_string(
+                   s.aborts[unsigned(htm::AbortReason::Capacity)]),
+               TextTable::num(s.meanFootprint(), 1),
+               TextTable::pct(double(s.fallbackCycles) / double(w))});
+    }
+    std::ostringstream os;
+    os << "interval window: " << w << " cycles\n" << t;
+    return os.str();
+}
+
+std::string
+journalSummary(const RunResult &r)
+{
+    if (!r.journal)
+        return "journal: off\n";
+    const TxJournal &j = *r.journal;
+    std::ostringstream os;
+    os << "journal: " << j.pushed() << " TX attempts (" << j.size()
+       << " retained, " << j.dropped() << " dropped; capacity "
+       << j.capacity() << "), " << j.totals().commits << " hw commits, "
+       << j.totals().fallbackCommits << " fallback, "
+       << j.totals().convertedCommits << " converted, "
+       << j.totals().totalAborts() << " aborts ("
+       << j.totals().cyclesLostToAborts << " cycles lost), "
+       << j.sites().size() << " TX sites\n";
+    return os.str();
+}
+
+} // namespace sim
+} // namespace hintm

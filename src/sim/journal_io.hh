@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Exporters over the per-TX journal: Perfetto/Chrome-trace JSON
+ * timelines (one track per hardware context), a machine-readable stats
+ * record (supersedes parsing RunResult::rawStats), and the per-site
+ * abort-attribution table used by hintm_profile. Pure output formatting:
+ * nothing here mutates the journal or the simulation.
+ */
+
+#ifndef HINTM_SIM_JOURNAL_IO_HH
+#define HINTM_SIM_JOURNAL_IO_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hh"
+
+namespace hintm
+{
+namespace sim
+{
+
+/** One run to export, with the labels the JSON consumers key on. */
+struct JournalRun
+{
+    std::string workload;
+    std::string config;
+    unsigned threads = 0;
+    /** Must outlive the export call. Runs without a journal are skipped
+     * by the Perfetto exporter and get "journal": null in stats JSON. */
+    const RunResult *result = nullptr;
+};
+
+/**
+ * Write a Chrome-trace/Perfetto JSON timeline ({"traceEvents": [...]})
+ * covering every run: one process per run (named after the run), one
+ * track per hardware context, one complete ("X") event per retained
+ * journal record. Cycles are exported as microseconds (1 cycle = 1 µs)
+ * so timelines are readable in ui.perfetto.dev without a clock config.
+ */
+void writePerfettoTrace(std::ostream &os,
+                        const std::vector<JournalRun> &runs);
+
+/** File convenience wrapper; warns and returns false on I/O failure. */
+bool writePerfettoTrace(const std::string &path,
+                        const std::vector<JournalRun> &runs);
+
+/**
+ * One machine-readable JSON object for a run: simulation results (HTM
+ * stats keyed by abort-reason name, access mix, pages) plus — when the
+ * run carried a journal — exact journal aggregates, the per-site
+ * attribution list with hottest offending blocks, and the interval time
+ * series folded at @p window cycles (0 = a default derived from the
+ * run length).
+ */
+std::string statsJsonRecord(const JournalRun &run, Cycle window = 0);
+
+/** Write a JSON array of statsJsonRecord objects, one per run. */
+void writeStatsJson(std::ostream &os,
+                    const std::vector<JournalRun> &runs,
+                    Cycle window = 0);
+
+/** File convenience wrapper; warns and returns false on I/O failure. */
+bool writeStatsJson(const std::string &path,
+                    const std::vector<JournalRun> &runs,
+                    Cycle window = 0);
+
+/**
+ * The per-site abort-attribution table: top @p top_n sites by total
+ * aborts, with the per-reason breakdown, cycles lost, and the hottest
+ * offending block addresses recorded at abort time.
+ */
+std::string renderAttributionTable(const TxJournal &journal,
+                                   std::size_t top_n = 10);
+
+/** Interval time series rendered as a text table (@p window as above). */
+std::string renderIntervalTable(const TxJournal &journal,
+                                Cycle run_cycles, Cycle window = 0);
+
+/** ~50 windows over the run, rounded to a friendly power of ten. */
+Cycle defaultIntervalWindow(Cycle run_cycles);
+
+/** One-paragraph journal summary ("N attempts recorded, ..."). */
+std::string journalSummary(const RunResult &r);
+
+} // namespace sim
+} // namespace hintm
+
+#endif // HINTM_SIM_JOURNAL_IO_HH

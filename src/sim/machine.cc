@@ -24,6 +24,9 @@ namespace
 /** The software fallback lock lives below the globals region. */
 constexpr Addr fallbackLockAddr = 0xF000;
 
+static_assert(htm::numAbortReasons <= TxJournal::maxReasons,
+              "journal reason array too small for the abort taxonomy");
+
 constexpr Cycle farFuture = std::numeric_limits<Cycle>::max();
 
 /** Per-hardware-context runtime state. */
@@ -41,6 +44,10 @@ struct ContextState
     // Fig. 6 footprints of the in-flight TX, in blocks. Open-addressing
     // sets: one insert per tracked access makes these hot.
     AddrSet fpAll, fpNoStatic, fpUnsafe;
+    // Journal record of the in-flight TX attempt (journaling only).
+    TxRecord rec;
+    bool recOpen = false;
+    bool recConverted = false;
 };
 
 class Machine
@@ -66,6 +73,15 @@ class Machine
 
         mem_ = std::make_unique<mem::MemorySystem>(cfg.mem, cfg.numCores);
         vm_ = std::make_unique<vm::Vm>(cfg.vm);
+
+        if (cfg.journal) {
+            journal_ = std::make_shared<TxJournal>(cfg.journalCapacity);
+            std::vector<std::string> names;
+            names.reserve(module.functions.size());
+            for (const tir::Function &f : module.functions)
+                names.push_back(f.name);
+            journal_->setFunctionNames(std::move(names));
+        }
 
         if (cfg.hintOracle) {
             oracle_ = std::make_unique<htm::HintOracle>();
@@ -178,6 +194,14 @@ class Machine
                 res_.oracleWitnesses.push_back(
                     htm::HintOracle::describe(w, prog_.module()));
         }
+        if (journal_) {
+            trace::event(trace::Category::Journal, res_.cycles,
+                         "TX journal flush: ", journal_->pushed(),
+                         " attempts recorded, ", journal_->dropped(),
+                         " dropped (ring capacity ",
+                         journal_->capacity(), ")");
+            res_.journal = journal_;
+        }
         if (cfg_.collectRawStats) {
             std::ostringstream os;
             mem_->statGroup().dump(os);
@@ -276,10 +300,44 @@ class Machine
         }
     }
 
+    /** Open a journal record for the TX attempt starting now. */
+    void
+    openRecord(ContextState &cs, unsigned c, Cycle now,
+               const tir::Step &st, TxOutcome kind)
+    {
+        cs.rec = TxRecord{};
+        cs.rec.begin = now;
+        cs.rec.ctx = c;
+        cs.rec.fn = st.fn;
+        cs.rec.block = st.srcBlock;
+        cs.rec.instr = st.srcInstr;
+        cs.rec.retry =
+            std::uint16_t(std::min(cs.retries, 0xFFFFu));
+        cs.rec.outcome = kind;
+        cs.recOpen = true;
+        cs.recConverted = false;
+    }
+
     void
     handleAbort(unsigned c, Cycle now)
     {
         ContextState &cs = ctxs_[c];
+        if (journal_ && cs.recOpen) {
+            // Footprints and attribution are read before the ack
+            // clears the controller's tracking state.
+            cs.rec.end = now;
+            cs.rec.outcome = TxOutcome::Abort;
+            cs.rec.reason = std::uint8_t(cs.htm->pendingReason());
+            cs.rec.readBlocks =
+                std::uint32_t(cs.htm->readSetBlocks());
+            cs.rec.writeBlocks =
+                std::uint32_t(cs.htm->writeSetBlocks());
+            cs.rec.offendingAddr = cs.htm->lastAbortAddr();
+            cs.rec.offendingValid = cs.htm->lastAbortAddrValid();
+            cs.rec.offendingCtx = cs.htm->lastAbortCtx();
+            journal_->push(cs.rec);
+            cs.recOpen = false;
+        }
         const htm::AbortReason reason = cs.htm->acknowledgeAbort(now);
         trace::event(trace::Category::Tx, now, "ctx ", c, " abort (",
                      htm::abortReasonName(reason), "), retry ",
@@ -322,7 +380,8 @@ class Machine
             for (unsigned o = 0; o < ctxs_.size(); ++o) {
                 if (o != c && ctxs_[o].htm->inTx())
                     ctxs_[o].htm->requestAbort(
-                        htm::AbortReason::FallbackLock);
+                        htm::AbortReason::FallbackLock,
+                        std::int32_t(c));
             }
             const auto ar =
                 mem_->access(mem::ContextId(c), fallbackLockAddr,
@@ -330,10 +389,14 @@ class Machine
             cost += ar.latency + cfg_.htm.beginCycles;
             cs.interp->enterTx(/*htm_mode=*/false);
             cs.inFallback = true;
+            if (journal_)
+                openRecord(cs, c, now, st, TxOutcome::FallbackCommit);
         } else {
             cs.htm->beginTx(now);
             trace::event(trace::Category::Tx, now, "ctx ", c,
                          " begins hardware TX");
+            if (journal_)
+                openRecord(cs, c, now, st, TxOutcome::Commit);
             // Lock subscription: the lock word joins the readset so a
             // fallback acquisition conflicts this TX out.
             const auto ar = mem_->access(mem::ContextId(c),
@@ -352,6 +415,25 @@ class Machine
     {
         ContextState &cs = ctxs_[c];
         Cycle cost = simpleCost(st) + cfg_.htm.commitCycles;
+
+        if (journal_ && cs.recOpen) {
+            cs.rec.end = now;
+            if (cs.inFallback) {
+                cs.rec.outcome = cs.recConverted
+                                     ? TxOutcome::ConvertedCommit
+                                     : TxOutcome::FallbackCommit;
+                // Converted footprints were captured at conversion;
+                // pure fallback runs track nothing.
+            } else {
+                cs.rec.outcome = TxOutcome::Commit;
+                cs.rec.readBlocks =
+                    std::uint32_t(cs.htm->readSetBlocks());
+                cs.rec.writeBlocks =
+                    std::uint32_t(cs.htm->writeSetBlocks());
+            }
+            journal_->push(cs.rec);
+            cs.recOpen = false;
+        }
 
         if (cs.inFallback) {
             HINTM_ASSERT(lockHolder_ == int(c), "lock bookkeeping broken");
@@ -470,12 +552,21 @@ class Machine
                     for (unsigned o = 0; o < ctxs_.size(); ++o) {
                         if (o != c && ctxs_[o].htm->inTx())
                             ctxs_[o].htm->requestAbort(
-                                htm::AbortReason::FallbackLock);
+                                htm::AbortReason::FallbackLock,
+                                std::int32_t(c));
                     }
                     const auto lr = mem_->access(mem::ContextId(c),
                                                  fallbackLockAddr,
                                                  AccessType::Write);
                     cost += lr.latency;
+                    if (journal_ && cs.recOpen) {
+                        // Footprint at the moment tracking stops.
+                        cs.rec.readBlocks =
+                            std::uint32_t(cs.htm->readSetBlocks());
+                        cs.rec.writeBlocks =
+                            std::uint32_t(cs.htm->writeSetBlocks());
+                        cs.recConverted = true;
+                    }
                     cs.htm->convertToCriticalSection();
                     cs.interp->convertToFallback();
                     cs.inFallback = true;
@@ -582,6 +673,7 @@ class Machine
     std::unique_ptr<mem::MemorySystem> mem_;
     std::unique_ptr<vm::Vm> vm_;
     std::unique_ptr<htm::HintOracle> oracle_;
+    std::shared_ptr<TxJournal> journal_;
     std::vector<ContextState> ctxs_;
     int lockHolder_ = -1;
     std::uint64_t shootdownCycles_ = 0;

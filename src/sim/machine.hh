@@ -13,9 +13,11 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "common/journal.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "htm/controller.hh"
@@ -76,6 +78,13 @@ struct MachineConfig
      * remote write (dynamic hint-soundness oracle). Observation only:
      * simulation results are bit-identical with or without it. */
     bool hintOracle = false;
+    /** Record every TX attempt in RunResult::journal (per-site abort
+     * attribution, interval time series, Perfetto export). Observation
+     * only: simulation results are bit-identical with or without it. */
+    bool journal = false;
+    /** TX-journal ring capacity in records; older records are dropped
+     * (and counted) past this bound, aggregates stay exact. */
+    std::size_t journalCapacity = 1u << 16;
 };
 
 /** Everything a run produces. */
@@ -134,6 +143,11 @@ struct RunResult
     std::uint64_t oracleSafeChecked = 0;
     /** Controller-side count of accesses that skipped HTM tracking. */
     std::uint64_t oracleSafeSkips = 0;
+
+    /** Per-TX event journal (MachineConfig::journal only): every TX
+     * attempt with site, outcome, abort attribution and footprint.
+     * Shared because RunResults are cached and copied by value. */
+    std::shared_ptr<const TxJournal> journal;
 
     std::uint64_t
     txAccessesTotal() const

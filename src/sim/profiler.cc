@@ -11,8 +11,23 @@ void
 SharingProfiler::record(ThreadId tid, Addr addr, AccessType type,
                         bool in_tx)
 {
-    HINTM_ASSERT(tid >= 0 && tid < 32, "profiler supports tids < 32");
-    const std::uint32_t bit = std::uint32_t(1) << tid;
+    HINTM_ASSERT(tid >= 0, "profiler needs a real thread id");
+    // Saturate instead of shifting past the mask width: every tid
+    // beyond the tracked range shares the reserved overflow bit and
+    // poisons the region's classification to "unknown".
+    const bool overflow = tid > maxTrackedTid;
+    if (overflow) {
+        static bool warned = false;
+        if (!warned) {
+            warned = true;
+            warn("SharingProfiler: thread ", tid, " exceeds the ",
+                 maxTrackedTid + 1,
+                 "-thread bitmask range; affected regions are counted "
+                 "as unknown (unsafe)");
+        }
+    }
+    const std::uint32_t bit =
+        std::uint32_t(1) << (overflow ? 31 : tid);
     const bool is_read = type == AccessType::Read;
 
     auto touch = [&](std::unordered_map<Addr, Region> &map, Addr key) {
@@ -21,6 +36,8 @@ SharingProfiler::record(ThreadId tid, Addr addr, AccessType type,
             r.readers |= bit;
         else
             r.writers |= bit;
+        if (overflow)
+            r.unknown = true;
         if (in_tx && is_read)
             ++r.txReads;
     };
@@ -38,6 +55,8 @@ SharingProfiler::fold(const std::unordered_map<Addr, Region> &map,
     s.totalRegions = map.size();
     s.txReads = reads;
     for (const auto &kv : map) {
+        if (kv.second.unknown)
+            ++s.unknownRegions;
         if (regionSafe(kv.second)) {
             ++s.safeRegions;
             s.txReadsToSafe += kv.second.txReads;

@@ -26,6 +26,10 @@ struct SharingSummary
     std::uint64_t safeRegions = 0;
     std::uint64_t txReads = 0;
     std::uint64_t txReadsToSafe = 0;
+    /** Regions touched by a thread beyond the 31 tracked bitmask slots:
+     * their sharing pattern is unknown, so they are conservatively
+     * counted unsafe (never inflates the safe fractions). */
+    std::uint64_t unknownRegions = 0;
 
     double
     safeRegionFraction() const
@@ -48,7 +52,14 @@ struct SharingSummary
 class SharingProfiler
 {
   public:
-    /** Record one access by @p tid; @p in_tx marks transactional reads. */
+    /** Thread ids at or above this saturate into the shared "unknown"
+     * bucket: the 32-bit reader/writer bitmasks hold one bit per thread,
+     * and bit 31 is reserved for all overflow tids collectively. */
+    static constexpr ThreadId maxTrackedTid = 30;
+
+    /** Record one access by @p tid; @p in_tx marks transactional reads.
+     * Tids beyond maxTrackedTid mark the region unknown (counted
+     * unsafe) instead of silently aliasing into another thread's bit. */
     void record(ThreadId tid, Addr addr, AccessType type, bool in_tx);
 
     /** Fold the run into Fig. 1 numbers at block granularity. */
@@ -59,14 +70,20 @@ class SharingProfiler
   private:
     struct Region
     {
-        std::uint32_t readers = 0; ///< bitmask over thread ids (< 32)
+        std::uint32_t readers = 0; ///< bitmask over thread ids (< 31)
         std::uint32_t writers = 0;
         std::uint64_t txReads = 0;
+        /** Touched by a tid the bitmasks cannot represent. */
+        bool unknown = false;
     };
 
     static bool
     regionSafe(const Region &r)
     {
+        // A region touched by untrackable tids has an unknown sharing
+        // pattern: conservatively unsafe.
+        if (r.unknown)
+            return false;
         const std::uint32_t all = r.readers | r.writers;
         // Single-thread regions and read-only shared regions are safe.
         return r.writers == 0 || (all & (all - 1)) == 0;

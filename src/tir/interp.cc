@@ -267,6 +267,9 @@ ThreadInterp::nextRef()
             return st;
           case Opcode::TxBegin:
             st.kind = StepKind::TxBegin;
+            st.fn = std::int32_t(f.fn);
+            st.srcBlock = std::int32_t(f.block);
+            st.srcInstr = std::int32_t(f.ip);
             return st;
           case Opcode::TxEnd:
             st.kind = StepKind::TxEnd;
@@ -569,6 +572,9 @@ ThreadInterp::nextDec()
 
           case DOp::TxBegin:
             flush(StepKind::TxBegin);
+            st.fn = std::int32_t(f->fn);
+            st.srcBlock = df->srcRefs[std::size_t(pc)].block;
+            st.srcInstr = df->srcRefs[std::size_t(pc)].instr;
             return st;
           case DOp::TxEnd:
             flush(StepKind::TxEnd);

@@ -113,8 +113,9 @@ struct Step
     bool staticSafe = false;
     /** Annotate only: region length in bytes. */
     std::uint64_t annotateLen = 0;
-    /** Source position of a Mem boundary (function/block/instr indices
-     * into the module), for diagnostics such as the hint oracle. */
+    /** Source position of a Mem or TxBegin boundary (function/block/
+     * instr indices into the module), for diagnostics such as the hint
+     * oracle and the TX-site ids of the observability journal. */
     std::int32_t fn = -1;
     std::int32_t srcBlock = -1;
     std::int32_t srcInstr = -1;

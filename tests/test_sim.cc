@@ -192,3 +192,53 @@ TEST(SimCapacity, StaticHintsAvoidCapacityAbort)
     EXPECT_EQ(r2.htm.aborts[unsigned(htm::AbortReason::Capacity)], 0u);
     EXPECT_LT(r2.cycles, r1.cycles);
 }
+
+// ---- sharing profiler ----------------------------------------------
+
+TEST(SharingProfiler, OverflowTidsSaturateToUnknown)
+{
+    // Tids past the 31 tracked bitmask slots used to alias via an
+    // undefined shift; they must land in the shared overflow bucket and
+    // poison the region to "unknown" (conservatively unsafe) instead.
+    sim::SharingProfiler p;
+    p.record(0, 0x1000, AccessType::Read, true);
+    p.record(40, 0x1000, AccessType::Read, true);  // overflow tid
+    p.record(0, 0x2000, AccessType::Write, false); // private, tracked
+
+    const sim::SharingSummary s = p.blockSummary();
+    EXPECT_EQ(s.totalRegions, 2u);
+    EXPECT_EQ(s.unknownRegions, 1u);
+    // The overflow-touched block is unknown: not safe even though the
+    // observed pattern (two readers) looks safe.
+    EXPECT_EQ(s.safeRegions, 1u);
+    EXPECT_EQ(s.txReads, 2u);
+    EXPECT_EQ(s.txReadsToSafe, 0u);
+}
+
+TEST(SharingProfiler, DistinctOverflowTidsShareOneBucket)
+{
+    // Two different overflow tids look like one thread to the bitmask;
+    // without the unknown flag the region would be miscounted as safe.
+    sim::SharingProfiler p;
+    p.record(31, 0x1000, AccessType::Write, false);
+    p.record(77, 0x1000, AccessType::Read, false);
+
+    const sim::SharingSummary s = p.blockSummary();
+    EXPECT_EQ(s.totalRegions, 1u);
+    EXPECT_EQ(s.unknownRegions, 1u);
+    EXPECT_EQ(s.safeRegions, 0u);
+}
+
+TEST(SharingProfiler, TrackedTidsStayExact)
+{
+    sim::SharingProfiler p;
+    p.record(sim::SharingProfiler::maxTrackedTid, 0x1000,
+             AccessType::Read, true);
+    p.record(3, 0x1000, AccessType::Read, true);
+
+    const sim::SharingSummary s = p.blockSummary();
+    EXPECT_EQ(s.totalRegions, 1u);
+    EXPECT_EQ(s.unknownRegions, 0u);
+    EXPECT_EQ(s.safeRegions, 1u); // read-only sharing is safe
+    EXPECT_EQ(s.txReadsToSafe, 2u);
+}

@@ -34,7 +34,38 @@ TEST(Trace, CategoryParsing)
     EXPECT_EQ(trace::categoryFromName("tx"), trace::Category::Tx);
     EXPECT_EQ(trace::categoryFromName("vm"), trace::Category::Vm);
     EXPECT_EQ(trace::categoryFromName("sched"), trace::Category::Sched);
+    EXPECT_EQ(trace::categoryFromName("journal"),
+              trace::Category::Journal);
     EXPECT_THROW(trace::categoryFromName("bogus"), std::runtime_error);
+}
+
+TEST(Trace, UnknownCategoryErrorListsValidNames)
+{
+    try {
+        trace::categoryFromName("bogus");
+        FAIL() << "expected a fatal error";
+    } catch (const std::runtime_error &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("bogus"), std::string::npos) << msg;
+        for (const char *name :
+             {"tx", "htm", "vm", "mem", "sched", "journal", "all"})
+            EXPECT_NE(msg.find(name), std::string::npos) << msg;
+    }
+}
+
+TEST(Trace, SpecToleratesWhitespace)
+{
+    TraceGuard guard;
+    trace::enableFromSpec(" tx , vm ");
+    EXPECT_TRUE(trace::enabled(trace::Category::Tx));
+    EXPECT_TRUE(trace::enabled(trace::Category::Vm));
+    EXPECT_FALSE(trace::enabled(trace::Category::Mem));
+    trace::disableAll();
+    trace::enableFromSpec("  all  ");
+    EXPECT_TRUE(trace::enabled(trace::Category::Journal));
+    trace::disableAll();
+    trace::enableFromSpec(""); // empty tokens are ignored, not errors
+    EXPECT_FALSE(trace::enabled(trace::Category::Tx));
 }
 
 TEST(Trace, SpecEnablesMultipleCategories)

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * hintm_profile: transaction-level abort-attribution profiler. Runs a
+ * workload with the TX journal enabled and prints where transactions
+ * abort — the top TX sites by aborts with per-reason breakdowns and the
+ * hottest conflicting block addresses — plus the interval time series
+ * (commit/abort rates, mean footprint, fallback-lock occupancy per
+ * fixed-cycle window). Optional Perfetto / stats-JSON export.
+ *
+ * Examples:
+ *   hintm_profile --workload intruder
+ *   hintm_profile --workload genome --htm l1tm --mech baseline --top 20
+ *   hintm_profile --workload kmeans --tiny --perfetto trace.json
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/logging.hh"
+#include "core/hintm.hh"
+#include "sim/journal_io.hh"
+#include "workloads/workloads.hh"
+
+using namespace hintm;
+
+namespace
+{
+
+[[noreturn]] void
+usage(int code)
+{
+    std::printf(
+        "usage: hintm_profile [options]\n"
+        "  --workload NAME     workload to profile (default intruder)\n"
+        "  --scale S           tiny | small | large (default small)\n"
+        "  --tiny|--small|--large   shorthand for --scale S\n"
+        "  --htm KIND          p8 | p8s | l1tm | infcap (default p8)\n"
+        "  --mech M            baseline | static | dyn | full "
+        "(default baseline)\n"
+        "  --threads N         override the workload's thread count\n"
+        "  --seed N            RNG seed (default 1)\n"
+        "  --retries N         transient-abort retries (default 8)\n"
+        "  --preabort          convert capacity overflows to critical "
+        "sections\n"
+        "  --preserve          preserve-read-only page policy\n"
+        "  --top N             sites in the attribution table "
+        "(default 10)\n"
+        "  --window N          interval-sampler window in cycles "
+        "(default: ~50 windows)\n"
+        "  --capacity N        journal ring size in records "
+        "(default 65536)\n"
+        "  --no-intervals      skip the interval time-series table\n"
+        "  --perfetto [FILE]   write a Chrome-trace timeline "
+        "(default perfetto_trace.json)\n"
+        "  --stats-json [FILE] write the machine-readable stats record "
+        "(default stats.json)\n");
+    std::exit(code);
+}
+
+std::uint64_t
+parseNum(const char *s)
+{
+    return std::strtoull(s, nullptr, 0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string workload = "intruder";
+    workloads::Scale scale = workloads::Scale::Small;
+    core::SystemOptions opts;
+    opts.mechanism = core::Mechanism::Baseline;
+    opts.journal = true;
+    unsigned threads_override = 0;
+    std::size_t top_n = 10;
+    Cycle window = 0;
+    bool intervals = true;
+    std::string perfettoPath, statsJsonPath;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(1);
+            return argv[++i];
+        };
+        if (a == "--workload") {
+            workload = next();
+        } else if (a == "--scale") {
+            const std::string s = next();
+            if (s == "tiny")
+                scale = workloads::Scale::Tiny;
+            else if (s == "small")
+                scale = workloads::Scale::Small;
+            else if (s == "large")
+                scale = workloads::Scale::Large;
+            else
+                usage(1);
+        } else if (a == "--tiny") {
+            scale = workloads::Scale::Tiny;
+        } else if (a == "--small") {
+            scale = workloads::Scale::Small;
+        } else if (a == "--large") {
+            scale = workloads::Scale::Large;
+        } else if (a == "--htm") {
+            const std::string s = next();
+            if (s == "p8")
+                opts.htmKind = htm::HtmKind::P8;
+            else if (s == "p8s")
+                opts.htmKind = htm::HtmKind::P8S;
+            else if (s == "l1tm")
+                opts.htmKind = htm::HtmKind::L1TM;
+            else if (s == "infcap")
+                opts.htmKind = htm::HtmKind::InfCap;
+            else
+                usage(1);
+        } else if (a == "--mech") {
+            const std::string s = next();
+            if (s == "baseline")
+                opts.mechanism = core::Mechanism::Baseline;
+            else if (s == "static")
+                opts.mechanism = core::Mechanism::StaticOnly;
+            else if (s == "dyn")
+                opts.mechanism = core::Mechanism::DynamicOnly;
+            else if (s == "full")
+                opts.mechanism = core::Mechanism::Full;
+            else
+                usage(1);
+        } else if (a == "--threads") {
+            threads_override = unsigned(parseNum(next()));
+        } else if (a == "--seed") {
+            opts.seed = parseNum(next());
+        } else if (a == "--retries") {
+            opts.maxRetries = unsigned(parseNum(next()));
+        } else if (a == "--preabort") {
+            opts.preAbortHandler = true;
+        } else if (a == "--preserve") {
+            opts.preserveReadOnly = true;
+        } else if (a == "--top") {
+            top_n = std::size_t(parseNum(next()));
+        } else if (a == "--window") {
+            window = Cycle(parseNum(next()));
+        } else if (a == "--capacity") {
+            opts.journalCapacity = std::size_t(parseNum(next()));
+        } else if (a == "--no-intervals") {
+            intervals = false;
+        } else if (a == "--perfetto") {
+            perfettoPath = "perfetto_trace.json";
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                perfettoPath = argv[++i];
+        } else if (a == "--stats-json") {
+            statsJsonPath = "stats.json";
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                statsJsonPath = argv[++i];
+        } else if (a == "--help" || a == "-h") {
+            usage(0);
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", a.c_str());
+            usage(1);
+        }
+    }
+
+    const bench::PreparedWorkload p = bench::prepare(workload, scale);
+    const unsigned threads =
+        threads_override ? threads_override : p.wl.threads;
+
+    std::printf("profiling %s (%u threads) under %s\n\n",
+                p.wl.name.c_str(), threads, opts.label().c_str());
+
+    const std::vector<bench::MatrixJob> jobs = {
+        {&p, opts, threads_override}};
+    const sim::RunResult r = bench::runMatrix(jobs)[0];
+    HINTM_ASSERT(r.journal != nullptr, "profiler run lost its journal");
+
+    std::printf("cycles: %llu   committed TXs: %llu   aborts: %llu\n",
+                (unsigned long long)r.cycles,
+                (unsigned long long)r.committedTxs,
+                (unsigned long long)r.htm.totalAborts());
+    std::printf("%s", sim::journalSummary(r).c_str());
+
+    std::printf("\n-- abort attribution (top %zu sites) --\n%s", top_n,
+                sim::renderAttributionTable(*r.journal, top_n).c_str());
+    if (intervals) {
+        std::printf("\n-- interval time series --\n%s",
+                    sim::renderIntervalTable(*r.journal, r.cycles, window)
+                        .c_str());
+    }
+
+    if (!perfettoPath.empty() || !statsJsonPath.empty()) {
+        const std::vector<sim::JournalRun> runs = {
+            {p.wl.name, opts.label(), threads, &r}};
+        if (!perfettoPath.empty() &&
+            sim::writePerfettoTrace(perfettoPath, runs))
+            std::printf("\nperfetto trace: %s\n", perfettoPath.c_str());
+        if (!statsJsonPath.empty() &&
+            sim::writeStatsJson(statsJsonPath, runs, window))
+            std::printf("stats json: %s\n", statsJsonPath.c_str());
+    }
+    return 0;
+}

@@ -20,6 +20,7 @@
 #include "common/logging.hh"
 #include "common/trace.hh"
 #include "core/hintm.hh"
+#include "sim/journal_io.hh"
 #include "workloads/workloads.hh"
 
 using namespace hintm;
@@ -32,8 +33,10 @@ usage(int code)
 {
     std::printf(
         "usage: hintm_run [options]\n"
-        "  --workload NAME     workload to run (--list to enumerate)\n"
+        "  --workload NAME     workload to run (--list to enumerate; "
+        "default kmeans)\n"
         "  --scale S           tiny | small | large (default small)\n"
+        "  --tiny|--small|--large   shorthand for --scale S\n"
         "  --htm KIND          p8 | p8s | l1tm | infcap (default p8)\n"
         "  --mech M            baseline | static | dyn | full "
         "(default full)\n"
@@ -61,6 +64,14 @@ usage(int code)
         "  --oracle            shadow-track safe accesses and report\n"
         "                      conflicting remote writes (observation "
         "only)\n"
+        "  --journal           record every TX attempt (observation "
+        "only)\n"
+        "  --journal-capacity N  journal ring size in records "
+        "(default 65536)\n"
+        "  --perfetto [FILE]   write a Chrome-trace timeline (implies\n"
+        "                      --journal; default perfetto_trace.json)\n"
+        "  --stats-json [FILE] write a machine-readable stats record\n"
+        "                      (default stats.json)\n"
         "  --no-snoop-filter   reference broadcast memory path "
         "(cross-check)\n"
         "  --no-decode-cache   reference Instr-walking interpreter "
@@ -81,13 +92,14 @@ parseNum(const char *s)
 int
 main(int argc, char **argv)
 {
-    std::string workload;
+    std::string workload = "kmeans";
     workloads::Scale scale = workloads::Scale::Small;
     core::SystemOptions opts;
     opts.mechanism = core::Mechanism::Full;
     unsigned threads_override = 0;
     unsigned host_jobs = 0;
     bool profile = false, cdf = false, stats = false;
+    std::string perfettoPath, statsJsonPath;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -108,6 +120,12 @@ main(int argc, char **argv)
                 scale = workloads::Scale::Large;
             else
                 usage(1);
+        } else if (a == "--tiny") {
+            scale = workloads::Scale::Tiny;
+        } else if (a == "--small") {
+            scale = workloads::Scale::Small;
+        } else if (a == "--large") {
+            scale = workloads::Scale::Large;
         } else if (a == "--htm") {
             const std::string s = next();
             if (s == "p8")
@@ -177,6 +195,20 @@ main(int argc, char **argv)
             bench::setLintOnPrepare(true);
         } else if (a == "--oracle") {
             opts.hintOracle = true;
+        } else if (a == "--journal") {
+            opts.journal = true;
+        } else if (a == "--journal-capacity") {
+            opts.journalCapacity = std::size_t(parseNum(next()));
+            opts.journal = true;
+        } else if (a == "--perfetto") {
+            perfettoPath = "perfetto_trace.json";
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                perfettoPath = argv[++i];
+            opts.journal = true; // a timeline needs records
+        } else if (a == "--stats-json") {
+            statsJsonPath = "stats.json";
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                statsJsonPath = argv[++i];
         } else if (a == "--no-snoop-filter") {
             core::SystemOptions::setSnoopFilterDefault(false);
             opts.snoopFilter = false;
@@ -284,6 +316,22 @@ main(int argc, char **argv)
                     r.oracleWitnesses.size());
         for (const std::string &w : r.oracleWitnesses)
             std::printf("  %s\n", w.c_str());
+    }
+    if (r.journal) {
+        std::printf("%s", sim::journalSummary(r).c_str());
+        std::printf("\n-- abort attribution (top 5 sites) --\n%s",
+                    sim::renderAttributionTable(*r.journal, 5).c_str());
+    }
+    if (!perfettoPath.empty() || !statsJsonPath.empty()) {
+        const std::vector<sim::JournalRun> runs = {
+            {wl.name, opts.label(), threads, &r}};
+        if (!perfettoPath.empty() &&
+            sim::writePerfettoTrace(perfettoPath, runs))
+            std::printf("perfetto trace    : %s\n", perfettoPath.c_str());
+        if (!statsJsonPath.empty() &&
+            sim::writeStatsJson(statsJsonPath, runs))
+            std::printf("stats json        : %s\n",
+                        statsJsonPath.c_str());
     }
     if (stats) {
         std::printf("\n-- raw statistics --\n%s", r.rawStats.c_str());
