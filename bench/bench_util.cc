@@ -1,11 +1,13 @@
 #include "bench_util.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <sstream>
 #include <unordered_map>
@@ -14,7 +16,9 @@
 #include "common/parallel.hh"
 #include "compiler/race_lint.hh"
 #include "htm/abort.hh"
+#include "result_store.hh"
 #include "sim/journal_io.hh"
+#include "sim/snapshot.hh"
 
 namespace hintm
 {
@@ -64,12 +68,22 @@ BenchArgs::parse(int argc, char **argv)
             a.statsJsonPath = "stats.json";
             if (i + 1 < argc && argv[i + 1][0] != '-')
                 a.statsJsonPath = argv[++i];
+        } else if (arg == "--cache-dir" && i + 1 < argc) {
+            a.cacheDir = argv[++i];
+        } else if (arg == "--no-disk-cache") {
+            a.noDiskCache = true;
+        } else if (arg == "--cache-clear") {
+            a.cacheClear = true;
+        } else if (arg == "--no-prefix-fork") {
+            a.noPrefixFork = true;
         } else if (arg == "--help") {
             std::printf("options: [--tiny|--small|--large] [--preserve] "
                         "[--workload NAME]... [--jobs N] [--json FILE] "
                         "[--no-snoop-filter] [--no-decode-cache] "
                         "[--lint] [--journal] [--perfetto [FILE]] "
-                        "[--stats-json [FILE]]\n");
+                        "[--stats-json [FILE]] [--cache-dir DIR] "
+                        "[--no-disk-cache] [--cache-clear] "
+                        "[--no-prefix-fork]\n");
             std::exit(0);
         } else {
             HINTM_FATAL("unknown argument ", arg);
@@ -81,6 +95,13 @@ BenchArgs::parse(int argc, char **argv)
         setJsonReport(a.jsonPath);
     if (!a.perfettoPath.empty() || !a.statsJsonPath.empty())
         setObservabilityExport(a.perfettoPath, a.statsJsonPath);
+    const std::string cache_dir =
+        a.cacheDir.empty() ? ResultStore::defaultDir() : a.cacheDir;
+    if (a.cacheClear)
+        ResultStore::clearDir(cache_dir);
+    setDiskResultCache(cache_dir, !a.noDiskCache);
+    if (a.noPrefixFork)
+        setPrefixFork(false);
     return a;
 }
 
@@ -141,6 +162,13 @@ struct MatrixState
     std::mutex mu;
     std::unordered_map<std::string, sim::RunResult> cache;
     MatrixCacheStats stats;
+    /** Persistent store (null = disabled, the library default). Held by
+     * shared_ptr so a concurrent setDiskResultCache cannot pull the
+     * store out from under an in-flight runMatrix. */
+    std::shared_ptr<const ResultStore> disk;
+    bool prefixFork = true;
+    /** Host workers of the most recent runMatrix (JSON summary). */
+    unsigned lastEffectiveJobs = 0;
 
     std::mutex jsonMu;
     std::string jsonPath;
@@ -175,16 +203,31 @@ jobThreads(const MatrixJob &job)
                                : job.wl->wl.threads;
 }
 
-/** Exact identity of a simulation: workload, scale, thread count, and
- * every SystemOptions field. Two jobs with equal keys produce
- * bit-identical RunResults. */
+/** Content fingerprint of a module: FNV-1a over its rendered text,
+ * which includes every instruction and safety bit. Keyed by content —
+ * not by pointer — because hintm_lint --mutate rewrites modules in
+ * place between runMatrix calls. */
+std::uint64_t
+moduleFingerprint(const tir::Module &mod)
+{
+    const std::string text = mod.print();
+    return fnv1a(text.data(), text.size());
+}
+
+/** Exact identity of a simulation: workload, scale, thread count, the
+ * module fingerprint, and every SystemOptions field. Two jobs with
+ * equal keys produce bit-identical RunResults. */
 std::string
-jobKey(const MatrixJob &job)
+jobKeyWithFp(const MatrixJob &job, std::uint64_t fp)
 {
     const core::SystemOptions &o = job.opts;
     std::ostringstream os;
+    char fpbuf[20];
+    std::snprintf(fpbuf, sizeof(fpbuf), "%016llx",
+                  static_cast<unsigned long long>(fp));
     os << job.wl->wl.name << '|' << unsigned(job.wl->scale) << '|'
-       << jobThreads(job) << '|' << unsigned(o.htmKind) << '|'
+       << jobThreads(job) << '|' << fpbuf << '|'
+       << unsigned(o.htmKind) << '|'
        << unsigned(o.mechanism) << '|' << o.preserveReadOnly
        << o.notaryAnnotations << o.preAbortHandler
        << unsigned(o.conflictPolicy) << '|' << o.numCores << 'x'
@@ -213,6 +256,13 @@ void
 flushJsonReport()
 {
     MatrixState &st = state();
+    MatrixCacheStats cs;
+    unsigned ejobs;
+    {
+        std::lock_guard<std::mutex> lock(st.mu);
+        cs = st.stats;
+        ejobs = st.lastEffectiveJobs;
+    }
     std::lock_guard<std::mutex> lock(st.jsonMu);
     if (st.jsonPath.empty())
         return;
@@ -222,10 +272,15 @@ flushJsonReport()
         return;
     }
     os << "[\n";
-    for (std::size_t i = 0; i < st.jsonRecords.size(); ++i) {
-        os << "  " << st.jsonRecords[i]
-           << (i + 1 < st.jsonRecords.size() ? ",\n" : "\n");
-    }
+    for (std::size_t i = 0; i < st.jsonRecords.size(); ++i)
+        os << "  " << st.jsonRecords[i] << ",\n";
+    // Trailing summary record: host parallelism actually used plus the
+    // process-wide cache counters (the CI sweep-cache job reads these).
+    os << "  {\"summary\":true,\"jobs\":" << ejobs << ",\"cache\":{"
+       << "\"hits\":" << cs.hits << ",\"misses\":" << cs.misses
+       << ",\"deduped\":" << cs.deduped << ",\"disk_hits\":" << cs.diskHits
+       << ",\"disk_stores\":" << cs.diskStores << ",\"prefix_forks\":"
+       << cs.prefixForks << "}}\n";
     os << "]\n";
 }
 
@@ -314,6 +369,42 @@ setJsonReport(const std::string &path)
         std::atexit(flushJsonReport);
 }
 
+std::string
+matrixJobKey(const MatrixJob &job)
+{
+    HINTM_ASSERT(job.wl != nullptr, "matrix job without a workload");
+    return jobKeyWithFp(job, moduleFingerprint(job.wl->wl.module));
+}
+
+void
+setDiskResultCache(const std::string &dir, bool enabled)
+{
+    MatrixState &st = state();
+    std::lock_guard<std::mutex> lock(st.mu);
+    if (!enabled || dir.empty()) {
+        st.disk.reset();
+        return;
+    }
+    st.disk = std::make_shared<const ResultStore>(
+        dir, ResultStore::selfBinaryHash());
+}
+
+void
+setPrefixFork(bool on)
+{
+    MatrixState &st = state();
+    std::lock_guard<std::mutex> lock(st.mu);
+    st.prefixFork = on;
+}
+
+unsigned
+effectiveJobs(unsigned requested)
+{
+    if (requested)
+        return requested;
+    return std::min(64u, std::max(1u, ThreadPool::defaultWorkers()));
+}
+
 MatrixCacheStats
 matrixCacheStats()
 {
@@ -341,13 +432,27 @@ runMatrix(const std::vector<MatrixJob> &jobs, unsigned host_jobs)
     std::vector<std::string> keys(jobs.size());
     std::vector<std::size_t> toRun;
     std::unordered_map<std::string, std::size_t> firstSlot;
+    // Fingerprints are memoized for this call only: a pointer-keyed
+    // cross-call memo would serve stale hashes to hintm_lint's
+    // in-place module mutants.
+    std::unordered_map<const PreparedWorkload *, std::uint64_t> fps;
 
+    const unsigned workers = effectiveJobs(host_jobs);
+    std::shared_ptr<const ResultStore> disk;
+    bool prefixFork;
     {
         std::lock_guard<std::mutex> lock(st.mu);
+        disk = st.disk;
+        prefixFork = st.prefixFork;
+        st.lastEffectiveJobs = workers;
         for (std::size_t i = 0; i < jobs.size(); ++i) {
             HINTM_ASSERT(jobs[i].wl != nullptr,
                          "matrix job without a workload");
-            keys[i] = jobKey(jobs[i]);
+            auto fp = fps.emplace(jobs[i].wl, 0);
+            if (fp.second)
+                fp.first->second =
+                    moduleFingerprint(jobs[i].wl->wl.module);
+            keys[i] = jobKeyWithFp(jobs[i], fp.first->second);
             alias[i] = i;
             const auto cached = st.cache.find(keys[i]);
             if (cached != st.cache.end()) {
@@ -359,32 +464,97 @@ runMatrix(const std::vector<MatrixJob> &jobs, unsigned host_jobs)
             const auto [it, fresh] = firstSlot.emplace(keys[i], i);
             if (fresh) {
                 toRun.push_back(i);
-                ++st.stats.misses;
             } else {
                 alias[i] = it->second;
-                ++st.stats.hits;
+                ++st.stats.deduped;
             }
         }
     }
 
-    parallelFor(host_jobs ? host_jobs : ThreadPool::defaultWorkers(),
-                toRun.size(), [&](std::size_t k) {
-                    const std::size_t i = toRun[k];
-                    const MatrixJob &job = jobs[i];
-                    const auto t0 = std::chrono::steady_clock::now();
-                    results[i] = core::simulate(job.opts,
-                                                job.wl->wl.module,
-                                                jobThreads(job));
-                    const double wall_ms =
-                        std::chrono::duration<double, std::milli>(
-                            std::chrono::steady_clock::now() - t0)
-                            .count();
-                    recordJson(job, results[i], wall_ms);
-                    recordObservability(job.wl->wl.name, job.opts,
-                                        jobThreads(job), results[i]);
-                    std::lock_guard<std::mutex> lock(st.mu);
-                    st.cache.emplace(keys[i], results[i]);
-                });
+    // Probe the persistent store for the surviving unique jobs.
+    // Serial: loads are small reads, cheap against the simulations
+    // they replace. Journal-carrying jobs bypass the store (journals
+    // are observability artifacts sized like the run itself).
+    std::vector<std::size_t> toSim;
+    for (std::size_t i : toRun) {
+        if (disk && !jobs[i].opts.journal &&
+            disk->load(keys[i], results[i])) {
+            std::lock_guard<std::mutex> lock(st.mu);
+            ++st.stats.diskHits;
+            st.cache.emplace(keys[i], results[i]);
+        } else {
+            toSim.push_back(i);
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(st.mu);
+        st.stats.misses += toSim.size();
+    }
+
+    // Group the remaining simulations by shared init phase: the same
+    // workload/threads/seed/validateSafeStores means a bit-identical
+    // init, so one captured prefix can seed every config in the group
+    // (results stay bit-identical; locked by the snapshot tests).
+    std::vector<std::vector<std::size_t>> groups;
+    std::vector<const sim::MachinePrefix *> slotPrefix(jobs.size(),
+                                                       nullptr);
+    std::vector<std::shared_ptr<const sim::MachinePrefix>> prefixes;
+    if (prefixFork && toSim.size() > 1) {
+        std::unordered_map<std::string, std::size_t> groupOf;
+        for (std::size_t i : toSim) {
+            std::ostringstream gk;
+            gk << static_cast<const void *>(jobs[i].wl) << '|'
+               << jobThreads(jobs[i]) << '|' << jobs[i].opts.seed
+               << '|' << jobs[i].opts.validateSafeStores;
+            const auto [it, fresh] =
+                groupOf.emplace(gk.str(), groups.size());
+            if (fresh)
+                groups.emplace_back();
+            groups[it->second].push_back(i);
+        }
+        // Singleton groups gain nothing from a prefix: drop them and
+        // let those jobs cold-start as before.
+        groups.erase(
+            std::remove_if(groups.begin(), groups.end(),
+                           [](const std::vector<std::size_t> &g) {
+                               return g.size() < 2;
+                           }),
+            groups.end());
+        prefixes.resize(groups.size());
+        parallelFor(workers, groups.size(), [&](std::size_t g) {
+            const MatrixJob &job = jobs[groups[g][0]];
+            prefixes[g] = core::buildPrefix(job.opts, job.wl->wl.module,
+                                            jobThreads(job));
+        });
+        for (std::size_t g = 0; g < groups.size(); ++g) {
+            for (std::size_t i : groups[g])
+                slotPrefix[i] = prefixes[g].get();
+        }
+    }
+
+    parallelFor(workers, toSim.size(), [&](std::size_t k) {
+        const std::size_t i = toSim[k];
+        const MatrixJob &job = jobs[i];
+        const auto t0 = std::chrono::steady_clock::now();
+        results[i] = core::simulate(job.opts, job.wl->wl.module,
+                                    jobThreads(job), slotPrefix[i]);
+        const double wall_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        recordJson(job, results[i], wall_ms);
+        recordObservability(job.wl->wl.name, job.opts, jobThreads(job),
+                            results[i]);
+        if (disk && !job.opts.journal) {
+            disk->store(keys[i], results[i]);
+            std::lock_guard<std::mutex> lock(st.mu);
+            ++st.stats.diskStores;
+        }
+        std::lock_guard<std::mutex> lock(st.mu);
+        if (slotPrefix[i])
+            ++st.stats.prefixForks;
+        st.cache.emplace(keys[i], results[i]);
+    });
 
     for (std::size_t i = 0; i < jobs.size(); ++i) {
         if (alias[i] != i)

@@ -52,6 +52,16 @@ struct BenchArgs
     /** --stats-json [FILE]: write machine-readable per-run stats
      * records at exit (journal sections when --journal is on). */
     std::string statsJsonPath;
+    /** --cache-dir DIR: persistent result-cache location (default:
+     * $XDG_CACHE_HOME/hintm or ~/.cache/hintm). */
+    std::string cacheDir;
+    /** --no-disk-cache: run without the persistent result cache. */
+    bool noDiskCache = false;
+    /** --cache-clear: wipe the cache directory before running. */
+    bool cacheClear = false;
+    /** --no-prefix-fork: cold-start every simulation instead of forking
+     * groups from a shared init-phase prefix (A/B escape hatch). */
+    bool noPrefixFork = false;
 
     static BenchArgs parse(int argc, char **argv);
     std::vector<std::string> names() const;
@@ -91,25 +101,69 @@ struct MatrixJob
 
 /**
  * Execute the jobs concurrently on @p host_jobs threads (0 = hardware
- * concurrency) and return results in submission order. Every simulation
- * is deterministic and self-contained, so the results are bit-identical
- * to a sequential run regardless of host_jobs. Identical (workload,
- * scale, options, threads) jobs — within this call or across calls —
- * simulate once: completed runs are served from a process-wide cache.
+ * concurrency, clamped — see effectiveJobs) and return results in
+ * submission order. Every simulation is deterministic and
+ * self-contained, so the results are bit-identical to a sequential run
+ * regardless of host_jobs. Identical (workload, scale, options,
+ * threads) jobs — within this call or across calls — simulate once:
+ * duplicates are deduped before scheduling, completed runs are served
+ * from a process-wide cache, and (when configured via
+ * setDiskResultCache) from the persistent on-disk store. Jobs sharing a
+ * workload/thread-count/seed run their init phase once and fork the
+ * divergent configs from the captured prefix; results stay
+ * bit-identical (property-test-locked).
  */
 std::vector<sim::RunResult> runMatrix(const std::vector<MatrixJob> &jobs,
                                       unsigned host_jobs = 0);
 
+/**
+ * The exact cache identity of one matrix job: workload name, scale,
+ * thread count, a fingerprint of the (possibly mutated) module, and
+ * every SystemOptions field. Two jobs with equal keys produce
+ * bit-identical RunResults; the on-disk store additionally scopes keys
+ * by a content hash of the simulator binary. Key changes must be
+ * deliberate — a golden-string test locks the format.
+ */
+std::string matrixJobKey(const MatrixJob &job);
+
+/**
+ * Configure the persistent result cache behind runMatrix. Disabled
+ * until called (library default), so tests and embedders are hermetic;
+ * BenchArgs::parse enables it for every harness binary unless
+ * --no-disk-cache is given. An empty @p dir disables regardless of
+ * @p enabled.
+ */
+void setDiskResultCache(const std::string &dir, bool enabled);
+
+/** Enable/disable init-phase prefix forking in runMatrix (default on;
+ * --no-prefix-fork clears it for A/B comparisons). */
+void setPrefixFork(bool on);
+
+/** Host worker threads runMatrix will actually use for @p requested
+ * (0 = std::thread::hardware_concurrency(), clamped to [1, 64]). */
+unsigned effectiveJobs(unsigned requested);
+
 /** Process-wide result-cache counters (testing/diagnostic aid). */
 struct MatrixCacheStats
 {
+    /** Served from the in-memory cache (prior runMatrix calls). */
     std::uint64_t hits = 0;
+    /** Simulated (not served from any cache). */
     std::uint64_t misses = 0;
+    /** Duplicates of another job in the same call (never scheduled). */
+    std::uint64_t deduped = 0;
+    /** Served from the persistent on-disk store. */
+    std::uint64_t diskHits = 0;
+    /** Fresh results persisted to the on-disk store. */
+    std::uint64_t diskStores = 0;
+    /** Simulations seeded from a shared init-phase prefix. */
+    std::uint64_t prefixForks = 0;
 };
 
 MatrixCacheStats matrixCacheStats();
 
-/** Drop all cached results and zero the counters (tests). */
+/** Drop all in-memory cached results and zero the counters (tests).
+ * The on-disk store is unaffected (--cache-clear wipes that). */
 void clearMatrixCache();
 
 /**

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Interleaved-pair A/B wall-clock comparison for HinTM harnesses.
+
+The benchmark machines are noisy (identical binaries can vary >10% run
+to run), so single before/after timings mislead. This harness runs the
+two commands as interleaved pairs — alternating which side goes first
+in successive pairs to cancel ordering/thermal drift — and reports
+medians and minimums with the derived deltas as JSON.
+
+Stdlib only. Commands run through the shell with output discarded; a
+non-zero exit from either side aborts the comparison.
+
+Usage:
+  bench_compare.py --label-a HEAD --cmd-a './head/fig4_p8 --small' \
+      --label-b PR  --cmd-b './build/fig4_p8 --small' \
+      --pairs 11 [--warmup 1] [--out deltas.json]
+"""
+
+import argparse
+import json
+import statistics
+import subprocess
+import sys
+import time
+
+
+def run_timed(cmd):
+    t0 = time.monotonic_ns()
+    r = subprocess.run(cmd, shell=True, stdout=subprocess.DEVNULL,
+                       stderr=subprocess.DEVNULL)
+    dt = (time.monotonic_ns() - t0) / 1e9
+    if r.returncode != 0:
+        sys.exit(f"command failed ({r.returncode}): {cmd}")
+    return dt
+
+
+def side_stats(times):
+    return {
+        "median_s": round(statistics.median(times), 4),
+        "min_s": round(min(times), 4),
+        "times_s": [round(t, 4) for t in times],
+    }
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--label-a", default="A")
+    ap.add_argument("--cmd-a", required=True)
+    ap.add_argument("--label-b", default="B")
+    ap.add_argument("--cmd-b", required=True)
+    ap.add_argument("--pairs", type=int, default=11,
+                    help="interleaved pairs to run (default 11)")
+    ap.add_argument("--warmup", type=int, default=1,
+                    help="untimed warmup runs of each side (default 1)")
+    ap.add_argument("--out", help="write the JSON here (default stdout)")
+    args = ap.parse_args()
+
+    for _ in range(args.warmup):
+        run_timed(args.cmd_a)
+        run_timed(args.cmd_b)
+
+    times_a, times_b = [], []
+    for pair in range(args.pairs):
+        # Alternate order so systematic drift hits both sides equally.
+        first_is_a = pair % 2 == 0
+        if first_is_a:
+            times_a.append(run_timed(args.cmd_a))
+            times_b.append(run_timed(args.cmd_b))
+        else:
+            times_b.append(run_timed(args.cmd_b))
+            times_a.append(run_timed(args.cmd_a))
+        print(f"pair {pair + 1}/{args.pairs}: "
+              f"{args.label_a}={times_a[-1]:.3f}s "
+              f"{args.label_b}={times_b[-1]:.3f}s"
+              f"{'' if first_is_a else '  (order flipped)'}",
+              file=sys.stderr)
+
+    med_a = statistics.median(times_a)
+    med_b = statistics.median(times_b)
+    min_a, min_b = min(times_a), min(times_b)
+    report = {
+        "label_a": args.label_a,
+        "label_b": args.label_b,
+        "cmd_a": args.cmd_a,
+        "cmd_b": args.cmd_b,
+        "pairs": args.pairs,
+        "a": side_stats(times_a),
+        "b": side_stats(times_b),
+        "delta": {
+            # Positive = B is slower than A by this fraction.
+            "median_pct": round(100 * (med_b - med_a) / med_a, 2),
+            "min_pct": round(100 * (min_b - min_a) / min_a, 2),
+        },
+        "speedup": {
+            # >1 = B is faster than A.
+            "median": round(med_a / med_b, 3),
+            "min": round(min_a / min_b, 3),
+        },
+    }
+    text = json.dumps(report, indent=2) + "\n"
+    if args.out:
+        with open(args.out, "w") as f:
+            f.write(text)
+    else:
+        sys.stdout.write(text)
+
+
+if __name__ == "__main__":
+    main()

@@ -68,6 +68,39 @@ class Distribution
     const std::vector<std::uint64_t> &buckets() const { return buckets_; }
     std::uint64_t overflow() const { return overflow_; }
 
+    /**
+     * Exact internal state, including the raw min sentinel (~0 when the
+     * distribution is empty, which the min() accessor masks). Used by the
+     * machine snapshot machinery, which needs bit-identical restores.
+     */
+    struct Image
+    {
+        std::uint64_t bucketWidth = 1;
+        std::vector<std::uint64_t> buckets;
+        std::uint64_t overflow = 0;
+        std::uint64_t count = 0;
+        std::uint64_t sum = 0;
+        std::uint64_t minRaw = ~std::uint64_t(0);
+        std::uint64_t max = 0;
+    };
+
+    Image image() const
+    {
+        return {bucketWidth_, buckets_, overflow_, count_, sum_, min_,
+                max_};
+    }
+
+    void setImage(const Image &img)
+    {
+        bucketWidth_ = img.bucketWidth;
+        buckets_ = img.buckets;
+        overflow_ = img.overflow;
+        count_ = img.count;
+        sum_ = img.sum;
+        min_ = img.minRaw;
+        max_ = img.max;
+    }
+
   private:
     std::uint64_t bucketWidth_;
     std::vector<std::uint64_t> buckets_;
@@ -110,6 +143,26 @@ class StatGroup
     {
         return counters_;
     }
+
+    /**
+     * Value-only snapshot of this group's own statistics (children are
+     * not included; snapshot callers walk the tree themselves).
+     */
+    struct Values
+    {
+        std::map<std::string, Counter> counters;
+        std::map<std::string, Distribution::Image> distributions;
+    };
+
+    Values values() const;
+
+    /**
+     * Restore previously captured values. Every key must already be
+     * registered: values are assigned into the existing map nodes so
+     * that cached Counter/Distribution pointers held by hot paths stay
+     * valid across a restore.
+     */
+    void setValues(const Values &v);
 
   private:
     std::string name_;

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "common/logging.hh"
+#include "sim/snapshot.hh"
 
 namespace hintm
 {
@@ -125,6 +126,28 @@ simulate(const SystemOptions &opts, const tir::Module &mod,
          unsigned threads)
 {
     return sim::runMachine(makeMachineConfig(opts), mod, threads);
+}
+
+std::shared_ptr<const sim::MachinePrefix>
+buildPrefix(const SystemOptions &opts, const tir::Module &mod,
+            unsigned threads)
+{
+    // The prefix is deliberately built from a sanitized config:
+    // observation features play no part in the init phase, and leaving
+    // them off keeps one prefix valid for every fork in a sweep.
+    SystemOptions base = opts;
+    base.journal = false;
+    base.hintOracle = false;
+    base.collectRawStats = false;
+    return std::make_shared<sim::MachinePrefix>(
+        sim::buildMachinePrefix(makeMachineConfig(base), mod, threads));
+}
+
+sim::RunResult
+simulate(const SystemOptions &opts, const tir::Module &mod,
+         unsigned threads, const sim::MachinePrefix *prefix)
+{
+    return sim::runMachine(makeMachineConfig(opts), mod, threads, prefix);
 }
 
 std::string

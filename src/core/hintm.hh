@@ -9,6 +9,7 @@
 #ifndef HINTM_CORE_HINTM_HH
 #define HINTM_CORE_HINTM_HH
 
+#include <memory>
 #include <string>
 
 #include "compiler/safety.hh"
@@ -17,6 +18,11 @@
 
 namespace hintm
 {
+namespace sim
+{
+struct MachinePrefix; // sim/snapshot.hh
+}
+
 namespace core
 {
 
@@ -114,6 +120,22 @@ compiler::SafetyReport compileHints(tir::Module &mod);
  */
 sim::RunResult simulate(const SystemOptions &opts, const tir::Module &mod,
                         unsigned threads);
+
+/**
+ * Run @p mod's init phase once and capture it as a fork point. The
+ * returned prefix seeds simulate() calls for any options sharing this
+ * module, thread count, seed and validateSafeStores setting — backend,
+ * mechanism and observation options may differ per fork.
+ */
+std::shared_ptr<const sim::MachinePrefix>
+buildPrefix(const SystemOptions &opts, const tir::Module &mod,
+            unsigned threads);
+
+/** simulate(), skipping the init phase via a captured prefix (null
+ * falls back to a cold start). */
+sim::RunResult simulate(const SystemOptions &opts, const tir::Module &mod,
+                        unsigned threads,
+                        const sim::MachinePrefix *prefix);
 
 /** Multi-line description of the configuration (Table II dump). */
 std::string describeConfig(const sim::MachineConfig &cfg);

@@ -147,6 +147,22 @@ class MemorySystem
     stats::StatGroup &statGroup() { return stats_; }
     const MemConfig &config() const { return cfg_; }
 
+    /**
+     * Cache arrays (L1s in id order, then the L2), snoop-filter contents
+     * and stat values. The listener-interest mask is not captured: HTM
+     * controllers re-publish their interest when they are restored.
+     */
+    struct State
+    {
+        std::vector<CacheArray> arrays;
+        bool filterOn = true;
+        SnoopFilter filter;
+        stats::StatGroup::Values stats;
+    };
+
+    State saveState() const;
+    void loadState(const State &s);
+
   private:
     struct Context
     {

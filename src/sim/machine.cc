@@ -10,6 +10,7 @@
 #include "common/logging.hh"
 #include "common/trace.hh"
 #include "htm/hint_oracle.hh"
+#include "sim/snapshot.hh"
 #include "tir/interp.hh"
 #include "tir/verifier.hh"
 
@@ -54,9 +55,10 @@ class Machine
 {
   public:
     Machine(const MachineConfig &cfg, const tir::Module &module,
-            unsigned num_threads)
+            unsigned num_threads, const MachinePrefix *prefix = nullptr)
         : cfg_(cfg),
-          prog_(module, num_threads, cfg.seed, cfg.decodeCache)
+          prog_(module, num_threads, cfg.seed, cfg.decodeCache),
+          moduleTag_(&module)
     {
         if (auto err = tir::verify(module))
             HINTM_FATAL("module fails verification: ", *err);
@@ -94,7 +96,24 @@ class Machine
                 };
         }
 
-        runInitPhase(module);
+        if (prefix) {
+            // Forked start: install the captured init-phase state
+            // instead of re-running init. The replayed annotations
+            // rebuild the page table exactly as the init phase would
+            // (no TLB exists yet in either ordering).
+            HINTM_ASSERT(prefix->moduleTag == moduleTag_ &&
+                             prefix->numThreads == num_threads &&
+                             prefix->seed == cfg.seed &&
+                             prefix->validateSafeStores ==
+                                 cfg.validateSafeStores,
+                         "machine prefix does not match this config");
+            prog_.loadState(prefix->program);
+            for (const auto &[base, len] : prefix->annotations)
+                vm_->annotateRange(base, len);
+            initAnnotations_ = prefix->annotations;
+        } else {
+            runInitPhase(module);
+        }
         for (unsigned t = 0; t < num_threads; ++t) {
             const int mem_ctx = mem_->addContext(t % cfg.numCores);
             const int vm_ctx = vm_->addContext();
@@ -139,41 +158,56 @@ class Machine
         }
     }
 
+    /**
+     * One scheduler iteration: pick the earliest-ready live context and
+     * step it. @return false when every context is done.
+     */
+    bool
+    stepOnce()
+    {
+        const unsigned n = unsigned(ctxs_.size());
+        int best = -1;
+        Cycle best_t = farFuture;
+        unsigned live = 0;
+        // Rotate the scan starting point round-robin. The wrap is a
+        // compare, not a modulo — this loop runs once per context
+        // per simulated step. Scan order (and so tie-breaking on
+        // equal readyAt) is unchanged.
+        unsigned c = rr_;
+        for (unsigned i = 0; i < n; ++i) {
+            const ContextState &cs = ctxs_[c];
+            if (!cs.done) {
+                ++live;
+                if (!cs.atBarrier && cs.readyAt < best_t) {
+                    best_t = cs.readyAt;
+                    best = int(c);
+                }
+            }
+            if (++c == n)
+                c = 0;
+        }
+        if (live == 0)
+            return false;
+        HINTM_ASSERT(best >= 0, "deadlock: all live contexts blocked");
+        now_ = std::max(now_, best_t);
+        step(unsigned(best), now_);
+        rr_ = unsigned(best) + 1 == n ? 0 : unsigned(best) + 1;
+        return true;
+    }
+
     RunResult
     run()
     {
-        Cycle now = 0;
-        unsigned rr = 0;
-        const unsigned n = unsigned(ctxs_.size());
-        while (true) {
-            int best = -1;
-            Cycle best_t = farFuture;
-            unsigned live = 0;
-            // Rotate the scan starting point round-robin. The wrap is a
-            // compare, not a modulo — this loop runs once per context
-            // per simulated step. Scan order (and so tie-breaking on
-            // equal readyAt) is unchanged.
-            unsigned c = rr;
-            for (unsigned i = 0; i < n; ++i) {
-                const ContextState &cs = ctxs_[c];
-                if (!cs.done) {
-                    ++live;
-                    if (!cs.atBarrier && cs.readyAt < best_t) {
-                        best_t = cs.readyAt;
-                        best = int(c);
-                    }
-                }
-                if (++c == n)
-                    c = 0;
-            }
-            if (live == 0)
-                break;
-            HINTM_ASSERT(best >= 0, "deadlock: all live contexts blocked");
-            now = std::max(now, best_t);
-            step(unsigned(best), now);
-            rr = unsigned(best) + 1 == n ? 0 : unsigned(best) + 1;
+        while (stepOnce()) {
         }
+        return finishRun();
+    }
 
+    RunResult
+    finishRun()
+    {
+        HINTM_ASSERT(!finalized_, "machine finalized twice");
+        finalized_ = true;
         for (const ContextState &cs : ctxs_) {
             res_.cycles = std::max(res_.cycles, cs.finishedAt);
             res_.instructions += cs.interp->instrCount();
@@ -217,6 +251,126 @@ class Machine
         return res_;
     }
 
+    std::uint64_t committedTxs() const { return res_.committedTxs; }
+
+    bool
+    finished() const
+    {
+        for (const ContextState &cs : ctxs_) {
+            if (!cs.done)
+                return false;
+        }
+        return true;
+    }
+
+    /** Capture the init-phase fork point (valid straight after
+     * construction, before any stepOnce). */
+    MachinePrefix
+    capturePrefix() const
+    {
+        MachinePrefix p;
+        p.program = prog_.saveState();
+        p.annotations = initAnnotations_;
+        p.numThreads = unsigned(ctxs_.size());
+        p.seed = cfg_.seed;
+        p.validateSafeStores = cfg_.validateSafeStores;
+        p.moduleTag = moduleTag_;
+        return p;
+    }
+
+    MachineSnapshot
+    snapshot() const
+    {
+        // The oracle's shadow tracker is deliberately outside the
+        // snapshot scope: it is observation-only and config-gated.
+        HINTM_ASSERT(!cfg_.hintOracle,
+                     "snapshot of a hint-oracle machine is unsupported");
+        HINTM_ASSERT(!finalized_, "snapshot after finalization");
+        MachineSnapshot s;
+        s.program = prog_.saveState();
+        s.mem = mem_->saveState();
+        s.vm = vm_->saveState();
+        s.ctxs.reserve(ctxs_.size());
+        for (const ContextState &cs : ctxs_) {
+            MachineContextSnapshot c;
+            c.interp = cs.interp->saveState();
+            c.htm = cs.htm->saveState();
+            c.readyAt = cs.readyAt;
+            c.finishedAt = cs.finishedAt;
+            c.done = cs.done;
+            c.atBarrier = cs.atBarrier;
+            c.retries = cs.retries;
+            c.mustFallback = cs.mustFallback;
+            c.inFallback = cs.inFallback;
+            c.fpAll = cs.fpAll;
+            c.fpNoStatic = cs.fpNoStatic;
+            c.fpUnsafe = cs.fpUnsafe;
+            c.rec = cs.rec;
+            c.recOpen = cs.recOpen;
+            c.recConverted = cs.recConverted;
+            s.ctxs.push_back(std::move(c));
+        }
+        s.lockHolder = lockHolder_;
+        s.shootdownCycles = shootdownCycles_;
+        s.profiler = profiler_;
+        s.partial = res_;
+        s.partial.journal.reset();
+        if (journal_) {
+            s.journal = *journal_;
+            s.hasJournal = true;
+        }
+        s.now = now_;
+        s.rr = rr_;
+        s.numThreads = unsigned(ctxs_.size());
+        s.moduleTag = moduleTag_;
+        return s;
+    }
+
+    void
+    restore(const MachineSnapshot &s)
+    {
+        HINTM_ASSERT(!cfg_.hintOracle,
+                     "restore into a hint-oracle machine is unsupported");
+        HINTM_ASSERT(s.moduleTag == moduleTag_ &&
+                         s.numThreads == ctxs_.size(),
+                     "snapshot does not match this machine");
+        HINTM_ASSERT(s.hasJournal == bool(journal_),
+                     "snapshot journal mode mismatch");
+        HINTM_ASSERT(!finalized_, "restore after finalization");
+        prog_.loadState(s.program);
+        mem_->loadState(s.mem);
+        vm_->loadState(s.vm);
+        // Controllers after the memory system: their loadState
+        // re-publishes listener interest into the restored mem state.
+        for (std::size_t i = 0; i < ctxs_.size(); ++i) {
+            ContextState &cs = ctxs_[i];
+            const MachineContextSnapshot &c = s.ctxs[i];
+            cs.interp->loadState(c.interp);
+            cs.htm->loadState(c.htm);
+            cs.readyAt = c.readyAt;
+            cs.finishedAt = c.finishedAt;
+            cs.done = c.done;
+            cs.atBarrier = c.atBarrier;
+            cs.retries = c.retries;
+            cs.mustFallback = c.mustFallback;
+            cs.inFallback = c.inFallback;
+            cs.fpAll = c.fpAll;
+            cs.fpNoStatic = c.fpNoStatic;
+            cs.fpUnsafe = c.fpUnsafe;
+            cs.rec = c.rec;
+            cs.recOpen = c.recOpen;
+            cs.recConverted = c.recConverted;
+        }
+        lockHolder_ = s.lockHolder;
+        shootdownCycles_ = s.shootdownCycles;
+        profiler_ = s.profiler;
+        res_ = s.partial;
+        if (journal_)
+            *journal_ = s.journal;
+        now_ = s.now;
+        rr_ = s.rr;
+    }
+
   private:
     Cycle
     simpleCost(const tir::Step &st) const
@@ -248,6 +402,7 @@ class Machine
                 HINTM_FATAL("barrier in init function");
               case tir::StepKind::Annotate:
                 vm_->annotateRange(st.addr, st.annotateLen);
+                initAnnotations_.emplace_back(st.addr, st.annotateLen);
                 init.passAnnotate();
                 break;
               case tir::StepKind::Done:
@@ -670,6 +825,7 @@ class Machine
 
     MachineConfig cfg_;
     tir::Program prog_;
+    const void *moduleTag_;
     std::unique_ptr<mem::MemorySystem> mem_;
     std::unique_ptr<vm::Vm> vm_;
     std::unique_ptr<htm::HintOracle> oracle_;
@@ -679,6 +835,13 @@ class Machine
     std::uint64_t shootdownCycles_ = 0;
     SharingProfiler profiler_;
     RunResult res_;
+    /** Annotate calls made by the init phase (prefix capture/replay). */
+    std::vector<std::pair<Addr, std::uint64_t>> initAnnotations_;
+    /** Scheduler clock + round-robin cursor (members so a run can be
+     * interrupted for snapshotting and resumed). */
+    Cycle now_ = 0;
+    unsigned rr_ = 0;
+    bool finalized_ = false;
 };
 
 } // namespace
@@ -689,6 +852,79 @@ runMachine(const MachineConfig &cfg, const tir::Module &module,
 {
     Machine m(cfg, module, num_threads);
     return m.run();
+}
+
+RunResult
+runMachine(const MachineConfig &cfg, const tir::Module &module,
+           unsigned num_threads, const MachinePrefix *prefix)
+{
+    Machine m(cfg, module, num_threads, prefix);
+    return m.run();
+}
+
+MachinePrefix
+buildMachinePrefix(const MachineConfig &cfg, const tir::Module &module,
+                   unsigned num_threads)
+{
+    const Machine m(cfg, module, num_threads);
+    return m.capturePrefix();
+}
+
+struct SimRun::Impl
+{
+    Impl(const MachineConfig &cfg, const tir::Module &module,
+         unsigned num_threads, const MachinePrefix *prefix)
+        : machine(cfg, module, num_threads, prefix)
+    {
+    }
+
+    Machine machine;
+};
+
+SimRun::SimRun(const MachineConfig &cfg, const tir::Module &module,
+               unsigned num_threads, const MachinePrefix *prefix)
+    : impl_(std::make_unique<Impl>(cfg, module, num_threads, prefix))
+{
+}
+
+SimRun::~SimRun() = default;
+
+void
+SimRun::runUntilCommits(std::uint64_t target)
+{
+    while (impl_->machine.committedTxs() < target &&
+           impl_->machine.stepOnce()) {
+    }
+}
+
+bool
+SimRun::finished() const
+{
+    return impl_->machine.finished();
+}
+
+std::uint64_t
+SimRun::committedTxs() const
+{
+    return impl_->machine.committedTxs();
+}
+
+MachineSnapshot
+SimRun::snapshot() const
+{
+    return impl_->machine.snapshot();
+}
+
+void
+SimRun::restore(const MachineSnapshot &s)
+{
+    impl_->machine.restore(s);
+}
+
+RunResult
+SimRun::finish()
+{
+    return impl_->machine.run();
 }
 
 } // namespace sim

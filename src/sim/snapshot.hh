@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Machine-state snapshot/fork for the sweep-throughput engine. Two
+ * layers, matching how figure sweeps actually share work:
+ *
+ *  - MachinePrefix: the config-independent program state left behind by
+ *    the init phase (memory image, allocator, RNG streams, page
+ *    annotations). The init phase runs before any hardware context,
+ *    cache or HTM controller exists, so its result can seed machines
+ *    built with *different* backend/hint/observation configurations —
+ *    one warmed prefix fans out into N divergent configs.
+ *
+ *  - MachineSnapshot: the complete state of a running machine (caches,
+ *    snoop filter, VM/TLBs, HTM controllers, interpreter frames, partial
+ *    results, journal, scheduler clock). Restoring into a machine built
+ *    from the *same* configuration and resuming is bit-identical to
+ *    never having stopped — property-test-locked like the
+ *    --no-snoop-filter / --no-decode-cache equivalence checks.
+ *
+ * SimRun wraps the (internal) Machine with stepwise control so callers
+ * can run partway, capture, restore and finish.
+ */
+
+#ifndef HINTM_SIM_SNAPSHOT_HH
+#define HINTM_SIM_SNAPSHOT_HH
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/flat_set.hh"
+#include "common/journal.hh"
+#include "sim/machine.hh"
+#include "tir/interp.hh"
+
+namespace hintm
+{
+namespace sim
+{
+
+/**
+ * Post-init-phase program state, shareable across divergent machine
+ * configurations. Valid for machines built from the same module with
+ * the same thread count, seed and safe-store-validation mode; backend,
+ * hint-mode, decode-cache and observation options may all differ (the
+ * init phase never touches them).
+ */
+struct MachinePrefix
+{
+    tir::Program::State program;
+    /** Annotate calls executed by the init phase, replayed into the VM
+     * of each forked machine (the VM exists per machine). */
+    std::vector<std::pair<Addr, std::uint64_t>> annotations;
+    unsigned numThreads = 0;
+    std::uint64_t seed = 0;
+    bool validateSafeStores = false;
+    /** Identity of the source module (forks must use the same one). */
+    const void *moduleTag = nullptr;
+};
+
+/** Snapshot of one hardware context's runtime state. */
+struct MachineContextSnapshot
+{
+    tir::ThreadInterp::State interp;
+    htm::HtmController::State htm;
+    Cycle readyAt = 0;
+    Cycle finishedAt = 0;
+    bool done = false;
+    bool atBarrier = false;
+    unsigned retries = 0;
+    bool mustFallback = false;
+    bool inFallback = false;
+    AddrSet fpAll, fpNoStatic, fpUnsafe;
+    TxRecord rec;
+    bool recOpen = false;
+    bool recConverted = false;
+};
+
+/** Complete machine state at a scheduler boundary. */
+struct MachineSnapshot
+{
+    tir::Program::State program;
+    mem::MemorySystem::State mem;
+    vm::Vm::State vm;
+    std::vector<MachineContextSnapshot> ctxs;
+    int lockHolder = -1;
+    std::uint64_t shootdownCycles = 0;
+    SharingProfiler profiler;
+    /** Accumulated results so far (journal pointer always null here). */
+    RunResult partial;
+    /** Journal ring contents (journaling configs only). */
+    TxJournal journal;
+    bool hasJournal = false;
+    Cycle now = 0;
+    unsigned rr = 0;
+    unsigned numThreads = 0;
+    const void *moduleTag = nullptr;
+};
+
+/**
+ * A stepwise-controllable simulation. Equivalent to runMachine() when
+ * driven straight to finish(); additionally supports partial execution
+ * and snapshot/restore.
+ */
+class SimRun
+{
+  public:
+    /**
+     * Build the machine. When @p prefix is non-null the init phase is
+     * skipped and its captured state installed instead (the prefix must
+     * match the module/threads/seed this machine is built with).
+     */
+    SimRun(const MachineConfig &cfg, const tir::Module &module,
+           unsigned num_threads, const MachinePrefix *prefix = nullptr);
+    ~SimRun();
+
+    SimRun(const SimRun &) = delete;
+    SimRun &operator=(const SimRun &) = delete;
+
+    /** Run until at least @p target TXs have committed (or the program
+     * finishes). target == 0 returns immediately. */
+    void runUntilCommits(std::uint64_t target);
+
+    /** True once every context is done. */
+    bool finished() const;
+
+    /** Committed TXs so far. */
+    std::uint64_t committedTxs() const;
+
+    /**
+     * Capture the complete machine state. Must not be used on
+     * hint-oracle configs (the oracle's shadow state is not captured).
+     */
+    MachineSnapshot snapshot() const;
+
+    /** Restore a snapshot captured from an identically-configured run. */
+    void restore(const MachineSnapshot &s);
+
+    /** Run to completion and finalize the result. Call at most once. */
+    RunResult finish();
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/**
+ * Run the init phase once and capture it as a fork point for machines
+ * whose configs differ only in backend/hint/observation options.
+ */
+MachinePrefix buildMachinePrefix(const MachineConfig &cfg,
+                                 const tir::Module &module,
+                                 unsigned num_threads);
+
+/** runMachine, seeded from a previously captured init-phase prefix. */
+RunResult runMachine(const MachineConfig &cfg, const tir::Module &module,
+                     unsigned num_threads, const MachinePrefix *prefix);
+
+} // namespace sim
+} // namespace hintm
+
+#endif // HINTM_SIM_SNAPSHOT_HH

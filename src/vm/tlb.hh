@@ -73,6 +73,23 @@ class Tlb
     std::size_t size() const { return entries_.size(); }
     unsigned capacity() const { return capacity_; }
 
+    /** Exact TLB contents including LRU stamps and the clock. */
+    struct State
+    {
+        std::uint64_t clock = 0;
+        std::unordered_map<Addr, Entry> entries;
+    };
+
+    State saveState() const { return {clock_, entries_}; }
+
+    /** Restore contents. Keeps the evict observer; invalidates any Entry
+     * pointers previously handed out (callers re-derive their memos). */
+    void loadState(const State &s)
+    {
+        clock_ = s.clock;
+        entries_ = s.entries;
+    }
+
   private:
     void evictLru();
 

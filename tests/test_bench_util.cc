@@ -1,12 +1,21 @@
 /**
  * @file
  * Tests for the benchmark-harness plumbing: argument parsing, reduction
- * and geomean math, and the prepare/run round trip.
+ * and geomean math, the prepare/run round trip, the matrix job-key
+ * format, and the persistent on-disk result store (round trip,
+ * corruption tolerance, runMatrix integration).
  */
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
 #include "../bench/bench_util.hh"
+#include "../bench/result_store.hh"
 
 using namespace hintm;
 using bench::BenchArgs;
@@ -20,6 +29,28 @@ parse(std::vector<const char *> argv)
     argv.insert(argv.begin(), "bench");
     return BenchArgs::parse(int(argv.size()),
                             const_cast<char **>(argv.data()));
+}
+
+/** Fresh scratch directory for disk-cache tests. */
+std::string
+makeTempDir()
+{
+    char tmpl[] = "/tmp/hintm_cache_test_XXXXXX";
+    const char *d = mkdtemp(tmpl);
+    EXPECT_NE(d, nullptr);
+    return d ? d : "";
+}
+
+/** The single .res entry under @p dir (empty when none). */
+std::string
+onlyEntry(const std::string &dir)
+{
+    namespace fs = std::filesystem;
+    for (const auto &e : fs::recursive_directory_iterator(dir)) {
+        if (e.is_regular_file() && e.path().extension() == ".res")
+            return e.path().string();
+    }
+    return "";
 }
 
 } // namespace
@@ -92,4 +123,215 @@ TEST(BenchPrepare, CompilesAndRuns)
     core::SystemOptions opts;
     const sim::RunResult r = bench::run(p, opts);
     EXPECT_GT(r.committedTxs, 0u);
+}
+
+TEST(BenchArgs, CacheFlags)
+{
+    // --no-disk-cache everywhere: parse() wires the process-wide store,
+    // and these parses must not point it at the user's real cache dir.
+    BenchArgs a = parse({"--no-disk-cache"});
+    EXPECT_TRUE(a.cacheDir.empty());
+    EXPECT_TRUE(a.noDiskCache);
+    EXPECT_FALSE(a.cacheClear);
+    EXPECT_FALSE(a.noPrefixFork);
+
+    const std::string dir = makeTempDir();
+    a = parse({"--cache-dir", dir.c_str(), "--no-disk-cache",
+               "--cache-clear", "--no-prefix-fork"});
+    EXPECT_EQ(a.cacheDir, dir);
+    EXPECT_TRUE(a.noDiskCache);
+    EXPECT_TRUE(a.cacheClear);
+    EXPECT_TRUE(a.noPrefixFork);
+
+    // Undo the process-wide side effects for the rest of the binary.
+    bench::setDiskResultCache("", false);
+    bench::setPrefixFork(true);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(EffectiveJobs, PassesThroughAndClampsTheDefault)
+{
+    EXPECT_EQ(bench::effectiveJobs(5), 5u);
+    EXPECT_EQ(bench::effectiveJobs(1), 1u);
+    const unsigned d = bench::effectiveJobs(0);
+    EXPECT_GE(d, 1u);
+    EXPECT_LE(d, 64u);
+}
+
+TEST(JobKey, GoldenFormatIsStable)
+{
+    const bench::PreparedWorkload p =
+        bench::prepare("kmeans", workloads::Scale::Tiny);
+    const core::SystemOptions o; // paper defaults
+    const bench::MatrixJob job{&p, o, 0};
+
+    // The module fingerprint is recomputed independently so the golden
+    // string stays valid when workload content evolves; everything else
+    // is spelled out verbatim. Changing the key format invalidates every
+    // persisted cache entry — this test makes that a deliberate act.
+    const std::string text = p.wl.module.print();
+    char fp[20];
+    std::snprintf(fp, sizeof(fp), "%016llx",
+                  static_cast<unsigned long long>(
+                      bench::fnv1a(text.data(), text.size())));
+    std::ostringstream expect;
+    expect << "kmeans|0|" << p.wl.threads << '|' << fp
+           << "|0|0|0000|8x1|1|000|64|1024|8|11000|65536";
+    EXPECT_EQ(bench::matrixJobKey(job), expect.str());
+}
+
+TEST(JobKey, TracksInPlaceModuleMutation)
+{
+    // hintm_lint --mutate flips hint bits on the same module object and
+    // reruns; the key must change with the content, not the pointer.
+    bench::PreparedWorkload p =
+        bench::prepare("kmeans", workloads::Scale::Tiny);
+    const core::SystemOptions o;
+    const bench::MatrixJob job{&p, o, 0};
+    const std::string before = bench::matrixJobKey(job);
+
+    for (auto &fn : p.wl.module.functions) {
+        for (auto &bb : fn.blocks) {
+            for (auto &in : bb.instrs) {
+                if (in.op == tir::Opcode::Load && !in.safe) {
+                    in.safe = true;
+                    const std::string after = bench::matrixJobKey(job);
+                    EXPECT_NE(before, after);
+                    in.safe = false;
+                    EXPECT_EQ(before, bench::matrixJobKey(job));
+                    return;
+                }
+            }
+        }
+    }
+    FAIL() << "no unsafe load found to mutate";
+}
+
+TEST(ResultStore, EncodeDecodeRoundTrip)
+{
+    const bench::PreparedWorkload p =
+        bench::prepare("kmeans", workloads::Scale::Tiny);
+    core::SystemOptions opts;
+    opts.mechanism = core::Mechanism::Full;
+    opts.collectTxSizes = true;
+    opts.collectRawStats = true;
+    opts.profileSharing = true;
+    const sim::RunResult r = bench::run(p, opts);
+
+    const std::string payload = bench::encodeRunResult(r);
+    sim::RunResult out;
+    ASSERT_TRUE(bench::decodeRunResult(payload, out));
+    EXPECT_EQ(out.cycles, r.cycles);
+    EXPECT_EQ(out.committedTxs, r.committedTxs);
+    EXPECT_EQ(out.rawStats, r.rawStats);
+    EXPECT_EQ(bench::encodeRunResult(out), payload);
+
+    // Truncations and trailing garbage are rejected, never misread.
+    for (const std::size_t cut : {std::size_t(0), payload.size() / 2,
+                                  payload.size() - 1}) {
+        sim::RunResult bad;
+        EXPECT_FALSE(
+            bench::decodeRunResult(payload.substr(0, cut), bad));
+    }
+    sim::RunResult bad;
+    EXPECT_FALSE(bench::decodeRunResult(payload + "x", bad));
+}
+
+TEST(ResultStore, LoadSurvivesCorruptionAndVersionSkew)
+{
+    const bench::PreparedWorkload p =
+        bench::prepare("kmeans", workloads::Scale::Tiny);
+    const sim::RunResult r = bench::run(p, {});
+    const std::string dir = makeTempDir();
+
+    const bench::ResultStore store(dir, 0x1234);
+    sim::RunResult out;
+    EXPECT_FALSE(store.load("some-key", out)); // absent = miss
+
+    store.store("some-key", r);
+    ASSERT_TRUE(store.load("some-key", out));
+    EXPECT_EQ(bench::encodeRunResult(out), bench::encodeRunResult(r));
+    EXPECT_FALSE(store.load("other-key", out));
+
+    // A rebuilt binary (different content hash) must not see entries.
+    const bench::ResultStore rebuilt(dir, 0x9999);
+    EXPECT_FALSE(rebuilt.load("some-key", out));
+
+    // Flip one payload byte: the checksum rejects the entry.
+    const std::string path = onlyEntry(dir);
+    ASSERT_FALSE(path.empty());
+    std::string bytes;
+    {
+        std::ifstream is(path, std::ios::binary);
+        std::ostringstream ss;
+        ss << is.rdbuf();
+        bytes = ss.str();
+    }
+    std::string flipped = bytes;
+    flipped[flipped.size() - 12] ^= 0x40;
+    std::ofstream(path, std::ios::binary) << flipped;
+    EXPECT_FALSE(store.load("some-key", out));
+
+    // Truncation reads as a miss too.
+    std::ofstream(path, std::ios::binary)
+        << bytes.substr(0, bytes.size() / 2);
+    EXPECT_FALSE(store.load("some-key", out));
+
+    // Restore the pristine entry, then --cache-clear semantics.
+    std::ofstream(path, std::ios::binary) << bytes;
+    ASSERT_TRUE(store.load("some-key", out));
+    bench::ResultStore::clearDir(dir);
+    EXPECT_FALSE(store.load("some-key", out));
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ResultStore, RunMatrixServesSecondRunFromDisk)
+{
+    const bench::PreparedWorkload p =
+        bench::prepare("kmeans", workloads::Scale::Tiny);
+    core::SystemOptions a, b;
+    a.htmKind = htm::HtmKind::P8;
+    b.htmKind = htm::HtmKind::P8S;
+    const std::string dir = makeTempDir();
+
+    bench::setDiskResultCache(dir, true);
+    bench::clearMatrixCache();
+    const auto first = bench::runMatrix({{&p, a}, {&p, b}}, 2);
+    auto st = bench::matrixCacheStats();
+    EXPECT_EQ(st.misses, 2u);
+    EXPECT_EQ(st.diskHits, 0u);
+    EXPECT_EQ(st.diskStores, 2u);
+    // Both jobs share workload/threads/seed: one init prefix, two forks.
+    EXPECT_EQ(st.prefixForks, 2u);
+
+    // Drop the in-memory cache (a "new process"): disk serves both.
+    bench::clearMatrixCache();
+    const auto second = bench::runMatrix({{&p, a}, {&p, b}}, 2);
+    st = bench::matrixCacheStats();
+    EXPECT_EQ(st.misses, 0u);
+    EXPECT_EQ(st.diskHits, 2u);
+    EXPECT_EQ(st.diskStores, 0u);
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(bench::encodeRunResult(second[i]),
+                  bench::encodeRunResult(first[i]));
+    }
+
+    // Journal-carrying jobs never touch the store.
+    core::SystemOptions j = a;
+    j.journal = true;
+    bench::clearMatrixCache();
+    (void)bench::runMatrix({{&p, j}}, 1);
+    st = bench::matrixCacheStats();
+    EXPECT_EQ(st.misses, 1u);
+    EXPECT_EQ(st.diskStores, 0u);
+    bench::clearMatrixCache();
+    (void)bench::runMatrix({{&p, j}}, 1);
+    st = bench::matrixCacheStats();
+    EXPECT_EQ(st.misses, 1u);
+    EXPECT_EQ(st.diskHits, 0u);
+
+    bench::setDiskResultCache("", false);
+    bench::clearMatrixCache();
+    std::filesystem::remove_all(dir);
 }

@@ -154,11 +154,13 @@ TEST(RunMatrix, CacheDedupsWithinAndAcrossCalls)
     o.htmKind = htm::HtmKind::P8;
 
     bench::clearMatrixCache();
-    // Three identical jobs in one matrix: one miss, two in-call hits.
+    // Three identical jobs in one matrix: one miss, two in-call dedups
+    // (never scheduled, distinct from cross-call cache hits).
     const auto res = bench::runMatrix({{&p, o}, {&p, o}, {&p, o}}, 2);
     auto st = bench::matrixCacheStats();
     EXPECT_EQ(st.misses, 1u);
-    EXPECT_EQ(st.hits, 2u);
+    EXPECT_EQ(st.deduped, 2u);
+    EXPECT_EQ(st.hits, 0u);
     EXPECT_EQ(res[0].cycles, res[1].cycles);
     EXPECT_EQ(res[0].cycles, res[2].cycles);
 
@@ -166,7 +168,8 @@ TEST(RunMatrix, CacheDedupsWithinAndAcrossCalls)
     const auto res2 = bench::runMatrix({{&p, o}}, 2);
     st = bench::matrixCacheStats();
     EXPECT_EQ(st.misses, 1u);
-    EXPECT_EQ(st.hits, 3u);
+    EXPECT_EQ(st.deduped, 2u);
+    EXPECT_EQ(st.hits, 1u);
     EXPECT_EQ(res2[0].cycles, res[0].cycles);
 
     // A different config is a fresh miss.

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Property tests for the sweep-throughput snapshot/fork machinery.
+ * The contract under test is bit-identity: a machine forked from a
+ * captured init-phase prefix, or restored from a mid-run snapshot,
+ * must produce exactly the RunResult of an uninterrupted cold run —
+ * cycles, abort breakdowns, distributions, raw stats and final globals
+ * included. encodeRunResult() serializes every persisted field, so
+ * string equality of the encodings is a full-width comparison.
+ */
+
+#include <gtest/gtest.h>
+
+#include "../bench/result_store.hh"
+#include "core/hintm.hh"
+#include "sim/journal_io.hh"
+#include "sim/snapshot.hh"
+#include "workloads/workloads.hh"
+
+using namespace hintm;
+
+namespace
+{
+
+core::SystemOptions
+observedOpts(htm::HtmKind kind)
+{
+    core::SystemOptions o;
+    o.htmKind = kind;
+    o.mechanism = core::Mechanism::Full;
+    o.collectTxSizes = true;
+    o.collectRawStats = true;
+    o.profileSharing = true;
+    return o;
+}
+
+void
+expectSameResult(const sim::RunResult &a, const sim::RunResult &b,
+                 const std::string &what)
+{
+    // Spot checks first (readable failures), then the full encoding.
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.instructions, b.instructions) << what;
+    EXPECT_EQ(a.committedTxs, b.committedTxs) << what;
+    EXPECT_EQ(a.htm.totalAborts(), b.htm.totalAborts()) << what;
+    EXPECT_EQ(a.rawStats, b.rawStats) << what;
+    EXPECT_EQ(bench::encodeRunResult(a), bench::encodeRunResult(b))
+        << what;
+}
+
+} // namespace
+
+TEST(PrefixFork, BitIdenticalToColdRunAcrossWorkloadsAndBackends)
+{
+    for (const char *name : {"kmeans", "intruder"}) {
+        workloads::Workload wl =
+            workloads::byName(name, workloads::Scale::Tiny);
+        core::compileHints(wl.module);
+        for (const htm::HtmKind kind :
+             {htm::HtmKind::P8, htm::HtmKind::P8S, htm::HtmKind::L1TM}) {
+            const core::SystemOptions opts = observedOpts(kind);
+            const sim::RunResult cold =
+                core::simulate(opts, wl.module, wl.threads);
+            const auto prefix =
+                core::buildPrefix(opts, wl.module, wl.threads);
+            const sim::RunResult forked = core::simulate(
+                opts, wl.module, wl.threads, prefix.get());
+            expectSameResult(cold, forked,
+                             std::string(name) + "/" +
+                                 htm::htmKindName(kind));
+        }
+    }
+}
+
+TEST(PrefixFork, OnePrefixServesDivergentConfigs)
+{
+    workloads::Workload wl =
+        workloads::byName("kmeans", workloads::Scale::Tiny);
+    core::compileHints(wl.module);
+    // Built from a Baseline/P8 config on purpose: the prefix must be
+    // config-independent, so forks with other backends/mechanisms have
+    // to match their own cold runs exactly.
+    core::SystemOptions base;
+    base.htmKind = htm::HtmKind::P8;
+    base.mechanism = core::Mechanism::Baseline;
+    const auto prefix = core::buildPrefix(base, wl.module, wl.threads);
+
+    for (const htm::HtmKind kind :
+         {htm::HtmKind::P8S, htm::HtmKind::L1TM}) {
+        core::SystemOptions opts = observedOpts(kind);
+        const sim::RunResult cold =
+            core::simulate(opts, wl.module, wl.threads);
+        const sim::RunResult forked =
+            core::simulate(opts, wl.module, wl.threads, prefix.get());
+        expectSameResult(cold, forked, htm::htmKindName(kind));
+    }
+}
+
+TEST(Snapshot, RestoreIntoFreshMachineResumesBitIdentical)
+{
+    workloads::Workload wl =
+        workloads::byName("intruder", workloads::Scale::Tiny);
+    core::compileHints(wl.module);
+    const core::SystemOptions opts = observedOpts(htm::HtmKind::P8);
+    const sim::MachineConfig cfg = core::makeMachineConfig(opts);
+
+    const sim::RunResult cold =
+        sim::runMachine(cfg, wl.module, wl.threads);
+
+    sim::SimRun a(cfg, wl.module, wl.threads);
+    a.runUntilCommits(cold.committedTxs / 2);
+    ASSERT_FALSE(a.finished());
+    const sim::MachineSnapshot snap = a.snapshot();
+    const sim::RunResult resumedSelf = a.finish();
+    expectSameResult(cold, resumedSelf, "self-resume");
+
+    sim::SimRun b(cfg, wl.module, wl.threads);
+    b.restore(snap);
+    const sim::RunResult resumedFresh = b.finish();
+    expectSameResult(cold, resumedFresh, "fresh-restore");
+}
+
+TEST(Snapshot, CarriesTheJournalAcrossRestore)
+{
+    workloads::Workload wl =
+        workloads::byName("kmeans", workloads::Scale::Tiny);
+    core::compileHints(wl.module);
+    core::SystemOptions opts = observedOpts(htm::HtmKind::P8);
+    opts.journal = true;
+    const sim::MachineConfig cfg = core::makeMachineConfig(opts);
+
+    sim::SimRun a(cfg, wl.module, wl.threads);
+    a.runUntilCommits(3);
+    const sim::MachineSnapshot snap = a.snapshot();
+    ASSERT_TRUE(snap.hasJournal);
+    const sim::RunResult cold = a.finish();
+    ASSERT_NE(cold.journal, nullptr);
+
+    sim::SimRun b(cfg, wl.module, wl.threads);
+    b.restore(snap);
+    const sim::RunResult resumed = b.finish();
+    ASSERT_NE(resumed.journal, nullptr);
+    EXPECT_EQ(resumed.journal->size(), cold.journal->size());
+    EXPECT_EQ(sim::journalSummary(resumed), sim::journalSummary(cold));
+    EXPECT_EQ(bench::encodeRunResult(resumed),
+              bench::encodeRunResult(cold));
+}
+
+TEST(Snapshot, SnapshotItselfPerturbsNothing)
+{
+    workloads::Workload wl =
+        workloads::byName("kmeans", workloads::Scale::Tiny);
+    core::compileHints(wl.module);
+    const core::SystemOptions opts = observedOpts(htm::HtmKind::P8S);
+    const sim::MachineConfig cfg = core::makeMachineConfig(opts);
+
+    const sim::RunResult cold =
+        sim::runMachine(cfg, wl.module, wl.threads);
+
+    // Snapshot at several points along one run; the run must still
+    // finish exactly like a never-observed one.
+    sim::SimRun a(cfg, wl.module, wl.threads);
+    for (std::uint64_t target = 1; target < 8; target += 3) {
+        a.runUntilCommits(target);
+        (void)a.snapshot();
+    }
+    expectSameResult(cold, a.finish(), "observed-run");
+}

@@ -27,6 +27,7 @@
 #include "common/logging.hh"
 #include "compiler/race_lint.hh"
 #include "core/hintm.hh"
+#include "result_store.hh"
 #include "workloads/workloads.hh"
 
 using namespace hintm;
@@ -48,6 +49,10 @@ usage(int code)
         "code)\n"
         "  --seed N            seed for --mutate bit selection\n"
         "  --jobs N            host threads for the oracle runs\n"
+        "  --cache-dir DIR     persistent result-cache location "
+        "(default ~/.cache/hintm)\n"
+        "  --no-disk-cache     run without the persistent result cache\n"
+        "  --cache-clear       wipe the cache directory before running\n"
         "  --list              list workloads and exit\n");
     std::exit(code);
 }
@@ -177,6 +182,8 @@ main(int argc, char **argv)
     bool mutate = false;
     std::uint64_t seed = 1;
     unsigned host_jobs = 0;
+    std::string cacheDir;
+    bool noDiskCache = false, cacheClear = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -207,6 +214,14 @@ main(int argc, char **argv)
             seed = std::strtoull(next(), nullptr, 0);
         } else if (a == "--jobs") {
             host_jobs = unsigned(std::strtoull(next(), nullptr, 0));
+        } else if (a == "--cache-dir") {
+            cacheDir = next();
+        } else if (a == "--no-disk-cache") {
+            noDiskCache = true;
+        } else if (a == "--cache-clear") {
+            cacheClear = true;
+        } else if (a == "--no-prefix-fork") {
+            bench::setPrefixFork(false);
         } else if (a == "--list") {
             for (const auto &n : workloads::allNames())
                 std::printf("%s\n", n.c_str());
@@ -218,6 +233,12 @@ main(int argc, char **argv)
             usage(1);
         }
     }
+
+    const std::string cache_dir =
+        cacheDir.empty() ? bench::ResultStore::defaultDir() : cacheDir;
+    if (cacheClear)
+        bench::ResultStore::clearDir(cache_dir);
+    bench::setDiskResultCache(cache_dir, !noDiskCache);
 
     std::vector<std::string> names;
     if (!workload.empty())

@@ -21,6 +21,7 @@
 #include "bench_util.hh"
 #include "common/logging.hh"
 #include "core/hintm.hh"
+#include "result_store.hh"
 #include "sim/journal_io.hh"
 #include "workloads/workloads.hh"
 
@@ -56,7 +57,11 @@ usage(int code)
         "  --perfetto [FILE]   write a Chrome-trace timeline "
         "(default perfetto_trace.json)\n"
         "  --stats-json [FILE] write the machine-readable stats record "
-        "(default stats.json)\n");
+        "(default stats.json)\n"
+        "  --cache-dir DIR     persistent result-cache location "
+        "(default ~/.cache/hintm)\n"
+        "  --no-disk-cache     run without the persistent result cache\n"
+        "  --cache-clear       wipe the cache directory before running\n");
     std::exit(code);
 }
 
@@ -81,6 +86,8 @@ main(int argc, char **argv)
     Cycle window = 0;
     bool intervals = true;
     std::string perfettoPath, statsJsonPath;
+    std::string cacheDir;
+    bool noDiskCache = false, cacheClear = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -157,6 +164,12 @@ main(int argc, char **argv)
             statsJsonPath = "stats.json";
             if (i + 1 < argc && argv[i + 1][0] != '-')
                 statsJsonPath = argv[++i];
+        } else if (a == "--cache-dir") {
+            cacheDir = next();
+        } else if (a == "--no-disk-cache") {
+            noDiskCache = true;
+        } else if (a == "--cache-clear") {
+            cacheClear = true;
         } else if (a == "--help" || a == "-h") {
             usage(0);
         } else {
@@ -164,6 +177,14 @@ main(int argc, char **argv)
             usage(1);
         }
     }
+
+    // Journal-carrying runs are never persisted, but the flags still
+    // configure the process-wide store (and --cache-clear works).
+    const std::string cache_dir =
+        cacheDir.empty() ? bench::ResultStore::defaultDir() : cacheDir;
+    if (cacheClear)
+        bench::ResultStore::clearDir(cache_dir);
+    bench::setDiskResultCache(cache_dir, !noDiskCache);
 
     const bench::PreparedWorkload p = bench::prepare(workload, scale);
     const unsigned threads =

@@ -20,6 +20,7 @@
 #include "common/logging.hh"
 #include "common/trace.hh"
 #include "core/hintm.hh"
+#include "result_store.hh"
 #include "sim/journal_io.hh"
 #include "workloads/workloads.hh"
 
@@ -76,6 +77,12 @@ usage(int code)
         "(cross-check)\n"
         "  --no-decode-cache   reference Instr-walking interpreter "
         "(cross-check)\n"
+        "  --cache-dir DIR     persistent result-cache location "
+        "(default ~/.cache/hintm)\n"
+        "  --no-disk-cache     run without the persistent result cache\n"
+        "  --cache-clear       wipe the cache directory before running\n"
+        "  --no-prefix-fork    cold-start every simulation (no shared "
+        "init prefix)\n"
         "  --trace CATS        trace categories (tx,htm,vm,mem,sched|all)\n"
         "  --list              list workloads and exit\n");
     std::exit(code);
@@ -100,6 +107,8 @@ main(int argc, char **argv)
     unsigned host_jobs = 0;
     bool profile = false, cdf = false, stats = false;
     std::string perfettoPath, statsJsonPath;
+    std::string cacheDir;
+    bool noDiskCache = false, cacheClear = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string a = argv[i];
@@ -215,6 +224,14 @@ main(int argc, char **argv)
         } else if (a == "--no-decode-cache") {
             core::SystemOptions::setDecodeCacheDefault(false);
             opts.decodeCache = false;
+        } else if (a == "--cache-dir") {
+            cacheDir = next();
+        } else if (a == "--no-disk-cache") {
+            noDiskCache = true;
+        } else if (a == "--cache-clear") {
+            cacheClear = true;
+        } else if (a == "--no-prefix-fork") {
+            bench::setPrefixFork(false);
         } else if (a == "--trace") {
             trace::enableFromSpec(next());
         } else if (a == "--list") {
@@ -230,6 +247,12 @@ main(int argc, char **argv)
     }
     if (workload.empty())
         usage(1);
+
+    const std::string cache_dir =
+        cacheDir.empty() ? bench::ResultStore::defaultDir() : cacheDir;
+    if (cacheClear)
+        bench::ResultStore::clearDir(cache_dir);
+    bench::setDiskResultCache(cache_dir, !noDiskCache);
 
     opts.profileSharing = profile;
     opts.collectTxSizes = cdf;
