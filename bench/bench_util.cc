@@ -51,6 +51,9 @@ BenchArgs::parse(int argc, char **argv)
         } else if (arg == "--no-snoop-filter") {
             a.noSnoopFilter = true;
             core::SystemOptions::setSnoopFilterDefault(false);
+        } else if (arg == "--no-directory") {
+            a.noDirectory = true;
+            core::SystemOptions::setDirectoryDefault(false);
         } else if (arg == "--no-decode-cache") {
             a.noDecodeCache = true;
             core::SystemOptions::setDecodeCacheDefault(false);
@@ -79,7 +82,8 @@ BenchArgs::parse(int argc, char **argv)
         } else if (arg == "--help") {
             std::printf("options: [--tiny|--small|--large] [--preserve] "
                         "[--workload NAME]... [--jobs N] [--json FILE] "
-                        "[--no-snoop-filter] [--no-decode-cache] "
+                        "[--no-snoop-filter] [--no-directory] "
+                        "[--no-decode-cache] "
                         "[--lint] [--journal] [--perfetto [FILE]] "
                         "[--stats-json [FILE]] [--cache-dir DIR] "
                         "[--no-disk-cache] [--cache-clear] "
@@ -234,9 +238,10 @@ jobKeyWithFp(const MatrixJob &job, std::uint64_t fp)
        << o.smtPerCore << '|' << o.seed << '|' << o.collectTxSizes
        << o.profileSharing << o.validateSafeStores << '|'
        << o.bufferEntries << '|' << o.signatureBits << '|'
-       << o.maxRetries << '|' << o.snoopFilter << o.decodeCache
-       << o.collectRawStats << o.hintOracle << o.journal << '|'
-       << o.journalCapacity;
+       << o.maxRetries << '|' << o.snoopFilter << o.directory
+       << o.decodeCache << o.collectRawStats << o.hintOracle << o.journal
+       << '|' << o.journalCapacity << '|' << o.numaNodes << '|'
+       << o.numaRemoteLatency;
     return os.str();
 }
 
@@ -397,12 +402,43 @@ setPrefixFork(bool on)
     st.prefixFork = on;
 }
 
-unsigned
-effectiveJobs(unsigned requested)
+namespace
 {
-    if (requested)
+
+/** Soft budget on (host jobs x simulated threads): each in-flight
+ * simulation holds interpreter frames, caches and HTM state for every
+ * simulated context, so concurrency must shrink as machines grow.
+ * 512 keeps the historical 64-job ceiling for 8-thread sweeps while a
+ * 64-thread sweep runs at most 8 machines at once. */
+constexpr unsigned simJobBudget = 512;
+
+void
+warnOversubscribed(unsigned requested, unsigned sim_threads,
+                   unsigned budget)
+{
+    static std::once_flag once;
+    std::call_once(once, [&] {
+        warn("--jobs ", requested, " with ", sim_threads,
+             "-thread simulated machines oversubscribes memory (",
+             requested * sim_threads, " simulated contexts in flight); "
+             "consider --jobs ", budget, " or lower");
+    });
+}
+
+} // namespace
+
+unsigned
+effectiveJobs(unsigned requested, unsigned sim_threads)
+{
+    const unsigned budget =
+        std::max(1u, simJobBudget / std::max(1u, sim_threads));
+    if (requested) {
+        if (requested > budget)
+            warnOversubscribed(requested, sim_threads, budget);
         return requested;
-    return std::min(64u, std::max(1u, ThreadPool::defaultWorkers()));
+    }
+    return std::min(std::min(64u, budget),
+                    std::max(1u, ThreadPool::defaultWorkers()));
 }
 
 MatrixCacheStats
@@ -437,7 +473,12 @@ runMatrix(const std::vector<MatrixJob> &jobs, unsigned host_jobs)
     // in-place module mutants.
     std::unordered_map<const PreparedWorkload *, std::uint64_t> fps;
 
-    const unsigned workers = effectiveJobs(host_jobs);
+    unsigned max_sim_threads = 1;
+    for (const MatrixJob &j : jobs) {
+        if (j.wl)
+            max_sim_threads = std::max(max_sim_threads, jobThreads(j));
+    }
+    const unsigned workers = effectiveJobs(host_jobs, max_sim_threads);
     std::shared_ptr<const ResultStore> disk;
     bool prefixFork;
     {
@@ -498,7 +539,9 @@ runMatrix(const std::vector<MatrixJob> &jobs, unsigned host_jobs)
     std::vector<std::vector<std::size_t>> groups;
     std::vector<const sim::MachinePrefix *> slotPrefix(jobs.size(),
                                                        nullptr);
+    std::vector<std::size_t> slotGroup(jobs.size(), SIZE_MAX);
     std::vector<std::shared_ptr<const sim::MachinePrefix>> prefixes;
+    std::vector<std::size_t> groupRemaining;
     if (prefixFork && toSim.size() > 1) {
         std::unordered_map<std::string, std::size_t> groupOf;
         for (std::size_t i : toSim) {
@@ -526,9 +569,13 @@ runMatrix(const std::vector<MatrixJob> &jobs, unsigned host_jobs)
             prefixes[g] = core::buildPrefix(job.opts, job.wl->wl.module,
                                             jobThreads(job));
         });
+        groupRemaining.resize(groups.size());
         for (std::size_t g = 0; g < groups.size(); ++g) {
-            for (std::size_t i : groups[g])
+            groupRemaining[g] = groups[g].size();
+            for (std::size_t i : groups[g]) {
                 slotPrefix[i] = prefixes[g].get();
+                slotGroup[i] = g;
+            }
         }
     }
 
@@ -551,8 +598,14 @@ runMatrix(const std::vector<MatrixJob> &jobs, unsigned host_jobs)
             ++st.stats.diskStores;
         }
         std::lock_guard<std::mutex> lock(st.mu);
-        if (slotPrefix[i])
+        if (slotPrefix[i]) {
             ++st.stats.prefixForks;
+            // Drop a group's prefix once its last fork has run: a
+            // 64-thread machine image is too big to hold for the rest
+            // of a long sweep.
+            if (--groupRemaining[slotGroup[i]] == 0)
+                prefixes[slotGroup[i]].reset();
+        }
         st.cache.emplace(keys[i], results[i]);
     });
 

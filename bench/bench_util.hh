@@ -37,6 +37,11 @@ struct BenchArgs
     /** --no-snoop-filter: run the reference broadcast memory path
      * (cross-check mode; also flips the process-wide default). */
     bool noSnoopFilter = false;
+    /** --no-directory: broadcast coherence instead of the owning
+     * directory (cross-check mode; flips the process-wide default).
+     * Narrower than --no-snoop-filter, which also disables the
+     * translation cache. */
+    bool noDirectory = false;
     /** --no-decode-cache: run the reference Instr-walking interpreter
      * (cross-check mode; also flips the process-wide default). */
     bool noDecodeCache = false;
@@ -139,9 +144,18 @@ void setDiskResultCache(const std::string &dir, bool enabled);
  * --no-prefix-fork clears it for A/B comparisons). */
 void setPrefixFork(bool on);
 
-/** Host worker threads runMatrix will actually use for @p requested
- * (0 = std::thread::hardware_concurrency(), clamped to [1, 64]). */
-unsigned effectiveJobs(unsigned requested);
+/**
+ * Host worker threads runMatrix will actually use for @p requested
+ * (0 = std::thread::hardware_concurrency(), clamped to [1, 64]).
+ * @p sim_threads is the largest simulated-machine thread count among
+ * the jobs: every in-flight simulation holds per-context state
+ * proportional to it, so the default is additionally capped to keep
+ * jobs x sim_threads bounded (8-thread sweeps are unaffected; 32/64-
+ * thread sweeps get fewer concurrent machines). An explicit @p
+ * requested is always honored, with a warn-once cap hint when it
+ * oversubscribes.
+ */
+unsigned effectiveJobs(unsigned requested, unsigned sim_threads = 8);
 
 /** Process-wide result-cache counters (testing/diagnostic aid). */
 struct MatrixCacheStats

@@ -8,11 +8,13 @@
  *  - miss:   streaming misses with evictions and L2 traffic;
  *  - shared: read-shared + upgrade ping-pong between two cores;
  *  - tx:     all contexts listening in-TX (interest mask full), the
- *            worst case for listener delivery.
+ *            worst case for listener delivery — swept over 8/32/64
+ *            cores to expose the directory's O(trackers) delivery vs.
+ *            broadcast's O(cores).
  *
- * Each mix runs with the snoop filter on (arg 1) and off (arg 0), so a
- * hot-path regression in either path is visible in CI via the
- * microbench_mem_smoke ctest target.
+ * Each mix runs with the coherence directory on (arg 1) and off (arg
+ * 0, broadcast), so a hot-path regression in either path is visible in
+ * CI via the microbench_mem_smoke ctest target.
  */
 
 #include <benchmark/benchmark.h>
@@ -31,10 +33,10 @@ namespace
 constexpr unsigned numCores = 8;
 
 mem::MemConfig
-config(bool filter_on)
+config(bool directory_on)
 {
     mem::MemConfig c; // paper Table II defaults
-    c.snoopFilter = filter_on;
+    c.directory = directory_on;
     return c;
 }
 
@@ -96,12 +98,13 @@ BENCHMARK(BM_MemAccessShared)->Arg(1)->Arg(0);
 void
 BM_MemAccessTxListeners(benchmark::State &state)
 {
-    mem::MemorySystem ms(config(state.range(0)), numCores);
+    const unsigned cores = unsigned(state.range(1));
+    mem::MemorySystem ms(config(state.range(0)), cores);
     htm::HtmStats stats;
     htm::HtmConfig hcfg;
     std::vector<mem::ContextId> ctx;
     std::vector<std::unique_ptr<htm::HtmController>> ctls;
-    for (unsigned i = 0; i < numCores; ++i) {
+    for (unsigned i = 0; i < cores; ++i) {
         ctx.push_back(ms.addContext(i));
         ctls.push_back(std::make_unique<htm::HtmController>(
             hcfg, ctx.back(), &stats));
@@ -111,9 +114,16 @@ BM_MemAccessTxListeners(benchmark::State &state)
                 ms.setListenerInterest(c, on);
             });
     }
+    if (mem::Directory *dir = ms.directory()) {
+        for (unsigned i = 0; i < cores; ++i) {
+            ctls[i]->attachDirectory(dir);
+            ms.setListenerTxFiltered(ctx[i], true);
+        }
+    }
     // Every context in a TX tracking a private block: all listeners
-    // interested, no conflicts — the gating worst case.
-    for (unsigned i = 0; i < numCores; ++i) {
+    // interested, no conflicts — the gating worst case, where the
+    // directory's tracker filtering pays off most.
+    for (unsigned i = 0; i < cores; ++i) {
         ctls[i]->beginTx(0);
         ctls[i]->trackAccess(Addr(0x100000 + i * 64), AccessType::Write,
                              false);
@@ -127,7 +137,13 @@ BM_MemAccessTxListeners(benchmark::State &state)
     }
     state.SetItemsProcessed(std::int64_t(state.iterations()));
 }
-BENCHMARK(BM_MemAccessTxListeners)->Arg(1)->Arg(0);
+BENCHMARK(BM_MemAccessTxListeners)
+    ->Args({1, 8})
+    ->Args({0, 8})
+    ->Args({1, 32})
+    ->Args({0, 32})
+    ->Args({1, 64})
+    ->Args({0, 64});
 
 } // namespace
 

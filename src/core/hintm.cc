@@ -25,6 +25,7 @@ mechanismName(Mechanism m)
 namespace
 {
 bool snoopFilterDefault_ = true;
+bool directoryDefault_ = true;
 bool decodeCacheDefault_ = true;
 bool journalDefault_ = false;
 } // namespace
@@ -39,6 +40,18 @@ void
 SystemOptions::setSnoopFilterDefault(bool on)
 {
     snoopFilterDefault_ = on;
+}
+
+bool
+SystemOptions::directoryDefault()
+{
+    return directoryDefault_;
+}
+
+void
+SystemOptions::setDirectoryDefault(bool on)
+{
+    directoryDefault_ = on;
 }
 
 bool
@@ -108,9 +121,13 @@ makeMachineConfig(const SystemOptions &opts)
     cfg.journal = opts.journal;
     cfg.journalCapacity = opts.journalCapacity;
 
-    // One switch covers all three behavior-preserving fast-path layers.
-    cfg.mem.snoopFilter = opts.snoopFilter;
+    // snoopFilter remains the master fast-path switch: turning it off
+    // disables both the directory and the translation cache (full
+    // reference path); --no-directory flips only the coherence mode.
+    cfg.mem.directory = opts.snoopFilter && opts.directory;
     cfg.vm.translationCache = opts.snoopFilter;
+    cfg.mem.numaNodes = opts.numaNodes;
+    cfg.mem.numaRemoteLatency = opts.numaRemoteLatency;
     cfg.decodeCache = opts.decodeCache;
     return cfg;
 }
@@ -164,7 +181,14 @@ describeConfig(const sim::MachineConfig &cfg)
        << cfg.mem.l2Assoc << "-way shared, " << cfg.mem.l2Latency
        << "-cycle latency\n";
     os << "Memory    : " << cfg.mem.memLatency << "-cycle latency\n";
-    os << "Coherence : snoopy MESI\n";
+    os << "Coherence : "
+       << (cfg.mem.directory ? "directory MESI (owning sharer/owner state)"
+                             : "snoopy MESI (broadcast)");
+    if (cfg.mem.numaNodes > 1) {
+        os << ", " << cfg.mem.numaNodes << " NUMA nodes (+"
+           << cfg.mem.numaRemoteLatency << "-cycle remote home)";
+    }
+    os << "\n";
     os << "HTM       : " << htm::htmKindName(cfg.htm.kind) << ", "
        << cfg.htm.bufferEntries << "-entry TX buffer";
     if (cfg.htm.kind == htm::HtmKind::P8S)

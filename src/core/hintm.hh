@@ -67,10 +67,21 @@ struct SystemOptions
     unsigned signatureBits = 1024;
     unsigned maxRetries = 8;
 
-    /** Simulator fast path (snoop filter + interest gating + translation
-     * cache). Behavior-preserving; off = reference broadcast path for
-     * cross-checking. Initialized from snoopFilterDefault(). */
+    /** Simulator fast path (coherence directory + interest gating +
+     * translation cache). Behavior-preserving; off = reference broadcast
+     * path for cross-checking. Initialized from snoopFilterDefault(). */
     bool snoopFilter = snoopFilterDefault();
+    /** Owning coherence directory: authoritative sharer/owner state,
+     * O(sharers) bus probes, tracker-filtered listener delivery.
+     * Behavior-preserving; off = reference broadcast coherence
+     * (--no-directory cross-check). Ineffective when snoopFilter is
+     * off. Initialized from directoryDefault(). */
+    bool directory = directoryDefault();
+    /** Two-tier NUMA latency model: number of directory home nodes
+     * (1 = flat machine, the paper's configuration). */
+    unsigned numaNodes = 1;
+    /** Extra cycles charged to a remote-home bus transaction. */
+    Cycle numaRemoteLatency = 24;
     /** Interpreter fast path (pre-decoded fused op stream + flat frame
      * arena). Behavior-preserving; off = reference Instr-walking
      * interpreter for cross-checking. From decodeCacheDefault(). */
@@ -95,6 +106,10 @@ struct SystemOptions
      * can flip every subsequently-built config (--no-snoop-filter). */
     static bool snoopFilterDefault();
     static void setSnoopFilterDefault(bool on);
+
+    /** Same for SystemOptions::directory (--no-directory). */
+    static bool directoryDefault();
+    static void setDirectoryDefault(bool on);
 
     /** Same for SystemOptions::decodeCache (--no-decode-cache). */
     static bool decodeCacheDefault();

@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "htm/hint_oracle.hh"
+#include "mem/directory.hh"
 
 namespace hintm
 {
@@ -114,8 +115,11 @@ HtmController::trackAccess(Addr addr, AccessType type, bool safe)
     }
     const Addr block = blockAlign(addr);
 
-    if (buffer_.track(block, type))
+    if (buffer_.track(block, type)) {
+        if (dir_)
+            dir_->txTrack(block, unsigned(self_));
         return;
+    }
 
     // Buffer exhausted.
     if (cfg_.kind == HtmKind::P8S) {
@@ -123,6 +127,10 @@ HtmController::trackAccess(Addr addr, AccessType type, bool safe)
             // Reads spill into the signature instead of aborting.
             signature_.insert(block);
             overflowReads_.insert(block);
+            if (dir_) {
+                dir_->txTrack(block, unsigned(self_));
+                dir_->setSigActive(unsigned(self_), true);
+            }
             ++stats_->signatureSpills;
             return;
         }
@@ -131,12 +139,18 @@ HtmController::trackAccess(Addr addr, AccessType type, bool safe)
         // blocks is a true (writeset) capacity overflow.
         const Addr victim = buffer_.findReadOnlyVictim();
         if (victim != ~Addr(0)) {
+            // The victim moves to overflowReads_, so its directory
+            // tracker registration stays valid.
             buffer_.erase(victim);
             signature_.insert(victim);
             overflowReads_.insert(victim);
             ++stats_->signatureSpills;
             const bool ok = buffer_.track(block, type);
             HINTM_ASSERT(ok, "buffer still full after displacement");
+            if (dir_) {
+                dir_->txTrack(block, unsigned(self_));
+                dir_->setSigActive(unsigned(self_), true);
+            }
             return;
         }
     }
@@ -326,6 +340,13 @@ HtmController::triggerAbort(AbortReason r, Addr offending_addr,
 void
 HtmController::clearTxState()
 {
+    if (dir_) {
+        for (const auto &kv : buffer_.entries())
+            dir_->txUntrack(kv.first, unsigned(self_));
+        overflowReads_.forEach(
+            [&](Addr b) { dir_->txUntrack(b, unsigned(self_)); });
+        dir_->setSigActive(unsigned(self_), false);
+    }
     inTx_ = false;
     abortPending_ = false;
     capacityPending_ = false;

@@ -22,6 +22,11 @@
 
 namespace hintm
 {
+namespace mem
+{
+class Directory;
+}
+
 namespace htm
 {
 
@@ -120,6 +125,14 @@ class HtmController : public mem::SnoopListener
      * oracle's MemorySystem observer side.
      */
     void setHintOracle(HintOracle *oracle) { oracle_ = oracle; }
+
+    /**
+     * Attach the owning coherence directory (null = broadcast mode).
+     * The controller then registers every precisely-tracked block (and
+     * its signature liveness) with the directory, letting the memory
+     * system deliver bus events only to contexts that can conflict.
+     */
+    void attachDirectory(mem::Directory *dir) { dir_ = dir; }
 
     /**
      * Hook publishing whether this controller currently needs coherence
@@ -263,6 +276,7 @@ class HtmController : public mem::SnoopListener
     std::function<void()> undoHook_;
     std::function<void(bool)> interestHook_;
     HintOracle *oracle_ = nullptr;
+    mem::Directory *dir_ = nullptr;
 
     bool inTx_ = false;
     bool abortPending_ = false;

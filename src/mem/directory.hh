@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Owning coherence directory: the authoritative record of which L1s hold
+ * each block (64-bit sharer mask), which L1 owns it exclusively, and its
+ * MESI-equivalent stable state. Promoted from the PR 2 sharer-tracking
+ * snoop filter, which answered only "who might share this block"; the
+ * directory also answers "who owns it" and "which hardware contexts
+ * have it in a transactional read/write set", so bus probes, listener
+ * delivery and HTM conflict detection all iterate true sharers —
+ * per-access cost O(sharers), not O(cores).
+ *
+ * Alongside coherence state, each entry carries a transactional-tracker
+ * mask: the set of hardware contexts whose HTM controller currently has
+ * the block in its precise read/write set (dedicated buffer or P8S
+ * overflow list). Controllers register on insert and deregister when the
+ * TX ends, so bus-event delivery can skip every context that provably
+ * cannot conflict on the block. P8S read signatures summarize arbitrary
+ * blocks, so signature-carrying contexts are recorded in a separate
+ * sig-active mask and receive every remote write regardless of trackers.
+ *
+ * The table is open-addressing with linear probing; entries whose masks
+ * all drop to zero stay in the table and are reused when the block is
+ * touched again, so no tombstones are needed. The directory is
+ * maintained precisely by MemorySystem, but sharer lookups tolerate
+ * stale (superset) masks: a probe of a masked L1 that misses simply
+ * heals the entry, exactly like the snoop filter did.
+ */
+
+#ifndef HINTM_MEM_DIRECTORY_HH
+#define HINTM_MEM_DIRECTORY_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace hintm
+{
+namespace mem
+{
+
+/**
+ * Directory-visible stable state of a block. The directory cannot see
+ * silent E->M upgrades, so Exclusive and Modified collapse into one
+ * Owned state (single valid, possibly dirty copy at `owner`).
+ */
+enum class DirState : std::uint8_t
+{
+    Uncached, ///< no L1 holds the block
+    Shared,   ///< one or more clean copies, no owner
+    Owned,    ///< exactly one copy, exclusive or dirty, at owner()
+};
+
+class Directory
+{
+  public:
+    /** Owner value meaning "no exclusive owner". */
+    static constexpr std::int16_t noOwner = -1;
+
+    explicit Directory(std::size_t initial_slots = 1024)
+    {
+        std::size_t cap = 64;
+        while (cap < initial_slots)
+            cap <<= 1;
+        slots_.assign(cap, Slot{});
+    }
+
+    /** Bitmask of L1s that may hold @p block (0 = definitely uncached). */
+    std::uint64_t
+    sharers(Addr block) const
+    {
+        const Slot &s = *const_cast<Directory *>(this)->findSlot(block);
+        return s.block == block ? s.sharerMask : 0;
+    }
+
+    /** Stable state of @p block as the directory sees it. */
+    DirState
+    state(Addr block) const
+    {
+        const Slot &s = *const_cast<Directory *>(this)->findSlot(block);
+        if (s.block != block || s.sharerMask == 0)
+            return DirState::Uncached;
+        return s.owner == noOwner ? DirState::Shared : DirState::Owned;
+    }
+
+    /** Exclusive-owner L1 of @p block, or noOwner. */
+    std::int16_t
+    owner(Addr block) const
+    {
+        const Slot &s = *const_cast<Directory *>(this)->findSlot(block);
+        return s.block == block ? s.owner : noOwner;
+    }
+
+    /**
+     * Record that L1 @p l1 filled @p block. @p exclusive marks an E/M
+     * fill (no other valid copy exists), making @p l1 the owner; a
+     * Shared fill joins the sharer list without ownership.
+     */
+    void
+    recordFill(Addr block, unsigned l1, bool exclusive)
+    {
+        Slot *s = insertSlot(block);
+        s->sharerMask |= std::uint64_t(1) << l1;
+        s->owner = exclusive ? std::int16_t(l1) : noOwner;
+    }
+
+    /** A write hit on Shared upgraded after invalidating the peers:
+     * @p l1 becomes the sole owner. */
+    void
+    recordUpgrade(Addr block, unsigned l1)
+    {
+        Slot *s = findSlot(block);
+        if (s->block == block)
+            s->owner = std::int16_t(l1);
+    }
+
+    /** A Read snoop downgraded @p l1's exclusive copy to Shared. */
+    void
+    recordDowngrade(Addr block, unsigned l1)
+    {
+        Slot *s = findSlot(block);
+        if (s->block == block && s->owner == std::int16_t(l1))
+            s->owner = noOwner;
+    }
+
+    /** L1 @p l1 no longer holds @p block (eviction, snoop invalidation,
+     * or a stale-bit heal after a missed probe). */
+    void
+    removeSharer(Addr block, unsigned l1)
+    {
+        Slot *s = findSlot(block);
+        if (s->block != block)
+            return;
+        s->sharerMask &= ~(std::uint64_t(1) << l1);
+        if (s->owner == std::int16_t(l1))
+            s->owner = noOwner;
+    }
+
+    // ---- transactional trackers ------------------------------------
+
+    /** Hardware context @p ctx tracks @p block in its precise TX
+     * read/write set (idempotent). */
+    void
+    txTrack(Addr block, unsigned ctx)
+    {
+        Slot *s = insertSlot(block);
+        s->trackerMask |= std::uint64_t(1) << ctx;
+    }
+
+    /** Context @p ctx dropped @p block from its TX tracking state. */
+    void
+    txUntrack(Addr block, unsigned ctx)
+    {
+        Slot *s = findSlot(block);
+        if (s->block == block)
+            s->trackerMask &= ~(std::uint64_t(1) << ctx);
+    }
+
+    /** Contexts whose TXs track @p block precisely. */
+    std::uint64_t
+    txTrackers(Addr block) const
+    {
+        const Slot &s = *const_cast<Directory *>(this)->findSlot(block);
+        return s.block == block ? s.trackerMask : 0;
+    }
+
+    /** Context @p ctx has (or no longer has) a live read signature that
+     * may alias any block; it must see every remote write. */
+    void
+    setSigActive(unsigned ctx, bool on)
+    {
+        const std::uint64_t bit = std::uint64_t(1) << ctx;
+        if (on)
+            sigActiveMask_ |= bit;
+        else
+            sigActiveMask_ &= ~bit;
+    }
+
+    /** Contexts with live (possibly aliasing) read signatures. */
+    std::uint64_t sigActiveMask() const { return sigActiveMask_; }
+
+    /** Number of blocks with at least one sharer (testing aid). */
+    std::size_t
+    trackedBlocks() const
+    {
+        std::size_t n = 0;
+        for (const Slot &s : slots_) {
+            if (s.block != emptyKey && s.sharerMask != 0)
+                ++n;
+        }
+        return n;
+    }
+
+    std::size_t capacity() const { return slots_.size(); }
+
+  private:
+    static constexpr Addr emptyKey = ~Addr(0);
+
+    struct Slot
+    {
+        Addr block = emptyKey;
+        std::uint64_t sharerMask = 0;
+        std::uint64_t trackerMask = 0;
+        std::int16_t owner = noOwner;
+    };
+
+    /** Slot holding @p block, or the empty slot where it would go. */
+    Slot *
+    findSlot(Addr block)
+    {
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t i =
+            std::size_t(block * 0x9E3779B97F4A7C15ull >> 32) & mask;
+        while (slots_[i].block != emptyKey && slots_[i].block != block)
+            i = (i + 1) & mask;
+        return &slots_[i];
+    }
+
+    /** findSlot + claim the slot for @p block, growing as needed. */
+    Slot *
+    insertSlot(Addr block)
+    {
+        if ((used_ + 1) * 4 > slots_.size() * 3)
+            grow();
+        Slot *s = findSlot(block);
+        if (s->block != block) {
+            s->block = block;
+            s->sharerMask = 0;
+            s->trackerMask = 0;
+            s->owner = noOwner;
+            ++used_;
+        }
+        return s;
+    }
+
+    void
+    grow()
+    {
+        std::vector<Slot> old = std::move(slots_);
+        slots_.assign(old.size() * 2, Slot{});
+        used_ = 0;
+        for (const Slot &s : old) {
+            if (s.block == emptyKey)
+                continue;
+            Slot *dst = findSlot(s.block);
+            *dst = s;
+            ++used_;
+        }
+    }
+
+    std::vector<Slot> slots_;
+    std::size_t used_ = 0;
+    std::uint64_t sigActiveMask_ = 0;
+};
+
+} // namespace mem
+} // namespace hintm
+
+#endif // HINTM_MEM_DIRECTORY_HH

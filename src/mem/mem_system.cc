@@ -28,8 +28,17 @@ MemorySystem::MemorySystem(const MemConfig &cfg, unsigned num_l1s)
     l2_ = std::make_unique<CacheArray>(
         CacheGeometry(cfg.l2SizeBytes, cfg.l2Assoc));
 
-    filterOn_ = cfg.snoopFilter && num_l1s <= maskBits;
+    dirOn_ = cfg.directory && num_l1s <= maskBits;
     l1CtxMask_.assign(num_l1s, 0);
+
+    // Contiguous NUMA grouping: L1s [0, n/k), [n/k, 2n/k), ... share a
+    // node. Identical in both coherence modes; 1 node = flat machine.
+    numaNodes_ = cfg.numaNodes ? cfg.numaNodes : 1;
+    if (numaNodes_ > num_l1s)
+        numaNodes_ = num_l1s;
+    l1Node_.resize(num_l1s);
+    for (unsigned i = 0; i < num_l1s; ++i)
+        l1Node_[i] = unsigned(std::uint64_t(i) * numaNodes_ / num_l1s);
 
     cReads_ = &stats_.counter("reads");
     cWrites_ = &stats_.counter("writes");
@@ -41,6 +50,7 @@ MemorySystem::MemorySystem(const MemConfig &cfg, unsigned num_l1s)
     cWritebacks_ = &stats_.counter("writebacks");
     cL2Hits_ = &stats_.counter("l2_hits");
     cL2Misses_ = &stats_.counter("l2_misses");
+    cNumaRemote_ = &stats_.counter("numa_remote");
 }
 
 ContextId
@@ -50,7 +60,7 @@ MemorySystem::addContext(unsigned l1_id)
     contexts_.push_back(Context{l1_id, nullptr});
     const ContextId id = ContextId(contexts_.size() - 1);
     if (unsigned(id) >= maskBits)
-        filterOn_ = false; // too many contexts for the masks
+        dirOn_ = false; // too many contexts for the masks
     else
         l1CtxMask_[l1_id] |= std::uint64_t(1) << unsigned(id);
     return id;
@@ -63,6 +73,7 @@ MemorySystem::setListener(ContextId ctx, SnoopListener *listener)
     // A plain observer expects every event; transactional controllers
     // lower their interest themselves once hooked up.
     setListenerInterest(ctx, listener != nullptr);
+    setListenerTxFiltered(ctx, listener == nullptr);
 }
 
 void
@@ -77,6 +88,20 @@ MemorySystem::setListenerInterest(ContextId ctx, bool interested)
         interestMask_ |= bit;
     else
         interestMask_ &= ~bit;
+}
+
+void
+MemorySystem::setListenerTxFiltered(ContextId ctx, bool filtered)
+{
+    HINTM_ASSERT(ctx >= 0 && ctx < ContextId(contexts_.size()),
+                 "bad context ", ctx);
+    if (unsigned(ctx) >= maskBits)
+        return; // broadcast mode; delivery masks unused
+    const std::uint64_t bit = std::uint64_t(1) << unsigned(ctx);
+    if (filtered)
+        fullDeliveryMask_ &= ~bit;
+    else
+        fullDeliveryMask_ |= bit;
 }
 
 void
@@ -95,7 +120,19 @@ MemorySystem::probeL1(ContextId ctx, Addr addr) const
 std::uint64_t
 MemorySystem::sharerMaskOf(Addr addr) const
 {
-    return filterOn_ ? filter_.sharers(blockAlign(addr)) : 0;
+    return dirOn_ ? dir_.sharers(blockAlign(addr)) : 0;
+}
+
+std::int16_t
+MemorySystem::ownerOf(Addr addr) const
+{
+    return dirOn_ ? dir_.owner(blockAlign(addr)) : Directory::noOwner;
+}
+
+DirState
+MemorySystem::dirStateOf(Addr addr) const
+{
+    return dirOn_ ? dir_.state(blockAlign(addr)) : DirState::Uncached;
 }
 
 bool
@@ -112,6 +149,8 @@ MemorySystem::snoopOne(unsigned l1, Addr block, BusOp op)
             l2_->insert(block, CoherState::Modified);
         }
         line->state = CoherState::Shared;
+        if (dirOn_)
+            dir_.recordDowngrade(block, l1);
         break;
       case BusOp::ReadExcl:
       case BusOp::Upgrade:
@@ -121,8 +160,8 @@ MemorySystem::snoopOne(unsigned l1, Addr block, BusOp op)
         }
         line->state = CoherState::Invalid;
         ++*cInvalidations_;
-        if (filterOn_)
-            filter_.removeSharer(block, l1);
+        if (dirOn_)
+            dir_.removeSharer(block, l1);
         break;
     }
     return true;
@@ -132,8 +171,8 @@ bool
 MemorySystem::snoopPeers(unsigned requester_l1, Addr block, BusOp op)
 {
     bool peer_had_copy = false;
-    if (filterOn_) {
-        std::uint64_t m = filter_.sharers(block) &
+    if (dirOn_) {
+        std::uint64_t m = dir_.sharers(block) &
                           ~(std::uint64_t(1) << requester_l1);
         while (m) {
             const unsigned i = unsigned(std::countr_zero(m));
@@ -141,7 +180,7 @@ MemorySystem::snoopPeers(unsigned requester_l1, Addr block, BusOp op)
             if (snoopOne(i, block, op))
                 peer_had_copy = true;
             else
-                filter_.removeSharer(block, i); // heal a stale bit
+                dir_.removeSharer(block, i); // heal a stale bit
         }
         return peer_had_copy;
     }
@@ -160,8 +199,17 @@ MemorySystem::notifyBus(ContextId requester, Addr block, AccessType type)
     // Same-L1 siblings are covered by notifySiblings() on every access;
     // the bus only reaches the other cores.
     const unsigned l1 = contexts_[requester].l1;
-    if (filterOn_) {
-        std::uint64_t m = interestMask_ & ~l1CtxMask_[l1];
+    if (dirOn_) {
+        // Only contexts that can possibly act on the event: unfiltered
+        // (plain) listeners, contexts whose TX tracks the block
+        // precisely, and — for writes — contexts carrying a read
+        // signature that may alias any block. Tracker-filtered HTM
+        // listeners treat every other event as a no-op, so skipping
+        // them is behavior-preserving.
+        std::uint64_t relevant = fullDeliveryMask_ | dir_.txTrackers(block);
+        if (type == AccessType::Write)
+            relevant |= dir_.sigActiveMask();
+        std::uint64_t m = interestMask_ & ~l1CtxMask_[l1] & relevant;
         while (m) {
             const ContextId c = ContextId(std::countr_zero(m));
             m &= m - 1;
@@ -184,7 +232,7 @@ MemorySystem::notifySiblings(ContextId requester, Addr block,
                              AccessType type)
 {
     const unsigned l1 = contexts_[requester].l1;
-    if (filterOn_) {
+    if (dirOn_) {
         std::uint64_t m = interestMask_ & l1CtxMask_[l1] &
                           ~(std::uint64_t(1) << unsigned(requester));
         while (m) {
@@ -207,7 +255,7 @@ MemorySystem::notifySiblings(ContextId requester, Addr block,
 void
 MemorySystem::notifyEviction(unsigned l1, Addr block, bool dirty)
 {
-    if (filterOn_) {
+    if (dirOn_) {
         std::uint64_t m = interestMask_ & l1CtxMask_[l1];
         while (m) {
             const ContextId c = ContextId(std::countr_zero(m));
@@ -266,7 +314,8 @@ MemorySystem::access(ContextId ctx, Addr addr, AccessType type)
         if (type == AccessType::Read ||
             line->state == CoherState::Modified ||
             line->state == CoherState::Exclusive) {
-            // Silent hit; writes to E upgrade silently to M.
+            // Silent hit; writes to E upgrade silently to M. Both E and
+            // M map to the directory's Owned state, so no update needed.
             if (type == AccessType::Write)
                 line->state = CoherState::Modified;
             res.latency = cfg_.l1Latency;
@@ -277,7 +326,10 @@ MemorySystem::access(ContextId ctx, Addr addr, AccessType type)
         snoopPeers(l1_id, block, BusOp::Upgrade);
         notifyBus(ctx, block, type);
         line->state = CoherState::Modified;
-        res.latency = cfg_.l1Latency + cfg_.upgradeLatency;
+        if (dirOn_)
+            dir_.recordUpgrade(block, l1_id);
+        res.latency =
+            cfg_.l1Latency + cfg_.upgradeLatency + numaPenalty(l1_id, block);
         return res;
     }
 
@@ -288,8 +340,9 @@ MemorySystem::access(ContextId ctx, Addr addr, AccessType type)
     const bool peer_had_copy = snoopPeers(l1_id, block, op);
     notifyBus(ctx, block, type);
 
-    res.latency = cfg_.l1Latency + accessL2(block, /*fill_dirty=*/false);
-    res.l2Hit = res.latency <= cfg_.l1Latency + cfg_.l2Latency;
+    const Cycle l2_lat = accessL2(block, /*fill_dirty=*/false);
+    res.l2Hit = l2_lat <= cfg_.l2Latency;
+    res.latency = cfg_.l1Latency + l2_lat + numaPenalty(l1_id, block);
 
     CoherState fill;
     if (type == AccessType::Write)
@@ -300,12 +353,12 @@ MemorySystem::access(ContextId ctx, Addr addr, AccessType type)
     const Eviction ev =
         l1.insert(block, fill,
                   pinCheckers_[l1_id] ? &pinCheckers_[l1_id] : nullptr);
-    if (filterOn_)
-        filter_.addSharer(block, l1_id);
+    if (dirOn_)
+        dir_.recordFill(block, l1_id, fill != CoherState::Shared);
     if (ev.happened) {
         ++*cL1Evictions_;
-        if (filterOn_)
-            filter_.removeSharer(ev.blockAddr, l1_id);
+        if (dirOn_)
+            dir_.removeSharer(ev.blockAddr, l1_id);
         if (ev.dirty) {
             ++*cWritebacks_;
             l2_->insert(ev.blockAddr, CoherState::Modified);
@@ -323,8 +376,8 @@ MemorySystem::saveState() const
     for (const auto &l1 : l1s_)
         s.arrays.push_back(*l1);
     s.arrays.push_back(*l2_);
-    s.filterOn = filterOn_;
-    s.filter = filter_;
+    s.dirOn = dirOn_;
+    s.dir = dir_;
     s.stats = stats_.values();
     return s;
 }
@@ -337,8 +390,8 @@ MemorySystem::loadState(const State &s)
     for (std::size_t i = 0; i < l1s_.size(); ++i)
         *l1s_[i] = s.arrays[i];
     *l2_ = s.arrays.back();
-    filterOn_ = s.filterOn;
-    filter_ = s.filter;
+    dirOn_ = s.dirOn;
+    dir_ = s.dir;
     stats_.setValues(s.stats);
 }
 

@@ -1,16 +1,27 @@
 /**
  * @file
  * The memory hierarchy facade: per-core private L1 data caches kept
- * coherent by a snoopy MESI bus, backed by a shared non-inclusive L2 and a
+ * coherent by MESI, backed by a shared non-inclusive L2 and a
  * flat-latency memory (Table II organization).
  *
- * The per-access fast path is O(actual sharers/listeners) instead of
- * O(cores): a sharer-tracking snoop filter (snoop_filter.hh) directs bus
- * transactions at the L1s that really hold the block, and listener
- * delivery is gated by a transactional-interest mask so contexts that are
- * not inside a transaction are never visited. Both filters are
- * behavior-preserving and can be disabled (MemConfig::snoopFilter=false)
- * for a broadcast-path cross-check.
+ * Coherence runs in one of two modes:
+ *
+ *  - Directory (default): an owning mem::Directory is the authoritative
+ *    source of sharer/owner state. Bus probes visit only the L1s that
+ *    really hold the block, and listener delivery is additionally
+ *    filtered by the directory's per-block transactional-tracker masks,
+ *    so the per-access cost is O(sharers + trackers) independent of the
+ *    core count.
+ *
+ *  - Broadcast (MemConfig::directory = false, --no-directory): the
+ *    reference path probes every L1 and delivers every listener event,
+ *    O(cores) per access. Bit-identical results; kept as the
+ *    cross-check, exactly like the PR 2/PR 3 fast paths.
+ *
+ * Independently of the mode, a two-tier NUMA latency model charges
+ * remote-home bus transactions extra cycles when MemConfig::numaNodes
+ * is above one (L1s are grouped into contiguous nodes; a block's home
+ * node is its block number modulo the node count).
  */
 
 #ifndef HINTM_MEM_MEM_SYSTEM_HH
@@ -22,7 +33,7 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "mem/cache_array.hh"
-#include "mem/snoop_filter.hh"
+#include "mem/directory.hh"
 #include "mem/snoop_listener.hh"
 
 namespace hintm
@@ -45,10 +56,17 @@ struct MemConfig
     /** Extra cycles for a bus upgrade (invalidate-only) transaction. */
     Cycle upgradeLatency = 8;
 
-    /** Sharer-tracking snoop filter + interest-gated listener delivery.
+    /** Owning coherence directory + tracker-filtered listener delivery.
      * Off = reference broadcast path (bit-identical results, O(cores)
-     * per access); used as the --no-snoop-filter cross-check. */
-    bool snoopFilter = true;
+     * per access); used as the --no-directory cross-check. */
+    bool directory = true;
+
+    /** NUMA-ish latency tiers: L1s are split into this many contiguous
+     * nodes and bus transactions whose home directory node differs from
+     * the requester's pay numaRemoteLatency extra. 1 = flat (paper). */
+    unsigned numaNodes = 1;
+    /** Extra cycles for a remote-home bus transaction. */
+    Cycle numaRemoteLatency = 24;
 };
 
 /** Outcome of one memory access, consumed by the core timing model. */
@@ -74,7 +92,7 @@ class AccessObserver
 /**
  * The full memory system. Hardware thread contexts are registered up front
  * with the L1 they share (SMT siblings share one L1); each access then
- * flows L1 -> snoop bus -> L2 -> memory with MESI state maintenance,
+ * flows L1 -> coherence -> L2 -> memory with MESI state maintenance,
  * delivering SnoopListener events along the way.
  */
 class MemorySystem
@@ -91,8 +109,10 @@ class MemorySystem
     /**
      * Attach the HTM-side observer for a context (may be null). A fresh
      * listener starts *interested* (it receives every event, as a plain
-     * observer expects); transactional controllers lower their interest
-     * via setListenerInterest() while outside a transaction.
+     * observer expects) and *unfiltered* (directory tracker masks are
+     * not consulted for it); transactional controllers lower their
+     * interest via setListenerInterest() and opt into tracker filtering
+     * via setListenerTxFiltered().
      */
     void setListener(ContextId ctx, SnoopListener *listener);
 
@@ -103,6 +123,16 @@ class MemorySystem
      * outside transactions anyway, gating is behavior-preserving.
      */
     void setListenerInterest(ContextId ctx, bool interested);
+
+    /**
+     * Opt @p ctx's listener into directory tracker-filtered delivery:
+     * bus events reach it only when the directory records the context as
+     * tracking the block (or, for writes, as signature-active). Only
+     * valid for listeners whose event handling is a no-op on untracked
+     * blocks — i.e. HTM controllers, which register every tracked block
+     * with the directory. Plain observers must stay unfiltered.
+     */
+    void setListenerTxFiltered(ContextId ctx, bool filtered);
 
     /**
      * Install a pin predicate on one L1: blocks for which it returns
@@ -134,12 +164,36 @@ class MemorySystem
     /** Probe a context's L1 for a block (testing aid). */
     const CacheLine *probeL1(ContextId ctx, Addr addr) const;
 
-    /** True when the snoop filter + interest gating are in effect. */
-    bool filterActive() const { return filterOn_; }
+    /** True when the directory + interest gating are in effect. */
+    bool directoryActive() const { return dirOn_; }
 
-    /** Snoop-filter sharer mask of a block (testing aid; 0 when the
-     * filter is inactive). */
+    /** The owning directory, or null in broadcast mode. Controllers use
+     * it to register transactional trackers; the machine uses it for
+     * O(trackers) conflict pre-flight. */
+    Directory *directory() { return dirOn_ ? &dir_ : nullptr; }
+
+    /** Directory sharer mask of a block (testing aid; 0 when the
+     * directory is inactive). */
     std::uint64_t sharerMaskOf(Addr addr) const;
+
+    /** Directory owner L1 of a block (testing aid; -1 = none). */
+    std::int16_t ownerOf(Addr addr) const;
+
+    /** Directory stable state of a block (testing aid; Uncached when
+     * the directory is inactive). */
+    DirState dirStateOf(Addr addr) const;
+
+    /** NUMA node of an L1 (always 0 in flat configurations). */
+    unsigned nodeOfL1(unsigned l1_id) const { return l1Node_[l1_id]; }
+
+    /** NUMA home node of an address's block. */
+    unsigned
+    homeNodeOf(Addr addr) const
+    {
+        return numaNodes_ <= 1
+                   ? 0
+                   : unsigned(blockNumber(addr) % numaNodes_);
+    }
 
     /** Current interested-listener mask, bit = context id (testing aid). */
     std::uint64_t listenerInterestMask() const { return interestMask_; }
@@ -148,15 +202,16 @@ class MemorySystem
     const MemConfig &config() const { return cfg_; }
 
     /**
-     * Cache arrays (L1s in id order, then the L2), snoop-filter contents
-     * and stat values. The listener-interest mask is not captured: HTM
+     * Cache arrays (L1s in id order, then the L2), directory contents
+     * (sharer/owner/tracker masks + the sig-active mask) and stat
+     * values. The listener-interest mask is not captured: HTM
      * controllers re-publish their interest when they are restored.
      */
     struct State
     {
         std::vector<CacheArray> arrays;
-        bool filterOn = true;
-        SnoopFilter filter;
+        bool dirOn = true;
+        Directory dir;
         stats::StatGroup::Values stats;
     };
 
@@ -190,6 +245,19 @@ class MemorySystem
      * @return true when the peer held a valid copy. */
     bool snoopOne(unsigned l1, Addr block, BusOp op);
 
+    /** Extra cycles when @p l1_id's bus transaction targets a block
+     * whose home directory node is remote (0 in flat configurations). */
+    Cycle
+    numaPenalty(unsigned l1_id, Addr block)
+    {
+        if (numaNodes_ <= 1)
+            return 0;
+        if (l1Node_[l1_id] == homeNodeOf(block))
+            return 0;
+        ++*cNumaRemote_;
+        return cfg_.numaRemoteLatency;
+    }
+
     MemConfig cfg_;
     std::vector<std::unique_ptr<CacheArray>> l1s_;
     std::vector<CacheArray::PinPredicate> pinCheckers_;
@@ -197,14 +265,20 @@ class MemorySystem
     std::vector<Context> contexts_;
     stats::StatGroup stats_{"mem"};
 
-    /** Fast-path state. filterOn_ drops to false (broadcast mode) when
+    /** Fast-path state. dirOn_ drops to false (broadcast mode) when
      * the configuration disables it or the machine outgrows the 64-bit
      * masks. */
-    bool filterOn_ = true;
-    SnoopFilter filter_;
+    bool dirOn_ = true;
+    Directory dir_;
     AccessObserver *observer_ = nullptr;
     std::uint64_t interestMask_ = 0;
+    /** Contexts whose listeners must see every bus event (not opted
+     * into tracker filtering). */
+    std::uint64_t fullDeliveryMask_ = 0;
     std::vector<std::uint64_t> l1CtxMask_;
+    /** NUMA node of each L1 (contiguous grouping). */
+    std::vector<unsigned> l1Node_;
+    unsigned numaNodes_ = 1;
 
     // Hot counters, resolved once instead of by-name per access.
     stats::Counter *cReads_;
@@ -217,6 +291,7 @@ class MemorySystem
     stats::Counter *cWritebacks_;
     stats::Counter *cL2Hits_;
     stats::Counter *cL2Misses_;
+    stats::Counter *cNumaRemote_;
 };
 
 } // namespace mem

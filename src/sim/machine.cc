@@ -1,6 +1,7 @@
 #include "machine.hh"
 
 #include <algorithm>
+#include <bit>
 #include <sstream>
 #include <limits>
 #include <memory>
@@ -10,6 +11,7 @@
 #include "common/logging.hh"
 #include "common/trace.hh"
 #include "htm/hint_oracle.hh"
+#include "mem/directory.hh"
 #include "sim/snapshot.hh"
 #include "tir/interp.hh"
 #include "tir/verifier.hh"
@@ -138,22 +140,34 @@ class Machine
                 });
             ctxs_.push_back(std::move(cs));
         }
+        if (mem::Directory *dir = mem_->directory()) {
+            // Directory mode: controllers register their tracked blocks
+            // so bus events reach only contexts that can act on them.
+            // Attached after every context exists — the directory is
+            // only live once the final machine size is known.
+            for (unsigned t = 0; t < num_threads; ++t) {
+                ctxs_[t].htm->attachDirectory(dir);
+                mem_->setListenerTxFiltered(mem::ContextId(t), true);
+            }
+        }
         if (cfg.htm.kind == htm::HtmKind::L1TM) {
             // Transactional lines are sticky in L1TM: the replacement
             // policy evicts them only when a set holds nothing else.
+            // Each L1's checker scans just its own SMT siblings.
+            std::vector<std::vector<unsigned>> by_l1(cfg.numCores);
+            for (unsigned t = 0; t < num_threads; ++t)
+                by_l1[t % cfg.numCores].push_back(t);
             for (unsigned l1 = 0; l1 < cfg.numCores; ++l1) {
-                mem_->setPinChecker(l1, [this, l1](Addr block) {
-                    for (const ContextState &cs : ctxs_) {
-                        if (mem_->l1Of(
-                                mem::ContextId(&cs - ctxs_.data())) != l1)
-                            continue;
-                        if (cs.htm->inTx() &&
-                            (cs.htm->readsBlock(block) ||
-                             cs.htm->writesBlock(block)))
-                            return true;
-                    }
-                    return false;
-                });
+                mem_->setPinChecker(
+                    l1, [this, siblings = std::move(by_l1[l1])](Addr block) {
+                        for (unsigned t : siblings) {
+                            const htm::HtmController &h = *ctxs_[t].htm;
+                            if (h.inTx() && (h.readsBlock(block) ||
+                                             h.writesBlock(block)))
+                                return true;
+                        }
+                        return false;
+                    });
             }
         }
     }
@@ -682,12 +696,29 @@ class Machine
             // Requester-loses pre-flight: abort ourselves rather than
             // disturb a TX already holding the block.
             const Addr block = blockAlign(st.addr);
-            for (unsigned o = 0; o < ctxs_.size(); ++o) {
-                if (o != c &&
-                    ctxs_[o].htm->conflictsWith(block, st.accessType)) {
-                    cs.htm->requestAbort(htm::AbortReason::Conflict);
-                    cs.readyAt = now + cost;
-                    return;
+            if (mem::Directory *dir = mem_->directory()) {
+                // conflictsWith() can only be true for contexts the
+                // directory records as precise trackers of the block,
+                // so probing the tracker mask is O(trackers).
+                std::uint64_t m =
+                    dir->txTrackers(block) & ~(std::uint64_t(1) << c);
+                for (; m; m &= m - 1) {
+                    const unsigned o = unsigned(std::countr_zero(m));
+                    if (ctxs_[o].htm->conflictsWith(block,
+                                                    st.accessType)) {
+                        cs.htm->requestAbort(htm::AbortReason::Conflict);
+                        cs.readyAt = now + cost;
+                        return;
+                    }
+                }
+            } else {
+                for (unsigned o = 0; o < ctxs_.size(); ++o) {
+                    if (o != c && ctxs_[o].htm->conflictsWith(
+                                      block, st.accessType)) {
+                        cs.htm->requestAbort(htm::AbortReason::Conflict);
+                        cs.readyAt = now + cost;
+                        return;
+                    }
                 }
             }
         }

@@ -13,8 +13,8 @@ SharingProfiler::record(ThreadId tid, Addr addr, AccessType type,
 {
     HINTM_ASSERT(tid >= 0, "profiler needs a real thread id");
     // Saturate instead of shifting past the mask width: every tid
-    // beyond the tracked range shares the reserved overflow bit and
-    // poisons the region's classification to "unknown".
+    // beyond the tracked range sets no bit and poisons the region's
+    // classification to "unknown" instead.
     const bool overflow = tid > maxTrackedTid;
     if (overflow) {
         static bool warned = false;
@@ -26,8 +26,8 @@ SharingProfiler::record(ThreadId tid, Addr addr, AccessType type,
                  "as unknown (unsafe)");
         }
     }
-    const std::uint32_t bit =
-        std::uint32_t(1) << (overflow ? 31 : tid);
+    const std::uint64_t bit =
+        overflow ? 0 : std::uint64_t(1) << unsigned(tid);
     const bool is_read = type == AccessType::Read;
 
     auto touch = [&](std::unordered_map<Addr, Region> &map, Addr key) {

@@ -26,7 +26,7 @@ struct SharingSummary
     std::uint64_t safeRegions = 0;
     std::uint64_t txReads = 0;
     std::uint64_t txReadsToSafe = 0;
-    /** Regions touched by a thread beyond the 31 tracked bitmask slots:
+    /** Regions touched by a thread beyond the 63 tracked bitmask slots:
      * their sharing pattern is unknown, so they are conservatively
      * counted unsafe (never inflates the safe fractions). */
     std::uint64_t unknownRegions = 0;
@@ -52,10 +52,11 @@ struct SharingSummary
 class SharingProfiler
 {
   public:
-    /** Thread ids at or above this saturate into the shared "unknown"
-     * bucket: the 32-bit reader/writer bitmasks hold one bit per thread,
-     * and bit 31 is reserved for all overflow tids collectively. */
-    static constexpr ThreadId maxTrackedTid = 30;
+    /** Thread ids beyond this saturate into the per-region "unknown"
+     * flag: the 64-bit reader/writer bitmasks hold one bit per thread,
+     * covering the full 64-context machine exactly. Overflow tids set
+     * no mask bit — Region::unknown alone forces the region unsafe. */
+    static constexpr ThreadId maxTrackedTid = 63;
 
     /** Record one access by @p tid; @p in_tx marks transactional reads.
      * Tids beyond maxTrackedTid mark the region unknown (counted
@@ -70,8 +71,8 @@ class SharingProfiler
   private:
     struct Region
     {
-        std::uint32_t readers = 0; ///< bitmask over thread ids (< 31)
-        std::uint32_t writers = 0;
+        std::uint64_t readers = 0; ///< bitmask over thread ids (< 64)
+        std::uint64_t writers = 0;
         std::uint64_t txReads = 0;
         /** Touched by a tid the bitmasks cannot represent. */
         bool unknown = false;
@@ -84,7 +85,7 @@ class SharingProfiler
         // pattern: conservatively unsafe.
         if (r.unknown)
             return false;
-        const std::uint32_t all = r.readers | r.writers;
+        const std::uint64_t all = r.readers | r.writers;
         // Single-thread regions and read-only shared regions are safe.
         return r.writers == 0 || (all & (all - 1)) == 0;
     }

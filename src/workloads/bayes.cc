@@ -49,10 +49,10 @@ paramsFor(Scale s)
 } // namespace
 
 Workload
-buildBayes(Scale s)
+buildBayes(Scale s, unsigned threads_override)
 {
     const Params p = paramsFor(s);
-    const unsigned threads = 8;
+    const unsigned threads = threads_override ? threads_override : 8;
 
     Module m;
     m.globals.push_back({"g_adj", 8, 0});

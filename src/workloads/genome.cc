@@ -50,10 +50,10 @@ paramsFor(Scale s)
 } // namespace
 
 Workload
-buildGenome(Scale s)
+buildGenome(Scale s, unsigned threads_override)
 {
     const Params p = paramsFor(s);
-    const unsigned threads = 4;
+    const unsigned threads = threads_override ? threads_override : 4;
     const std::int64_t per_thread = p.segments / threads;
 
     Module m;

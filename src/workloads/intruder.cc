@@ -48,10 +48,10 @@ paramsFor(Scale s)
 } // namespace
 
 Workload
-buildIntruder(Scale s)
+buildIntruder(Scale s, unsigned threads_override)
 {
     const Params p = paramsFor(s);
-    const unsigned threads = 8;
+    const unsigned threads = threads_override ? threads_override : 8;
 
     Module m;
     m.globals.push_back({"g_pkts", 8, 0});

@@ -49,10 +49,10 @@ paramsFor(Scale s)
 } // namespace
 
 Workload
-buildLabyrinth(Scale s)
+buildLabyrinth(Scale s, unsigned threads_override)
 {
     const Params p = paramsFor(s);
-    const unsigned threads = 8;
+    const unsigned threads = threads_override ? threads_override : 8;
     const std::int64_t n = p.n;
 
     Module m;

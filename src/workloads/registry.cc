@@ -6,6 +6,8 @@
 
 #include "workloads.hh"
 
+#include <cstdlib>
+
 #include "common/logging.hh"
 
 namespace hintm
@@ -23,30 +25,57 @@ allNames()
     return names;
 }
 
+namespace
+{
+
+Workload
+buildBase(const std::string &base, Scale s, unsigned threads)
+{
+    if (base == "bayes")
+        return buildBayes(s, threads);
+    if (base == "genome")
+        return buildGenome(s, threads);
+    if (base == "intruder")
+        return buildIntruder(s, threads);
+    if (base == "kmeans")
+        return buildKmeans(s, threads);
+    if (base == "labyrinth")
+        return buildLabyrinth(s, threads);
+    if (base == "ssca2")
+        return buildSsca2(s, threads);
+    if (base == "vacation")
+        return buildVacation(s, threads);
+    if (base == "yada")
+        return buildYada(s, threads);
+    if (base == "tpcc-no")
+        return buildTpccNo(s, threads);
+    if (base == "tpcc-p")
+        return buildTpccP(s, threads);
+    HINTM_FATAL("unknown workload '", base, "'");
+}
+
+} // namespace
+
 Workload
 byName(const std::string &name, Scale s)
 {
-    if (name == "bayes")
-        return buildBayes(s);
-    if (name == "genome")
-        return buildGenome(s);
-    if (name == "intruder")
-        return buildIntruder(s);
-    if (name == "kmeans")
-        return buildKmeans(s);
-    if (name == "labyrinth")
-        return buildLabyrinth(s);
-    if (name == "ssca2")
-        return buildSsca2(s);
-    if (name == "vacation")
-        return buildVacation(s);
-    if (name == "yada")
-        return buildYada(s);
-    if (name == "tpcc-no")
-        return buildTpccNo(s);
-    if (name == "tpcc-p")
-        return buildTpccP(s);
-    HINTM_FATAL("unknown workload '", name, "'");
+    std::string base = name;
+    unsigned threads = 0; // 0 = the paper's deployment
+    const std::size_t at = name.find('@');
+    if (at != std::string::npos) {
+        base = name.substr(0, at);
+        char *end = nullptr;
+        threads = unsigned(
+            std::strtoul(name.c_str() + at + 1, &end, 10));
+        HINTM_ASSERT(end && *end == '\0' && threads >= 1 &&
+                         threads <= 64,
+                     "bad thread-count suffix in workload '", name,
+                     "' (want name@N with N in 1..64)");
+    }
+    Workload w = buildBase(base, s, threads);
+    // Keep the suffixed name: it is part of every result-cache key.
+    w.name = name;
+    return w;
 }
 
 } // namespace workloads

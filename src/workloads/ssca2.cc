@@ -44,10 +44,10 @@ paramsFor(Scale s)
 } // namespace
 
 Workload
-buildSsca2(Scale s)
+buildSsca2(Scale s, unsigned threads_override)
 {
     const Params p = paramsFor(s);
-    const unsigned threads = 8;
+    const unsigned threads = threads_override ? threads_override : 8;
     const std::int64_t per_thread = p.edges / threads;
 
     Module m;

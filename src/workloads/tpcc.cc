@@ -143,10 +143,10 @@ pushGlobals(Module &m)
 } // namespace
 
 Workload
-buildTpccNo(Scale s)
+buildTpccNo(Scale s, unsigned threads_override)
 {
     const Params p = paramsFor(s);
-    const unsigned threads = 8;
+    const unsigned threads = threads_override ? threads_override : 8;
     Module m;
     pushGlobals(m);
     emitInit(m, p);
@@ -211,10 +211,10 @@ buildTpccNo(Scale s)
 }
 
 Workload
-buildTpccP(Scale s)
+buildTpccP(Scale s, unsigned threads_override)
 {
     const Params p = paramsFor(s);
-    const unsigned threads = 8;
+    const unsigned threads = threads_override ? threads_override : 8;
     Module m;
     pushGlobals(m);
     emitInit(m, p);

@@ -51,10 +51,10 @@ paramsFor(Scale s)
 } // namespace
 
 Workload
-buildVacation(Scale s)
+buildVacation(Scale s, unsigned threads_override)
 {
     const Params p = paramsFor(s);
-    const unsigned threads = 8;
+    const unsigned threads = threads_override ? threads_override : 8;
     const std::int64_t row = 4; // words per record
 
     Module m;

@@ -40,21 +40,31 @@ struct Workload
     unsigned threads = 8;
 };
 
-Workload buildBayes(Scale s);
-Workload buildGenome(Scale s);
-Workload buildIntruder(Scale s);
-Workload buildKmeans(Scale s);
-Workload buildLabyrinth(Scale s);
-Workload buildSsca2(Scale s);
-Workload buildVacation(Scale s);
-Workload buildYada(Scale s);
-Workload buildTpccNo(Scale s);
-Workload buildTpccP(Scale s);
+// Each builder takes an optional worker-thread count (0 = the paper's
+// deployment). The count is baked into the generated TxIR (per-thread
+// work partitions), so a module built for N threads must be simulated
+// with exactly N workers.
+Workload buildBayes(Scale s, unsigned threads_override = 0);
+Workload buildGenome(Scale s, unsigned threads_override = 0);
+Workload buildIntruder(Scale s, unsigned threads_override = 0);
+Workload buildKmeans(Scale s, unsigned threads_override = 0);
+Workload buildLabyrinth(Scale s, unsigned threads_override = 0);
+Workload buildSsca2(Scale s, unsigned threads_override = 0);
+Workload buildVacation(Scale s, unsigned threads_override = 0);
+Workload buildYada(Scale s, unsigned threads_override = 0);
+Workload buildTpccNo(Scale s, unsigned threads_override = 0);
+Workload buildTpccP(Scale s, unsigned threads_override = 0);
 
 /** Every workload name, in the paper's presentation order. */
 const std::vector<std::string> &allNames();
 
-/** Build a workload by name; fatals on unknown names. */
+/**
+ * Build a workload by name; fatals on unknown names. A "name@N" suffix
+ * builds the same kernel partitioned for N worker threads (1..64) —
+ * e.g. "kmeans@32" for the 32-context scaling studies. The returned
+ * Workload keeps the suffixed name so result-cache keys never alias
+ * across thread counts.
+ */
 Workload byName(const std::string &name, Scale s);
 
 } // namespace workloads

@@ -50,10 +50,10 @@ paramsFor(Scale s)
 } // namespace
 
 Workload
-buildYada(Scale s)
+buildYada(Scale s, unsigned threads_override)
 {
     const Params p = paramsFor(s);
-    const unsigned threads = 4;
+    const unsigned threads = threads_override ? threads_override : 4;
     const std::int64_t row = 4; // words per triangle
 
     Module m;

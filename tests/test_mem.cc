@@ -332,27 +332,32 @@ TEST(MemSystem, DirtyPeerSuppliesAndL2Catches)
     EXPECT_GE(ms.statGroup().counter("writebacks").value(), 1u);
 }
 
-// ---- snoop filter: sharer-mask maintenance -------------------------
+// ---- directory: sharer/owner-state maintenance ---------------------
 
-TEST(SnoopFilter, FillSetsMaskAndDecidesExclusiveVsShared)
+TEST(Directory, FillSetsMaskAndDecidesExclusiveVsShared)
 {
     MemorySystem ms(smallConfig(), 2);
-    ASSERT_TRUE(ms.filterActive());
+    ASSERT_TRUE(ms.directoryActive());
     const ContextId c0 = ms.addContext(0);
     const ContextId c1 = ms.addContext(1);
 
     ms.access(c0, 0x40, AccessType::Read);
     EXPECT_EQ(ms.sharerMaskOf(0x40), 0b01u); // only L1 0
     EXPECT_EQ(ms.probeL1(c0, 0x40)->state, CoherState::Exclusive);
+    EXPECT_EQ(ms.dirStateOf(0x40), DirState::Owned);
+    EXPECT_EQ(ms.ownerOf(0x40), 0);
 
     ms.access(c1, 0x40, AccessType::Read);
     EXPECT_EQ(ms.sharerMaskOf(0x40), 0b11u); // both L1s
-    // The filter found the peer: the fill must be Shared, not Exclusive.
+    // The directory found the peer: the fill must be Shared, and the
+    // owner downgrade must be recorded.
     EXPECT_EQ(ms.probeL1(c1, 0x40)->state, CoherState::Shared);
     EXPECT_EQ(ms.probeL1(c0, 0x40)->state, CoherState::Shared);
+    EXPECT_EQ(ms.dirStateOf(0x40), DirState::Shared);
+    EXPECT_EQ(ms.ownerOf(0x40), Directory::noOwner);
 }
 
-TEST(SnoopFilter, EvictionClearsMask)
+TEST(Directory, EvictionClearsMask)
 {
     MemorySystem ms(smallConfig(), 1); // L1: 2 sets x 8 ways
     const ContextId c0 = ms.addContext(0);
@@ -360,10 +365,11 @@ TEST(SnoopFilter, EvictionClearsMask)
     for (Addr i = 0; i <= 8; ++i) // overflow set 0; evicts block 0
         ms.access(c0, i * 128, AccessType::Read);
     EXPECT_EQ(ms.sharerMaskOf(0), 0u);
+    EXPECT_EQ(ms.dirStateOf(0), DirState::Uncached);
     EXPECT_EQ(ms.sharerMaskOf(8 * 128), 0b1u);
 }
 
-TEST(SnoopFilter, UpgradeAndReadExclInvalidatePeerBits)
+TEST(Directory, UpgradeAndReadExclInvalidatePeerBits)
 {
     MemorySystem ms(smallConfig(), 3);
     const ContextId c0 = ms.addContext(0);
@@ -374,27 +380,48 @@ TEST(SnoopFilter, UpgradeAndReadExclInvalidatePeerBits)
     ms.access(c1, 0x40, AccessType::Read);
     ms.access(c2, 0x40, AccessType::Read);
     EXPECT_EQ(ms.sharerMaskOf(0x40), 0b111u);
+    EXPECT_EQ(ms.dirStateOf(0x40), DirState::Shared);
 
     // Upgrade (write hit on Shared) invalidates both peers' copies and
-    // their filter bits.
+    // their directory bits, and records the requester as owner.
     ms.access(c0, 0x40, AccessType::Write);
     EXPECT_EQ(ms.sharerMaskOf(0x40), 0b001u);
+    EXPECT_EQ(ms.ownerOf(0x40), 0);
+    EXPECT_EQ(ms.dirStateOf(0x40), DirState::Owned);
     EXPECT_EQ(ms.probeL1(c1, 0x40), nullptr);
     EXPECT_EQ(ms.probeL1(c2, 0x40), nullptr);
 
-    // ReadExcl (write miss) steals the block from the owner.
+    // ReadExcl (write miss) steals the block: ownership hands off.
     ms.access(c1, 0x40, AccessType::Write);
     EXPECT_EQ(ms.sharerMaskOf(0x40), 0b010u);
+    EXPECT_EQ(ms.ownerOf(0x40), 1);
     EXPECT_EQ(ms.probeL1(c0, 0x40), nullptr);
 }
 
-TEST(SnoopFilter, PinnedLineEvictionStillClearsMask)
+TEST(Directory, OwnerHandoffOnReadDowngradesThenStealBack)
+{
+    MemorySystem ms(smallConfig(), 2);
+    const ContextId c0 = ms.addContext(0);
+    const ContextId c1 = ms.addContext(1);
+
+    ms.access(c0, 0x40, AccessType::Write); // M at L1 0
+    EXPECT_EQ(ms.ownerOf(0x40), 0);
+    ms.access(c1, 0x40, AccessType::Read); // downgrade: shared, no owner
+    EXPECT_EQ(ms.dirStateOf(0x40), DirState::Shared);
+    EXPECT_EQ(ms.ownerOf(0x40), Directory::noOwner);
+    EXPECT_EQ(ms.sharerMaskOf(0x40), 0b11u);
+    ms.access(c1, 0x40, AccessType::Write); // upgrade: L1 1 owns
+    EXPECT_EQ(ms.ownerOf(0x40), 1);
+    EXPECT_EQ(ms.sharerMaskOf(0x40), 0b10u);
+}
+
+TEST(Directory, PinnedLineEvictionStillClearsMask)
 {
     MemConfig cfg = smallConfig();
     MemorySystem ms(cfg, 1);
     const ContextId c0 = ms.addContext(0);
     // Pin everything: insertions must still evict (pinned fallback) and
-    // the filter must track the forced victim.
+    // the directory must track the forced victim.
     ms.setPinChecker(0, [](Addr) { return true; });
     for (Addr i = 0; i <= 8; ++i)
         ms.access(c0, i * 128, AccessType::Read);
@@ -404,20 +431,219 @@ TEST(SnoopFilter, PinnedLineEvictionStillClearsMask)
     EXPECT_EQ(tracked, 8u); // 9 fills, one eviction, 8 resident
 }
 
-TEST(SnoopFilter, DisabledConfigFallsBackToBroadcast)
+TEST(Directory, StaleSharerBitHealsOnMissedProbe)
+{
+    // Force a stale directory bit by hand, then confirm a snooped
+    // access heals it instead of misbehaving.
+    MemorySystem ms(smallConfig(), 2);
+    const ContextId c0 = ms.addContext(0);
+    ms.addContext(1);
+    Directory *dir = ms.directory();
+    ASSERT_NE(dir, nullptr);
+    dir->recordFill(0x40, /*l1=*/1, /*exclusive=*/false); // stale bit
+    EXPECT_EQ(ms.sharerMaskOf(0x40), 0b10u);
+
+    // c0's miss probes L1 1 (per the stale mask), finds nothing, and
+    // heals the bit; with no real peer copy the fill is Exclusive,
+    // exactly as the broadcast path would decide.
+    ms.access(c0, 0x40, AccessType::Read);
+    EXPECT_EQ(ms.sharerMaskOf(0x40), 0b01u);
+    EXPECT_EQ(ms.probeL1(c0, 0x40)->state, CoherState::Exclusive);
+    EXPECT_EQ(ms.ownerOf(0x40), 0);
+}
+
+TEST(Directory, DisabledConfigFallsBackToBroadcast)
 {
     MemConfig cfg = smallConfig();
-    cfg.snoopFilter = false;
+    cfg.directory = false;
     MemorySystem ms(cfg, 2);
     const ContextId c0 = ms.addContext(0);
     const ContextId c1 = ms.addContext(1);
-    EXPECT_FALSE(ms.filterActive());
+    EXPECT_FALSE(ms.directoryActive());
+    EXPECT_EQ(ms.directory(), nullptr);
 
     ms.access(c0, 0x40, AccessType::Read);
-    EXPECT_EQ(ms.sharerMaskOf(0x40), 0u); // filter not maintained
+    EXPECT_EQ(ms.sharerMaskOf(0x40), 0u); // directory not maintained
+    EXPECT_EQ(ms.dirStateOf(0x40), DirState::Uncached);
     ms.access(c1, 0x40, AccessType::Read);
     // Broadcast snoop still finds the peer copy.
     EXPECT_EQ(ms.probeL1(c0, 0x40)->state, CoherState::Shared);
+}
+
+TEST(Directory, TrackerMaskRegistersAndClears)
+{
+    Directory dir;
+    dir.txTrack(0x40, 3);
+    dir.txTrack(0x40, 5);
+    dir.txTrack(0x80, 3);
+    EXPECT_EQ(dir.txTrackers(0x40), (1u << 3) | (1u << 5));
+    EXPECT_EQ(dir.txTrackers(0x80), 1u << 3);
+    dir.txUntrack(0x40, 3);
+    EXPECT_EQ(dir.txTrackers(0x40), 1u << 5);
+    dir.txUntrack(0x40, 5);
+    EXPECT_EQ(dir.txTrackers(0x40), 0u);
+    // Untracking an absent block is a no-op, not a crash.
+    dir.txUntrack(0xF00, 1);
+}
+
+TEST(Directory, SigActiveMaskToggles)
+{
+    Directory dir;
+    EXPECT_EQ(dir.sigActiveMask(), 0u);
+    dir.setSigActive(2, true);
+    dir.setSigActive(7, true);
+    EXPECT_EQ(dir.sigActiveMask(), (1u << 2) | (1u << 7));
+    dir.setSigActive(2, false);
+    EXPECT_EQ(dir.sigActiveMask(), 1u << 7);
+}
+
+TEST(Directory, GrowRehashPreservesAllMasks)
+{
+    Directory dir(/*initial_slots=*/64);
+    const std::size_t cap0 = dir.capacity();
+    for (Addr i = 0; i < 256; ++i) {
+        dir.recordFill(i * 64, unsigned(i % 8), /*exclusive=*/i % 2);
+        dir.txTrack(i * 64, unsigned(i % 16));
+    }
+    EXPECT_GT(dir.capacity(), cap0); // grew at least once
+    for (Addr i = 0; i < 256; ++i) {
+        EXPECT_EQ(dir.sharers(i * 64), std::uint64_t(1) << (i % 8));
+        EXPECT_EQ(dir.txTrackers(i * 64), std::uint64_t(1) << (i % 16));
+        EXPECT_EQ(dir.owner(i * 64),
+                  i % 2 ? std::int16_t(i % 8) : Directory::noOwner);
+    }
+    EXPECT_EQ(dir.trackedBlocks(), 256u);
+}
+
+TEST(Directory, WideMasksCoverSixtyFourL1s)
+{
+    MemorySystem ms(smallConfig(), 64);
+    ASSERT_TRUE(ms.directoryActive());
+    std::vector<ContextId> ids;
+    for (unsigned i = 0; i < 64; ++i)
+        ids.push_back(ms.addContext(i));
+    for (unsigned i = 0; i < 64; ++i)
+        ms.access(ids[i], 0x40, AccessType::Read);
+    EXPECT_EQ(ms.sharerMaskOf(0x40), ~std::uint64_t(0));
+    EXPECT_EQ(ms.dirStateOf(0x40), DirState::Shared);
+    // A write from the highest L1 invalidates the other 63 copies.
+    ms.access(ids[63], 0x40, AccessType::Write);
+    EXPECT_EQ(ms.sharerMaskOf(0x40), std::uint64_t(1) << 63);
+    EXPECT_EQ(ms.ownerOf(0x40), 63);
+}
+
+TEST(Directory, SaveLoadRoundTripsSharerOwnerAndTrackerState)
+{
+    MemorySystem ms(smallConfig(), 2);
+    const ContextId c0 = ms.addContext(0);
+    const ContextId c1 = ms.addContext(1);
+
+    ms.access(c0, 0x40, AccessType::Write); // owned by L1 0
+    ms.access(c1, 0x80, AccessType::Read);
+    ms.access(c0, 0x80, AccessType::Read); // shared
+    Directory *dir = ms.directory();
+    ASSERT_NE(dir, nullptr);
+    dir->txTrack(0x40, unsigned(c0));
+    dir->txTrack(0x80, unsigned(c1));
+    dir->setSigActive(unsigned(c1), true);
+
+    const MemorySystem::State snap = ms.saveState();
+
+    // Mutate everything the snapshot should shield.
+    ms.access(c1, 0x40, AccessType::Write); // steal ownership
+    dir->txUntrack(0x40, unsigned(c0));
+    dir->setSigActive(unsigned(c1), false);
+    dir->txTrack(0xC0, unsigned(c0));
+    ASSERT_EQ(ms.ownerOf(0x40), 1);
+
+    ms.loadState(snap);
+    EXPECT_TRUE(ms.directoryActive());
+    EXPECT_EQ(ms.ownerOf(0x40), 0);
+    EXPECT_EQ(ms.dirStateOf(0x40), DirState::Owned);
+    EXPECT_EQ(ms.sharerMaskOf(0x80), 0b11u);
+    EXPECT_EQ(ms.dirStateOf(0x80), DirState::Shared);
+    Directory *restored = ms.directory();
+    ASSERT_NE(restored, nullptr);
+    EXPECT_EQ(restored->txTrackers(0x40), 1u << unsigned(c0));
+    EXPECT_EQ(restored->txTrackers(0x80), 1u << unsigned(c1));
+    EXPECT_EQ(restored->txTrackers(0xC0), 0u);
+    EXPECT_EQ(restored->sigActiveMask(), 1u << unsigned(c1));
+}
+
+// ---- NUMA latency tiers --------------------------------------------
+
+TEST(Numa, FlatConfigChargesNoPenalty)
+{
+    MemConfig cfg = smallConfig(); // numaNodes = 1
+    MemorySystem ms(cfg, 2);
+    const ContextId c0 = ms.addContext(0);
+    const auto r = ms.access(c0, 0x1000, AccessType::Read);
+    EXPECT_EQ(r.latency, 3u + 12u + 100u);
+    EXPECT_EQ(ms.statGroup().counter("numa_remote").value(), 0u);
+}
+
+TEST(Numa, RemoteHomeMissPaysExtra)
+{
+    MemConfig cfg = smallConfig();
+    cfg.numaNodes = 2;
+    cfg.numaRemoteLatency = 24;
+    MemorySystem ms(cfg, 4); // L1s 0,1 -> node 0; 2,3 -> node 1
+    const ContextId c0 = ms.addContext(0);
+    const ContextId c2 = ms.addContext(2);
+    EXPECT_EQ(ms.nodeOfL1(0), 0u);
+    EXPECT_EQ(ms.nodeOfL1(3), 1u);
+
+    // Block 0 homes on node 0: local for c0, remote for c2.
+    EXPECT_EQ(ms.homeNodeOf(0), 0u);
+    auto r = ms.access(c0, 0, AccessType::Read);
+    EXPECT_EQ(r.latency, 3u + 12u + 100u);
+    r = ms.access(c2, 64, AccessType::Read); // block 1 homes on node 1
+    EXPECT_EQ(ms.homeNodeOf(64), 1u);
+    EXPECT_EQ(r.latency, 3u + 12u + 100u); // local to c2's node
+    r = ms.access(c2, 128, AccessType::Read); // block 2 -> node 0: remote
+    EXPECT_EQ(r.latency, 3u + 12u + 100u + 24u);
+    EXPECT_EQ(ms.statGroup().counter("numa_remote").value(), 1u);
+}
+
+TEST(Numa, UpgradePaysRemotePenaltyAndL1HitsDoNot)
+{
+    MemConfig cfg = smallConfig();
+    cfg.numaNodes = 2;
+    cfg.numaRemoteLatency = 24;
+    MemorySystem ms(cfg, 2); // L1 0 -> node 0, L1 1 -> node 1
+    const ContextId c0 = ms.addContext(0);
+    const ContextId c1 = ms.addContext(1);
+
+    ms.access(c0, 128, AccessType::Read); // block 2 homes on node 0
+    ms.access(c1, 128, AccessType::Read); // both Shared
+    // L1 hits never touch the bus: no penalty regardless of home.
+    const auto hit = ms.access(c1, 128, AccessType::Read);
+    EXPECT_EQ(hit.latency, 3u);
+    // c1's upgrade is a bus transaction homed on the remote node 0.
+    const auto up = ms.access(c1, 128, AccessType::Write);
+    EXPECT_EQ(up.latency, 3u + smallConfig().upgradeLatency + 24u);
+}
+
+TEST(Numa, PenaltyIsIdenticalWithAndWithoutDirectory)
+{
+    const auto run = [](bool directory_on) {
+        MemConfig cfg = smallConfig();
+        cfg.directory = directory_on;
+        cfg.numaNodes = 2;
+        MemorySystem ms(cfg, 4);
+        std::vector<ContextId> ids;
+        for (unsigned i = 0; i < 4; ++i)
+            ids.push_back(ms.addContext(i));
+        Cycle total = 0;
+        for (unsigned step = 0; step < 300; ++step) {
+            const Addr a = Addr(step * 7919 % 37) * 128;
+            const AccessType t = (step % 4 == 0) ? AccessType::Write
+                                                 : AccessType::Read;
+            total += ms.access(ids[step % 4], a, t).latency;
+        }
+        return total;
+    };
+    EXPECT_EQ(run(true), run(false));
 }
 
 // ---- interest-gated listener delivery ------------------------------
@@ -468,9 +694,41 @@ TEST(InterestGating, EvictionDeliveryIsGatedToo)
     EXPECT_TRUE(l0.evictions.empty());
 }
 
+// ---- tracker-filtered listener delivery ----------------------------
+
+TEST(TrackerFiltering, FilteredListenerSeesOnlyTrackedBlocks)
+{
+    MemorySystem ms(smallConfig(), 2);
+    RecordingListener l1;
+    const ContextId c0 = ms.addContext(0);
+    const ContextId c1 = ms.addContext(1);
+    ms.setListener(c1, &l1);
+    ms.setListenerTxFiltered(c1, true);
+    Directory *dir = ms.directory();
+    ASSERT_NE(dir, nullptr);
+    dir->txTrack(0x80, unsigned(c1));
+
+    ms.access(c0, 0x80, AccessType::Write); // tracked -> delivered
+    ms.access(c0, 0xC0, AccessType::Write); // untracked -> skipped
+    ASSERT_EQ(l1.remote.size(), 1u);
+    EXPECT_EQ(l1.remote[0].block, 0x80u);
+
+    // Signature-active contexts see every remote write again.
+    dir->setSigActive(unsigned(c1), true);
+    ms.access(c0, 0x100, AccessType::Write);
+    ASSERT_EQ(l1.remote.size(), 2u);
+    EXPECT_EQ(l1.remote[1].block, 0x100u);
+
+    // Dropping the filter restores full delivery.
+    ms.setListenerTxFiltered(c1, false);
+    dir->setSigActive(unsigned(c1), false);
+    ms.access(c0, 0x140, AccessType::Write);
+    EXPECT_EQ(l1.remote.size(), 3u);
+}
+
 // ---- filtered vs broadcast equivalence at the event level ----------
 
-TEST(SnoopFilter, FilteredAndBroadcastDeliverIdenticalEventTraces)
+TEST(Directory, FilteredAndBroadcastDeliverIdenticalEventTraces)
 {
     // Drive both modes through an access pattern exercising fills,
     // sharing, upgrades, write-steals and evictions; every listener
@@ -494,7 +752,7 @@ TEST(SnoopFilter, FilteredAndBroadcastDeliverIdenticalEventTraces)
 
     MemConfig on = smallConfig();
     MemConfig off = smallConfig();
-    off.snoopFilter = false;
+    off.directory = false;
     MemorySystem msOn(on, 2), msOff(off, 2);
     RecordingListener lsOn[3], lsOff[3];
     drive(msOn, lsOn);

@@ -242,20 +242,27 @@ INSTANTIATE_TEST_SUITE_P(AllWorkloads, DeterminismProperty,
                          ::testing::ValuesIn(workloads::allNames()));
 
 /**
- * The simulator fast path (snoop filter + interest-gated listener
- * delivery + translation/classification cache) must be invisible:
- * end-to-end runs with it on and off produce identical results — cycle
- * counts, abort breakdowns, classification mixes, final memory, and the
- * raw stat dumps.
+ * The directory coherence fast path (owning sharer/owner state +
+ * tracker-filtered listener delivery + interest gating + translation
+ * cache) must be invisible: end-to-end runs with it on and off produce
+ * identical results — cycle counts, abort breakdowns, classification
+ * mixes, final memory, and the raw stat dumps — at every machine size,
+ * including the 32-context configuration where the directory iterates
+ * sparse sharer masks instead of all cores.
  */
-class SnoopFilterEquivalence
-    : public ::testing::TestWithParam<std::tuple<std::string, htm::HtmKind>>
+class DirectoryEquivalence
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, htm::HtmKind, unsigned>>
 {
 };
 
-TEST_P(SnoopFilterEquivalence, FilteredMatchesBroadcastExactly)
+TEST_P(DirectoryEquivalence, DirectoryMatchesBroadcastExactly)
 {
-    const auto &[name, kind] = GetParam();
+    const auto &[base, kind, contexts] = GetParam();
+    // "name@N" re-partitions the kernel for N worker threads; the plain
+    // name keeps the paper's 8-thread deployment.
+    const std::string name =
+        contexts == 8 ? base : base + "@" + std::to_string(contexts);
     workloads::Workload w1 =
         workloads::byName(name, workloads::Scale::Tiny);
     workloads::Workload w2 =
@@ -266,12 +273,13 @@ TEST_P(SnoopFilterEquivalence, FilteredMatchesBroadcastExactly)
     core::SystemOptions opts;
     opts.htmKind = kind;
     opts.mechanism = core::Mechanism::Full;
+    opts.numCores = contexts;
     opts.collectTxSizes = true;
     opts.collectRawStats = true;
-    opts.snoopFilter = true;
+    opts.directory = true;
     const sim::RunResult fast =
         core::simulate(opts, w1.module, w1.threads);
-    opts.snoopFilter = false;
+    opts.directory = false;
     const sim::RunResult ref = core::simulate(opts, w2.module, w2.threads);
 
     EXPECT_EQ(fast.cycles, ref.cycles);
@@ -297,12 +305,40 @@ TEST_P(SnoopFilterEquivalence, FilteredMatchesBroadcastExactly)
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    TwoWorkloadsThreeHtms, SnoopFilterEquivalence,
+    TwoWorkloadsThreeHtmsTwoSizes, DirectoryEquivalence,
     ::testing::Combine(::testing::Values(std::string("kmeans"),
                                          std::string("intruder")),
                        ::testing::Values(htm::HtmKind::P8,
                                          htm::HtmKind::P8S,
-                                         htm::HtmKind::L1TM)));
+                                         htm::HtmKind::L1TM),
+                       ::testing::Values(8u, 32u)));
+
+// Every kernel re-partitioned for the full 64-context machine must run
+// end-to-end (NUMA tiers on, directory on) and still satisfy its basic
+// outcome invariants. This is the scaling counterpart of the 8-thread
+// DeterminismProperty sweep above.
+class SixtyFourContextProperty
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(SixtyFourContextProperty, RunsEndToEnd)
+{
+    workloads::Workload w =
+        workloads::byName(GetParam() + "@64", workloads::Scale::Tiny);
+    core::compileHints(w.module);
+
+    core::SystemOptions opts;
+    opts.mechanism = core::Mechanism::Full;
+    opts.numCores = 64;
+    opts.numaNodes = 4;
+    const sim::RunResult r = core::simulate(opts, w.module, w.threads);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.committedTxs, 0u) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, SixtyFourContextProperty,
+                         ::testing::ValuesIn(workloads::allNames()));
 
 // ---------------------------------------------------------------------
 // Interpreter fast path: the pre-decoded fused op stream + flat frame

@@ -197,12 +197,12 @@ TEST(SimCapacity, StaticHintsAvoidCapacityAbort)
 
 TEST(SharingProfiler, OverflowTidsSaturateToUnknown)
 {
-    // Tids past the 31 tracked bitmask slots used to alias via an
-    // undefined shift; they must land in the shared overflow bucket and
-    // poison the region to "unknown" (conservatively unsafe) instead.
+    // Tids past the 64 tracked bitmask slots used to alias via an
+    // undefined shift; they must set no bit and poison the region to
+    // "unknown" (conservatively unsafe) instead.
     sim::SharingProfiler p;
     p.record(0, 0x1000, AccessType::Read, true);
-    p.record(40, 0x1000, AccessType::Read, true);  // overflow tid
+    p.record(70, 0x1000, AccessType::Read, true);  // overflow tid
     p.record(0, 0x2000, AccessType::Write, false); // private, tracked
 
     const sim::SharingSummary s = p.blockSummary();
@@ -217,10 +217,10 @@ TEST(SharingProfiler, OverflowTidsSaturateToUnknown)
 
 TEST(SharingProfiler, DistinctOverflowTidsShareOneBucket)
 {
-    // Two different overflow tids look like one thread to the bitmask;
-    // without the unknown flag the region would be miscounted as safe.
+    // Two different overflow tids set no bits at all; without the
+    // unknown flag the region would be miscounted as safe.
     sim::SharingProfiler p;
-    p.record(31, 0x1000, AccessType::Write, false);
+    p.record(64, 0x1000, AccessType::Write, false);
     p.record(77, 0x1000, AccessType::Read, false);
 
     const sim::SharingSummary s = p.blockSummary();

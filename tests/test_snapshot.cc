@@ -120,6 +120,32 @@ TEST(Snapshot, RestoreIntoFreshMachineResumesBitIdentical)
     expectSameResult(cold, resumedFresh, "fresh-restore");
 }
 
+TEST(Snapshot, DirectoryStateRidesThroughAtThirtyTwoContexts)
+{
+    // A mid-run snapshot on the 32-context directory machine carries
+    // live sharer/owner/tracker state; restoring into a fresh machine
+    // must still finish bit-identical to the uninterrupted run.
+    workloads::Workload wl =
+        workloads::byName("intruder@32", workloads::Scale::Tiny);
+    core::compileHints(wl.module);
+    core::SystemOptions opts = observedOpts(htm::HtmKind::P8S);
+    opts.numCores = 32;
+    const sim::MachineConfig cfg = core::makeMachineConfig(opts);
+
+    const sim::RunResult cold =
+        sim::runMachine(cfg, wl.module, wl.threads);
+    ASSERT_GT(cold.committedTxs, 0u);
+
+    sim::SimRun a(cfg, wl.module, wl.threads);
+    a.runUntilCommits(cold.committedTxs / 2);
+    ASSERT_FALSE(a.finished());
+    const sim::MachineSnapshot snap = a.snapshot();
+
+    sim::SimRun b(cfg, wl.module, wl.threads);
+    b.restore(snap);
+    expectSameResult(cold, b.finish(), "32-context fresh-restore");
+}
+
 TEST(Snapshot, CarriesTheJournalAcrossRestore)
 {
     workloads::Workload wl =

@@ -75,6 +75,12 @@ usage(int code)
         "                      (default stats.json)\n"
         "  --no-snoop-filter   reference broadcast memory path "
         "(cross-check)\n"
+        "  --no-directory      broadcast coherence instead of the owning "
+        "directory (cross-check)\n"
+        "  --numa-nodes N      two-tier NUMA latency model with N home "
+        "nodes (default 1 = flat)\n"
+        "  --numa-latency N    extra cycles for a remote-home bus "
+        "transaction (default 24)\n"
         "  --no-decode-cache   reference Instr-walking interpreter "
         "(cross-check)\n"
         "  --cache-dir DIR     persistent result-cache location "
@@ -221,6 +227,13 @@ main(int argc, char **argv)
         } else if (a == "--no-snoop-filter") {
             core::SystemOptions::setSnoopFilterDefault(false);
             opts.snoopFilter = false;
+        } else if (a == "--no-directory") {
+            core::SystemOptions::setDirectoryDefault(false);
+            opts.directory = false;
+        } else if (a == "--numa-nodes") {
+            opts.numaNodes = unsigned(parseNum(next()));
+        } else if (a == "--numa-latency") {
+            opts.numaRemoteLatency = parseNum(next());
         } else if (a == "--no-decode-cache") {
             core::SystemOptions::setDecodeCacheDefault(false);
             opts.decodeCache = false;
