@@ -57,6 +57,9 @@ BenchArgs::parse(int argc, char **argv)
         } else if (arg == "--no-decode-cache") {
             a.noDecodeCache = true;
             core::SystemOptions::setDecodeCacheDefault(false);
+        } else if (arg == "--no-sched-index") {
+            a.noSchedIndex = true;
+            core::SystemOptions::setSchedIndexDefault(false);
         } else if (arg == "--lint") {
             a.lint = true;
             setLintOnPrepare(true);
@@ -83,7 +86,7 @@ BenchArgs::parse(int argc, char **argv)
             std::printf("options: [--tiny|--small|--large] [--preserve] "
                         "[--workload NAME]... [--jobs N] [--json FILE] "
                         "[--no-snoop-filter] [--no-directory] "
-                        "[--no-decode-cache] "
+                        "[--no-decode-cache] [--no-sched-index] "
                         "[--lint] [--journal] [--perfetto [FILE]] "
                         "[--stats-json [FILE]] [--cache-dir DIR] "
                         "[--no-disk-cache] [--cache-clear] "
@@ -239,7 +242,8 @@ jobKeyWithFp(const MatrixJob &job, std::uint64_t fp)
        << o.profileSharing << o.validateSafeStores << '|'
        << o.bufferEntries << '|' << o.signatureBits << '|'
        << o.maxRetries << '|' << o.snoopFilter << o.directory
-       << o.decodeCache << o.collectRawStats << o.hintOracle << o.journal
+       << o.decodeCache << o.schedIndex << o.collectRawStats
+       << o.hintOracle << o.journal
        << '|' << o.journalCapacity << '|' << o.numaNodes << '|'
        << o.numaRemoteLatency;
     return os.str();

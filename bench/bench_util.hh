@@ -45,6 +45,10 @@ struct BenchArgs
     /** --no-decode-cache: run the reference Instr-walking interpreter
      * (cross-check mode; also flips the process-wide default). */
     bool noDecodeCache = false;
+    /** --no-sched-index: run the reference O(contexts) scheduler scan
+     * instead of the event-driven ready-context index (cross-check
+     * mode; also flips the process-wide default). */
+    bool noSchedIndex = false;
     /** --lint: run the static race-lint pass over every workload as it
      * is prepared and abort on any diagnostic (soundness gate). */
     bool lint = false;

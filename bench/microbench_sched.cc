@@ -1,0 +1,160 @@
+/**
+ * @file
+ * google-benchmark microbenchmark of the scheduler's context pick —
+ * the once-per-simulated-step decision the whole cycle engine hangs
+ * off. Reports picks/second (items_per_second) for:
+ *
+ *  - scan:  the reference rotating O(contexts) scan, exactly the
+ *           Machine::stepOnce loop;
+ *  - index: the event-driven SchedIndex (bitmasks + tie buckets +
+ *           lazy-deletion min-heap, exact rotation tie-break; the
+ *           8-context arg exercises its dense small-machine scan);
+ *  - batch: the index driven the way the machine drives it, consuming
+ *           the pick's batching bound so runs of steps on the unique
+ *           earliest context skip the heap entirely.
+ *
+ * Each variant runs the same deterministic readyAt churn at 8/32/64
+ * contexts, so a pick-path regression in either scheduler is visible
+ * in CI via the microbench_sched_smoke ctest target. The scan's cost
+ * grows with the context count; the index's does not — that gap is
+ * what the 64-context machine runs on.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/sched_index.hh"
+
+using namespace hintm;
+
+namespace
+{
+
+/** Deterministic per-step readyAt advance, identical across variants
+ * (both schedulers pick the same winner sequence by construction). */
+struct Churn
+{
+    std::uint64_t x = 0x9E3779B97F4A7C15ull;
+
+    Cycle
+    next()
+    {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        return Cycle((x >> 33) & 63) + 1;
+    }
+};
+
+/** The scheduler fields the reference scan reads, at the machine's
+ * real memory layout: ContextState is a few hundred bytes (interpreter
+ * and controller pointers, footprint sets, journal record), so each
+ * context's (done, atBarrier, readyAt) triple lives on its own cache
+ * line — the scan walks n lines per pick, not a dense array. */
+struct alignas(256) ContextSlot
+{
+    Cycle readyAt = 0;
+    bool done = false;
+    bool atBarrier = false;
+};
+
+void
+BM_SchedPickScan(benchmark::State &state)
+{
+    const unsigned n = unsigned(state.range(0));
+    std::vector<ContextSlot> ctx(n);
+    Churn churn;
+    unsigned rr = 0;
+    Cycle now = 0;
+    for (auto _ : state) {
+        // The reference Machine::stepOnce scan (all contexts live and
+        // runnable — the steady state of a busy machine).
+        int best = -1;
+        Cycle best_t = ~Cycle(0);
+        unsigned c = rr;
+        for (unsigned i = 0; i < n; ++i) {
+            const ContextSlot &cs = ctx[c];
+            if (!cs.done) {
+                if (!cs.atBarrier && cs.readyAt < best_t) {
+                    best_t = cs.readyAt;
+                    best = int(c);
+                }
+            }
+            if (++c == n)
+                c = 0;
+        }
+        now = std::max(now, best_t);
+        ctx[unsigned(best)].readyAt = now + churn.next();
+        rr = unsigned(best) + 1 == n ? 0 : unsigned(best) + 1;
+        benchmark::DoNotOptimize(best);
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_SchedPickScan)->Arg(8)->Arg(32)->Arg(64);
+
+void
+BM_SchedPickIndex(benchmark::State &state)
+{
+    const unsigned n = unsigned(state.range(0));
+    sim::SchedIndex idx;
+    idx.reset(n);
+    for (unsigned c = 0; c < n; ++c)
+        idx.sync(c, false, false, 0);
+    Churn churn;
+    unsigned rr = 0;
+    Cycle now = 0;
+    for (auto _ : state) {
+        const sim::SchedIndex::Pick p = idx.pick(rr);
+        const unsigned w = unsigned(p.winner);
+        now = std::max(now, p.key);
+        idx.setReady(w, now + churn.next());
+        rr = w + 1 == n ? 0 : w + 1;
+        benchmark::DoNotOptimize(w);
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_SchedPickIndex)->Arg(8)->Arg(32)->Arg(64);
+
+void
+BM_SchedPickIndexBatched(benchmark::State &state)
+{
+    const unsigned n = unsigned(state.range(0));
+    sim::SchedIndex idx;
+    idx.reset(n);
+    for (unsigned c = 0; c < n; ++c)
+        idx.sync(c, false, false, 0);
+    Churn churn;
+    unsigned rr = 0;
+    Cycle now = 0;
+    // Count steps, not picks: every iteration advances one context.
+    // A pick opens a batch; the batch keeps stepping its owner while
+    // it provably stays the unique earliest (readyAt below the pick's
+    // bound), exactly like the machine's batched fast path.
+    sim::SchedIndex::Pick p;
+    unsigned w = 0;
+    Cycle t = 0;
+    bool open = false;
+    for (auto _ : state) {
+        if (!open) {
+            p = idx.pick(rr);
+            w = unsigned(p.winner);
+            now = std::max(now, p.key);
+            rr = w + 1 == n ? 0 : w + 1;
+            open = true;
+        } else {
+            now = t;
+        }
+        t = now + churn.next();
+        if (t >= p.bound) {
+            idx.setReady(w, t);
+            open = false;
+        }
+        benchmark::DoNotOptimize(w);
+    }
+    state.SetItemsProcessed(std::int64_t(state.iterations()));
+}
+BENCHMARK(BM_SchedPickIndexBatched)->Arg(8)->Arg(32)->Arg(64);
+
+} // namespace
+
+BENCHMARK_MAIN();

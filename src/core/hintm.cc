@@ -27,6 +27,7 @@ namespace
 bool snoopFilterDefault_ = true;
 bool directoryDefault_ = true;
 bool decodeCacheDefault_ = true;
+bool schedIndexDefault_ = true;
 bool journalDefault_ = false;
 } // namespace
 
@@ -64,6 +65,18 @@ void
 SystemOptions::setDecodeCacheDefault(bool on)
 {
     decodeCacheDefault_ = on;
+}
+
+bool
+SystemOptions::schedIndexDefault()
+{
+    return schedIndexDefault_;
+}
+
+void
+SystemOptions::setSchedIndexDefault(bool on)
+{
+    schedIndexDefault_ = on;
 }
 
 bool
@@ -129,6 +142,7 @@ makeMachineConfig(const SystemOptions &opts)
     cfg.mem.numaNodes = opts.numaNodes;
     cfg.mem.numaRemoteLatency = opts.numaRemoteLatency;
     cfg.decodeCache = opts.decodeCache;
+    cfg.schedIndex = opts.schedIndex;
     return cfg;
 }
 

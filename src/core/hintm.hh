@@ -86,6 +86,11 @@ struct SystemOptions
      * arena). Behavior-preserving; off = reference Instr-walking
      * interpreter for cross-checking. From decodeCacheDefault(). */
     bool decodeCache = decodeCacheDefault();
+    /** Scheduler fast path (event-driven ready-context index with
+     * batched stepping). Behavior-preserving; off = reference
+     * O(contexts) rotating scan for cross-checking (--no-sched-index).
+     * Initialized from schedIndexDefault(). */
+    bool schedIndex = schedIndexDefault();
     /** Populate RunResult::rawStats (costs time; off unless asked). */
     bool collectRawStats = false;
     /** Dynamic hint-soundness oracle: shadow-track safe-hinted accesses
@@ -114,6 +119,10 @@ struct SystemOptions
     /** Same for SystemOptions::decodeCache (--no-decode-cache). */
     static bool decodeCacheDefault();
     static void setDecodeCacheDefault(bool on);
+
+    /** Same for SystemOptions::schedIndex (--no-sched-index). */
+    static bool schedIndexDefault();
+    static void setSchedIndexDefault(bool on);
 
     /** Same for SystemOptions::journal (--journal). */
     static bool journalDefault();

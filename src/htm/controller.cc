@@ -335,6 +335,8 @@ HtmController::triggerAbort(AbortReason r, Addr offending_addr,
     // this TX observes pre-transactional data.
     if (undoHook_)
         undoHook_();
+    if (wakeHook_)
+        wakeHook_();
 }
 
 void

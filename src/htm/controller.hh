@@ -143,6 +143,19 @@ class HtmController : public mem::SnoopListener
      */
     void setInterestHook(std::function<void(bool)> hook);
 
+    /**
+     * Hook fired whenever this controller signals an abort into a
+     * running TX (conflicts, evictions, fallback-lock handoff,
+     * page-mode aborts — every triggerAbort() path). The scheduler
+     * uses it as a wake event: the owning context's retry timing is
+     * about to change, so any batched scheduling decision made under a
+     * quiet-machine assumption must be revisited. May be null.
+     */
+    void setWakeHook(std::function<void()> hook)
+    {
+        wakeHook_ = std::move(hook);
+    }
+
     /** Enter transactional mode. */
     void beginTx(Cycle now);
 
@@ -275,6 +288,7 @@ class HtmController : public mem::SnoopListener
     HtmStats *stats_;
     std::function<void()> undoHook_;
     std::function<void(bool)> interestHook_;
+    std::function<void()> wakeHook_;
     HintOracle *oracle_ = nullptr;
     mem::Directory *dir_ = nullptr;
 

@@ -12,6 +12,7 @@
 #include "common/trace.hh"
 #include "htm/hint_oracle.hh"
 #include "mem/directory.hh"
+#include "sim/sched_index.hh"
 #include "sim/snapshot.hh"
 #include "tir/interp.hh"
 #include "tir/verifier.hh"
@@ -150,6 +151,17 @@ class Machine
                 mem_->setListenerTxFiltered(mem::ContextId(t), true);
             }
         }
+        useSchedIndex_ =
+            cfg.schedIndex && ctxs_.size() <= SchedIndex::maxContexts;
+        if (useSchedIndex_) {
+            rebuildSchedIndex();
+            // Wake events: a controller signalling an abort into a
+            // running TX invalidates any batched scheduling decision
+            // (the victim's retry timing is about to change), so the
+            // machine stops polling and lets the controllers publish.
+            for (ContextState &cs : ctxs_)
+                cs.htm->setWakeHook([this] { schedDirty_ = true; });
+        }
         if (cfg.htm.kind == htm::HtmKind::L1TM) {
             // Transactional lines are sticky in L1TM: the replacement
             // policy evicts them only when a set holds nothing else.
@@ -202,18 +214,64 @@ class Machine
         }
         if (live == 0)
             return false;
-        HINTM_ASSERT(best >= 0, "deadlock: all live contexts blocked");
+        if (best < 0)
+            deadlockPanic();
         now_ = std::max(now_, best_t);
         step(unsigned(best), now_);
         rr_ = unsigned(best) + 1 == n ? 0 : unsigned(best) + 1;
         return true;
     }
 
+    /**
+     * Drive the machine until every context is done or at least
+     * @p commit_target TXs have committed — exactly equivalent to
+     * `while (committedTxs() < target && stepOnce()) {}`. The indexed
+     * path picks through the event-driven index and keeps stepping the
+     * picked context while it provably remains the unique earliest
+     * (its readyAt strictly below every other eligible context's lower
+     * bound and no cross-context mutation observed), touching the heap
+     * once per batch instead of once per step.
+     */
+    void
+    runLoop(std::uint64_t commit_target)
+    {
+        if (!useSchedIndex_) {
+            while (res_.committedTxs < commit_target && stepOnce()) {
+            }
+            return;
+        }
+        const unsigned n = unsigned(ctxs_.size());
+        while (res_.committedTxs < commit_target && sched_.anyLive()) {
+            const SchedIndex::Pick p = sched_.pick(rr_);
+            if (p.winner < 0)
+                deadlockPanic();
+            const unsigned w = unsigned(p.winner);
+            ContextState &cs = ctxs_[w];
+            now_ = std::max(now_, p.key);
+            schedDirty_ = false;
+            step(w, now_);
+            rr_ = w + 1 == n ? 0 : w + 1;
+            while (!schedDirty_ && !cs.done && !cs.atBarrier &&
+                   cs.readyAt < p.bound &&
+                   res_.committedTxs < commit_target) {
+                now_ = std::max(now_, cs.readyAt);
+                step(w, now_);
+            }
+            // Close the batch: republish w's scheduler state (its heap
+            // entries at the picked key were consumed by pick()).
+            if (cs.done)
+                sched_.retire(w);
+            else if (cs.atBarrier)
+                sched_.block(w, cs.readyAt);
+            else
+                sched_.setReady(w, cs.readyAt);
+        }
+    }
+
     RunResult
     run()
     {
-        while (stepOnce()) {
-        }
+        runLoop(std::numeric_limits<std::uint64_t>::max());
         return finishRun();
     }
 
@@ -383,6 +441,8 @@ class Machine
             *journal_ = s.journal;
         now_ = s.now;
         rr_ = s.rr;
+        if (useSchedIndex_)
+            rebuildSchedIndex();
     }
 
   private:
@@ -664,6 +724,10 @@ class Machine
                 ContextState &vs = ctxs_[std::size_t(victim)];
                 vs.readyAt = std::max(vs.readyAt, now) + slave;
                 shootdownCycles_ += slave;
+                if (useSchedIndex_) {
+                    sched_.setReady(unsigned(victim), vs.readyAt);
+                    schedDirty_ = true;
+                }
             }
             for (ContextState &other : ctxs_)
                 other.htm->onPageBecameUnsafe(tr.pageNum);
@@ -843,15 +907,57 @@ class Machine
             return;
         trace::event(trace::Category::Sched, now, "barrier releases ",
                      waiting, " contexts");
-        for (ContextState &cs : ctxs_) {
+        for (unsigned c = 0; c < ctxs_.size(); ++c) {
+            ContextState &cs = ctxs_[c];
             if (cs.done || !cs.atBarrier)
                 continue;
             cs.interp->passBarrier();
             cs.atBarrier = false;
             cs.readyAt = std::max(cs.readyAt, now) + 1;
+            if (useSchedIndex_) {
+                sched_.unblock(c, cs.readyAt);
+                schedDirty_ = true;
+            }
         }
         if (oracle_)
             oracle_->onBarrier();
+    }
+
+    /** (Re)derive the scheduler index from context state. The index is
+     * derived state: built here at construction and again on snapshot
+     * restore (MachineSnapshot carries nothing for it). */
+    void
+    rebuildSchedIndex()
+    {
+        sched_.reset(unsigned(ctxs_.size()));
+        for (unsigned c = 0; c < ctxs_.size(); ++c) {
+            sched_.sync(c, ctxs_[c].done, ctxs_[c].atBarrier,
+                        ctxs_[c].readyAt);
+        }
+        schedDirty_ = false;
+    }
+
+    /** The scheduler found live contexts but nothing runnable — a
+     * simulator bug. Dump every context's scheduler-visible state
+     * before going down. */
+    [[noreturn]] void
+    deadlockPanic() const
+    {
+        std::ostringstream os;
+        os << "deadlock: all live contexts blocked (now=" << now_
+           << " rr=" << rr_ << " fallbackLockHolder=" << lockHolder_
+           << ")";
+        for (unsigned c = 0; c < ctxs_.size(); ++c) {
+            const ContextState &cs = ctxs_[c];
+            os << "\n  ctx " << c << ": readyAt=" << cs.readyAt
+               << " done=" << cs.done << " atBarrier=" << cs.atBarrier
+               << " inTx=" << cs.htm->inTx()
+               << " abortPending=" << cs.htm->abortPending()
+               << " retries=" << cs.retries
+               << " mustFallback=" << cs.mustFallback
+               << " inFallback=" << cs.inFallback;
+        }
+        HINTM_PANIC(os.str());
     }
 
     MachineConfig cfg_;
@@ -872,6 +978,14 @@ class Machine
      * interrupted for snapshotting and resumed). */
     Cycle now_ = 0;
     unsigned rr_ = 0;
+    /** Event-driven ready-context index (cfg.schedIndex, <=64 ctxs). */
+    SchedIndex sched_;
+    bool useSchedIndex_ = false;
+    /** Set whenever a step mutates another context's scheduler state
+     * (shootdown readyAt bump, barrier release, controller wake event):
+     * the current batch's uniqueness proof no longer holds, so the
+     * loop returns to the index for the next pick. */
+    bool schedDirty_ = false;
     bool finalized_ = false;
 };
 
@@ -923,9 +1037,7 @@ SimRun::~SimRun() = default;
 void
 SimRun::runUntilCommits(std::uint64_t target)
 {
-    while (impl_->machine.committedTxs() < target &&
-           impl_->machine.stepOnce()) {
-    }
+    impl_->machine.runLoop(target);
 }
 
 bool

@@ -74,6 +74,12 @@ struct MachineConfig
     /** Run threads on the pre-decoded fused op stream (interpreter fast
      * path); false selects the reference Instr-walking interpreter. */
     bool decodeCache = true;
+    /** Pick runnable contexts through the event-driven scheduler index
+     * (bitmask + min-heap pick with batched stepping); false selects
+     * the reference O(contexts) rotating scan. Behavior-preserving:
+     * the step sequence and results are bit-identical either way.
+     * Machines with more than 64 contexts always use the scan. */
+    bool schedIndex = true;
     /** Shadow-track safe-hinted accesses and report any that overlap a
      * remote write (dynamic hint-soundness oracle). Observation only:
      * simulation results are bit-identical with or without it. */

@@ -77,7 +77,10 @@ struct MachineContextSnapshot
     bool recConverted = false;
 };
 
-/** Complete machine state at a scheduler boundary. */
+/** Complete machine state at a scheduler boundary. The event-driven
+ * scheduler index is deliberately absent: it is state derived entirely
+ * from the per-context (done, atBarrier, readyAt) fields below plus
+ * now/rr, and the machine rebuilds it on restore(). */
 struct MachineSnapshot
 {
     tir::Program::State program;

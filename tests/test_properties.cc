@@ -313,6 +313,74 @@ INSTANTIATE_TEST_SUITE_P(
                                          htm::HtmKind::L1TM),
                        ::testing::Values(8u, 32u)));
 
+/**
+ * The event-driven scheduler index (bitmask + lazy-deletion min-heap
+ * pick, wake events, batched stepping) must reproduce the reference
+ * rotating scan's step sequence exactly: full-RunResult bit-identity
+ * across every kernel, backend and machine size — including the
+ * 64-context machine the index exists for, where round-robin
+ * tie-breaking and barrier wake ordering get the most exercise.
+ */
+class SchedulerEquivalence
+    : public ::testing::TestWithParam<
+          std::tuple<std::string, htm::HtmKind, unsigned>>
+{
+};
+
+TEST_P(SchedulerEquivalence, IndexMatchesReferenceScanExactly)
+{
+    const auto &[base, kind, contexts] = GetParam();
+    const std::string name =
+        contexts == 8 ? base : base + "@" + std::to_string(contexts);
+    workloads::Workload w1 =
+        workloads::byName(name, workloads::Scale::Tiny);
+    workloads::Workload w2 =
+        workloads::byName(name, workloads::Scale::Tiny);
+    core::compileHints(w1.module);
+    core::compileHints(w2.module);
+
+    core::SystemOptions opts;
+    opts.htmKind = kind;
+    opts.mechanism = core::Mechanism::Full;
+    opts.numCores = contexts;
+    opts.collectTxSizes = true;
+    opts.collectRawStats = true;
+    opts.schedIndex = true;
+    const sim::RunResult fast =
+        core::simulate(opts, w1.module, w1.threads);
+    opts.schedIndex = false;
+    const sim::RunResult ref = core::simulate(opts, w2.module, w2.threads);
+
+    EXPECT_EQ(fast.cycles, ref.cycles);
+    EXPECT_EQ(fast.instructions, ref.instructions);
+    EXPECT_EQ(fast.committedTxs, ref.committedTxs);
+    EXPECT_EQ(fast.fallbackRuns, ref.fallbackRuns);
+    EXPECT_EQ(fast.htm.commits, ref.htm.commits);
+    for (unsigned a = 0; a < htm::numAbortReasons; ++a) {
+        EXPECT_EQ(fast.htm.aborts[a], ref.htm.aborts[a]) << "reason " << a;
+        EXPECT_EQ(fast.htm.cyclesLost[a], ref.htm.cyclesLost[a]);
+    }
+    EXPECT_EQ(fast.txReadsStaticSafe, ref.txReadsStaticSafe);
+    EXPECT_EQ(fast.txReadsDynSafe, ref.txReadsDynSafe);
+    EXPECT_EQ(fast.txReadsAnnotated, ref.txReadsAnnotated);
+    EXPECT_EQ(fast.txReadsUnsafe, ref.txReadsUnsafe);
+    EXPECT_EQ(fast.txWritesStaticSafe, ref.txWritesStaticSafe);
+    EXPECT_EQ(fast.txWritesUnsafe, ref.txWritesUnsafe);
+    EXPECT_EQ(fast.pageModeOverheadCycles, ref.pageModeOverheadCycles);
+    EXPECT_EQ(fast.safePages, ref.safePages);
+    EXPECT_EQ(fast.totalPages, ref.totalPages);
+    EXPECT_EQ(fast.finalGlobals, ref.finalGlobals);
+    EXPECT_EQ(fast.rawStats, ref.rawStats);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWorkloadsThreeHtmsThreeSizes, SchedulerEquivalence,
+    ::testing::Combine(::testing::ValuesIn(workloads::allNames()),
+                       ::testing::Values(htm::HtmKind::P8,
+                                         htm::HtmKind::P8S,
+                                         htm::HtmKind::L1TM),
+                       ::testing::Values(8u, 32u, 64u)));
+
 // Every kernel re-partitioned for the full 64-context machine must run
 // end-to-end (NUMA tiers on, directory on) and still satisfy its basic
 // outcome invariants. This is the scaling counterpart of the 8-thread

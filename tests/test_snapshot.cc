@@ -11,6 +11,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "../bench/result_store.hh"
 #include "core/hintm.hh"
 #include "sim/journal_io.hh"
@@ -144,6 +147,96 @@ TEST(Snapshot, DirectoryStateRidesThroughAtThirtyTwoContexts)
     sim::SimRun b(cfg, wl.module, wl.threads);
     b.restore(snap);
     expectSameResult(cold, b.finish(), "32-context fresh-restore");
+}
+
+TEST(Snapshot, SchedulerIndexRidesThroughAtThirtyTwoContexts)
+{
+    // The event-driven scheduler index (bitmasks + readyAt heap) is
+    // derived state: a snapshot stores only per-context
+    // (done, atBarrier, readyAt) plus now/rr, and restore() rebuilds
+    // the index from those. A mid-run restore on the 32-context
+    // machine — heap populated, rotation pointer mid-cycle — must
+    // finish bit-identical to the uninterrupted run, and the same
+    // snapshot must also replay exactly under the reference scan
+    // (cfg.schedIndex only selects how the identical schedule is
+    // computed, so snapshots are interchangeable across it).
+    workloads::Workload wl =
+        workloads::byName("kmeans@32", workloads::Scale::Tiny);
+    core::compileHints(wl.module);
+    core::SystemOptions opts = observedOpts(htm::HtmKind::P8);
+    opts.numCores = 32;
+    ASSERT_TRUE(opts.schedIndex);
+    const sim::MachineConfig cfg = core::makeMachineConfig(opts);
+
+    const sim::RunResult cold =
+        sim::runMachine(cfg, wl.module, wl.threads);
+    ASSERT_GT(cold.committedTxs, 0u);
+
+    sim::SimRun a(cfg, wl.module, wl.threads);
+    a.runUntilCommits(cold.committedTxs / 2);
+    ASSERT_FALSE(a.finished());
+    const sim::MachineSnapshot snap = a.snapshot();
+    expectSameResult(cold, a.finish(), "32-context indexed self-resume");
+
+    sim::SimRun b(cfg, wl.module, wl.threads);
+    b.restore(snap);
+    expectSameResult(cold, b.finish(),
+                     "32-context indexed fresh-restore");
+
+    sim::MachineConfig scan_cfg = cfg;
+    scan_cfg.schedIndex = false;
+    sim::SimRun c(scan_cfg, wl.module, wl.threads);
+    c.restore(snap);
+    expectSameResult(cold, c.finish(),
+                     "32-context scan-restore of indexed snapshot");
+}
+
+TEST(Snapshot, AllBlockedContextsPanicWithDiagnosticsDump)
+{
+    // A snapshot doctored so every live context waits at a barrier no
+    // arrival will ever release is undispatchable. Both schedulers
+    // must refuse to spin: the pick comes back empty and the machine
+    // panics with the per-context diagnostics dump (readyAt, barrier,
+    // TX and fallback state) instead of hanging or silently finishing.
+    workloads::Workload wl =
+        workloads::byName("kmeans", workloads::Scale::Tiny);
+    core::compileHints(wl.module);
+    const core::SystemOptions opts = observedOpts(htm::HtmKind::P8);
+    sim::MachineConfig cfg = core::makeMachineConfig(opts);
+
+    sim::SimRun probe(cfg, wl.module, wl.threads);
+    probe.runUntilCommits(3);
+    ASSERT_FALSE(probe.finished());
+    sim::MachineSnapshot snap = probe.snapshot();
+    for (sim::MachineContextSnapshot &cs : snap.ctxs)
+        if (!cs.done)
+            cs.atBarrier = true;
+
+    for (const bool use_index : {true, false}) {
+        cfg.schedIndex = use_index;
+        sim::SimRun doomed(cfg, wl.module, wl.threads);
+        doomed.restore(snap);
+        try {
+            doomed.finish();
+            FAIL() << "deadlocked machine finished (schedIndex="
+                   << use_index << ")";
+        } catch (const std::logic_error &e) {
+            const std::string msg = e.what();
+            EXPECT_NE(msg.find("deadlock: all live contexts blocked"),
+                      std::string::npos)
+                << msg;
+            // The dump must name every context with its
+            // scheduler-visible state and the fallback-lock holder.
+            EXPECT_NE(msg.find("fallbackLockHolder="),
+                      std::string::npos)
+                << msg;
+            EXPECT_NE(msg.find("ctx 0: readyAt="), std::string::npos)
+                << msg;
+            EXPECT_NE(msg.find("atBarrier=1"), std::string::npos)
+                << msg;
+            EXPECT_NE(msg.find("retries="), std::string::npos) << msg;
+        }
+    }
 }
 
 TEST(Snapshot, CarriesTheJournalAcrossRestore)

@@ -83,6 +83,8 @@ usage(int code)
         "transaction (default 24)\n"
         "  --no-decode-cache   reference Instr-walking interpreter "
         "(cross-check)\n"
+        "  --no-sched-index    reference O(contexts) scheduler scan "
+        "(cross-check)\n"
         "  --cache-dir DIR     persistent result-cache location "
         "(default ~/.cache/hintm)\n"
         "  --no-disk-cache     run without the persistent result cache\n"
@@ -237,6 +239,9 @@ main(int argc, char **argv)
         } else if (a == "--no-decode-cache") {
             core::SystemOptions::setDecodeCacheDefault(false);
             opts.decodeCache = false;
+        } else if (a == "--no-sched-index") {
+            core::SystemOptions::setSchedIndexDefault(false);
+            opts.schedIndex = false;
         } else if (a == "--cache-dir") {
             cacheDir = next();
         } else if (a == "--no-disk-cache") {
