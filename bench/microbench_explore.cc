@@ -1,0 +1,127 @@
+/**
+ * @file
+ * google-benchmark microbenchmark of the schedule explorer's two branch
+ * mechanisms, so their relative cost stays visible in CI:
+ *
+ *  - fork:    resume a branch from a MachineSnapshot captured at the
+ *             divergence point (restore + preempt + run the suffix);
+ *  - scratch: replay the same plan from a cold machine (the fallback
+ *             hint-oracle configs are forced into).
+ *
+ * Reports schedules/second (items_per_second) on the convoy kernel at
+ * tiny scale, plus a whole-exploration benchmark at preemption bound 1
+ * with and without DPOR pruning — the pruning win is the ratio of their
+ * schedule counts at near-equal per-schedule cost.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/hintm.hh"
+#include "sim/explorer.hh"
+#include "sim/schedule.hh"
+#include "sim/snapshot.hh"
+#include "workloads/workloads.hh"
+
+using namespace hintm;
+
+namespace
+{
+
+core::SystemOptions
+convoyOptions()
+{
+    core::SystemOptions so;
+    so.mechanism = core::Mechanism::Baseline;
+    so.journal = true;
+    so.maxRetries = 2;
+    return so;
+}
+
+void
+BM_ExploreForkedBranch(benchmark::State &state)
+{
+    const workloads::Workload wl =
+        workloads::buildConvoy(workloads::Scale::Tiny, 0);
+    sim::PlanScheduleController ctrl;
+    sim::MachineConfig cfg = core::makeMachineConfig(convoyOptions());
+    cfg.scheduleController = &ctrl;
+
+    // Capture the divergence point once, outside the measured loop.
+    ctrl.reset({});
+    sim::SimRun run(cfg, wl.module, wl.threads);
+    std::shared_ptr<const sim::MachineSnapshot> snap;
+    unsigned preempt_ctx = 0;
+    ctrl.hook = [&](const sim::SchedDecision &d, std::uint32_t idx) {
+        if (idx == 8 && !snap) {
+            snap = std::make_shared<sim::MachineSnapshot>(
+                run.snapshot());
+            preempt_ctx = d.ctx;
+        }
+    };
+    run.finish();
+    ctrl.hook = nullptr;
+    if (!snap) {
+        state.SkipWithError("base trace too short");
+        return;
+    }
+
+    for (auto _ : state) {
+        ctrl.reset({8}, 9);
+        run.restore(*snap);
+        run.preemptContext(preempt_ctx);
+        benchmark::DoNotOptimize(run.finish().committedTxs);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExploreForkedBranch)->Unit(benchmark::kMicrosecond);
+
+void
+BM_ExploreScratchReplay(benchmark::State &state)
+{
+    const workloads::Workload wl =
+        workloads::buildConvoy(workloads::Scale::Tiny, 0);
+    sim::PlanScheduleController ctrl;
+    sim::MachineConfig cfg = core::makeMachineConfig(convoyOptions());
+    cfg.scheduleController = &ctrl;
+
+    for (auto _ : state) {
+        ctrl.reset({8});
+        sim::SimRun run(cfg, wl.module, wl.threads);
+        benchmark::DoNotOptimize(run.finish().committedTxs);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExploreScratchReplay)->Unit(benchmark::kMicrosecond);
+
+void
+BM_ExploreBoundOne(benchmark::State &state)
+{
+    const workloads::Workload wl =
+        workloads::buildConvoy(workloads::Scale::Tiny, 0);
+    const sim::MachineConfig cfg =
+        core::makeMachineConfig(convoyOptions());
+    sim::ExploreOptions opt;
+    opt.preemptionBound = 1;
+    opt.dpor = state.range(0) != 0;
+
+    std::uint64_t schedules = 0;
+    for (auto _ : state) {
+        const sim::ExploreReport rep =
+            sim::exploreSchedules(cfg, wl.module, wl.threads, opt);
+        schedules += rep.schedulesRun;
+        benchmark::DoNotOptimize(rep.branchPoints);
+    }
+    state.SetItemsProcessed(std::int64_t(schedules));
+    state.SetLabel(opt.dpor ? "dpor" : "naive");
+}
+BENCHMARK(BM_ExploreBoundOne)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -13,6 +13,7 @@
 #include "htm/hint_oracle.hh"
 #include "mem/directory.hh"
 #include "sim/sched_index.hh"
+#include "sim/schedule.hh"
 #include "sim/snapshot.hh"
 #include "tir/interp.hh"
 #include "tir/verifier.hh"
@@ -52,6 +53,18 @@ struct ContextState
     TxRecord rec;
     bool recOpen = false;
     bool recConverted = false;
+    /** Descheduled by the ScheduleController: off the pick set until
+     * another context is preempted in its place or nothing else is
+     * runnable. Never true without a controller; deliberately outside
+     * MachineSnapshot (a forked branch re-applies its preemption after
+     * restore, which is exactly what a from-scratch replay does at the
+     * same decision, so the two stay bit-identical). */
+    bool preempted = false;
+    /** Block footprints feeding the explorer's independence filter
+     * (controller runs only): the in-flight hardware TX's blocks and
+     * the previous attempt's, so a TxBegin decision can be judged by
+     * what the context is about to touch. */
+    AddrSet ctlFpCur, ctlFpLast;
 };
 
 class Machine
@@ -61,8 +74,11 @@ class Machine
             unsigned num_threads, const MachinePrefix *prefix = nullptr)
         : cfg_(cfg),
           prog_(module, num_threads, cfg.seed, cfg.decodeCache),
-          moduleTag_(&module)
+          moduleTag_(&module),
+          ctrl_(cfg.scheduleController)
     {
+        HINTM_ASSERT(!ctrl_ || num_threads <= 64,
+                     "schedule controller requires <= 64 contexts");
         if (auto err = tir::verify(module))
             HINTM_FATAL("module fails verification: ", *err);
         HINTM_ASSERT(module.threadFunc >= 0, "module has no threadFunc");
@@ -235,6 +251,10 @@ class Machine
     void
     runLoop(std::uint64_t commit_target)
     {
+        if (ctrl_) {
+            runControlled(commit_target);
+            return;
+        }
         if (!useSchedIndex_) {
             while (res_.committedTxs < commit_target && stepOnce()) {
             }
@@ -267,6 +287,104 @@ class Machine
                 sched_.setReady(w, cs.readyAt);
         }
     }
+
+    /**
+     * Controller-driven scheduler loop: one pick per step (no batching
+     * — a preemption decision may follow any step), tie-breaks through
+     * ScheduleController::chooseTie, and a decision point offered after
+     * every transactional event. With the default tie-break and no
+     * preemptions this produces exactly the reference step sequence
+     * (test-locked against the controller-free paths).
+     */
+    void
+    runControlled(std::uint64_t commit_target)
+    {
+        const unsigned n = unsigned(ctxs_.size());
+        while (res_.committedTxs < commit_target) {
+            int w = -1;
+            Cycle key = 0;
+            if (useSchedIndex_) {
+                if (!sched_.anyLive())
+                    break;
+                const SchedIndex::Pick p = sched_.pick(
+                    rr_, [this](std::uint64_t mask, unsigned r) {
+                        return ctrl_->chooseTie(mask, r);
+                    });
+                if (p.winner < 0) {
+                    // Everything else is blocked: hand the machine
+                    // back to the preempted context.
+                    if (releasePreempted())
+                        continue;
+                    deadlockPanic();
+                }
+                w = p.winner;
+                key = p.key;
+            } else {
+                Cycle best_t = farFuture;
+                std::uint64_t tie = 0;
+                unsigned live = 0;
+                for (unsigned c = 0; c < n; ++c) {
+                    const ContextState &cs = ctxs_[c];
+                    if (cs.done)
+                        continue;
+                    ++live;
+                    if (cs.atBarrier || cs.preempted)
+                        continue;
+                    const std::uint64_t bit = std::uint64_t(1) << c;
+                    if (cs.readyAt < best_t) {
+                        best_t = cs.readyAt;
+                        tie = bit;
+                    } else if (cs.readyAt == best_t) {
+                        tie |= bit;
+                    }
+                }
+                if (live == 0)
+                    break;
+                if (tie == 0) {
+                    if (releasePreempted())
+                        continue;
+                    deadlockPanic();
+                }
+                w = int(ctrl_->chooseTie(tie, rr_));
+                HINTM_ASSERT(w >= 0 && w < int(n) && (tie >> w & 1),
+                             "tie-break chose an ineligible context");
+                key = best_t;
+            }
+            ContextState &cs = ctxs_[unsigned(w)];
+            now_ = std::max(now_, key);
+            pendingEv_ = -1;
+            step(unsigned(w), now_);
+            rr_ = unsigned(w) + 1 == n ? 0 : unsigned(w) + 1;
+            if (useSchedIndex_) {
+                if (cs.done)
+                    sched_.retire(unsigned(w));
+                else if (cs.atBarrier || cs.preempted)
+                    sched_.block(unsigned(w), cs.readyAt);
+                else
+                    sched_.setReady(unsigned(w), cs.readyAt);
+            }
+            if (pendingEv_ >= 0)
+                decisionPoint(unsigned(w), SchedEvent(pendingEv_));
+        }
+    }
+
+    /** Deschedule @p c until another context is preempted in its place
+     * or nothing else is runnable (at most one context is preempted at
+     * a time). Also the explorer's branch move after a fork restore. */
+    void
+    preemptContext(unsigned c)
+    {
+        bool changed = releasePreemptedFlags();
+        ContextState &cs = ctxs_[c];
+        if (!cs.done && !cs.atBarrier && !cs.preempted) {
+            cs.preempted = true;
+            changed = true;
+        }
+        if (changed && useSchedIndex_)
+            rebuildSchedIndex();
+    }
+
+    Cycle nowCycle() const { return now_; }
 
     RunResult
     run()
@@ -408,7 +526,9 @@ class Machine
                      "snapshot does not match this machine");
         HINTM_ASSERT(s.hasJournal == bool(journal_),
                      "snapshot journal mode mismatch");
-        HINTM_ASSERT(!finalized_, "restore after finalization");
+        // Restoring un-finalizes: the explorer reuses one machine for
+        // many branches, finishing each before restoring the next.
+        finalized_ = false;
         prog_.loadState(s.program);
         mem_->loadState(s.mem);
         vm_->loadState(s.vm);
@@ -432,6 +552,12 @@ class Machine
             cs.rec = c.rec;
             cs.recOpen = c.recOpen;
             cs.recConverted = c.recConverted;
+            // Snapshots never carry preemption or filter state; a
+            // forked branch re-applies its preemption after restore and
+            // rebuilds footprints conservatively.
+            cs.preempted = false;
+            cs.ctlFpCur.clear();
+            cs.ctlFpLast.clear();
         }
         lockHolder_ = s.lockHolder;
         shootdownCycles_ = s.shootdownCycles;
@@ -571,6 +697,11 @@ class Machine
         trace::event(trace::Category::Tx, now, "ctx ", c, " abort (",
                      htm::abortReasonName(reason), "), retry ",
                      cs.retries + 1);
+        noteEvent(SchedEvent::TxAbort);
+        if (ctrl_) {
+            cs.ctlFpLast = cs.ctlFpCur;
+            cs.ctlFpCur.clear();
+        }
         cs.interp->rollbackToTxBegin();
         cs.fpAll.clear();
         cs.fpNoStatic.clear();
@@ -596,6 +727,7 @@ class Machine
         if (lockHolder_ >= 0) {
             // Someone is in the software fallback: wait for release.
             cs.readyAt = now + cost + cfg_.fallbackSpinCycles;
+            noteEvent(SchedEvent::LockSpin);
             return;
         }
 
@@ -605,12 +737,15 @@ class Machine
             trace::event(trace::Category::Tx, now, "ctx ", c,
                          " acquires the fallback lock");
             // Abort every running hardware TX (they all subscribed to
-            // the lock), then publish the acquisition.
-            for (unsigned o = 0; o < ctxs_.size(); ++o) {
-                if (o != c && ctxs_[o].htm->inTx())
-                    ctxs_[o].htm->requestAbort(
-                        htm::AbortReason::FallbackLock,
-                        std::int32_t(c));
+            // the lock), then publish the acquisition. The seeded
+            // lazy-subscription bug has no subscribers to kill.
+            if (!cfg_.unsafeLazySubscription) {
+                for (unsigned o = 0; o < ctxs_.size(); ++o) {
+                    if (o != c && ctxs_[o].htm->inTx())
+                        ctxs_[o].htm->requestAbort(
+                            htm::AbortReason::FallbackLock,
+                            std::int32_t(c));
+                }
             }
             const auto ar =
                 mem_->access(mem::ContextId(c), fallbackLockAddr,
@@ -620,6 +755,7 @@ class Machine
             cs.inFallback = true;
             if (journal_)
                 openRecord(cs, c, now, st, TxOutcome::FallbackCommit);
+            noteEvent(SchedEvent::LockAcquire);
         } else {
             cs.htm->beginTx(now);
             trace::event(trace::Category::Tx, now, "ctx ", c,
@@ -627,14 +763,20 @@ class Machine
             if (journal_)
                 openRecord(cs, c, now, st, TxOutcome::Commit);
             // Lock subscription: the lock word joins the readset so a
-            // fallback acquisition conflicts this TX out.
-            const auto ar = mem_->access(mem::ContextId(c),
-                                         fallbackLockAddr,
-                                         AccessType::Read);
-            cs.htm->trackAccess(fallbackLockAddr, AccessType::Read,
-                                /*safe=*/false);
-            cost += ar.latency + cfg_.htm.beginCycles;
+            // fallback acquisition conflicts this TX out. The seeded
+            // bug skips it — the Dice-et-al. lazy-subscription hazard
+            // the explorer exists to expose.
+            if (!cfg_.unsafeLazySubscription) {
+                const auto ar = mem_->access(mem::ContextId(c),
+                                             fallbackLockAddr,
+                                             AccessType::Read);
+                cs.htm->trackAccess(fallbackLockAddr, AccessType::Read,
+                                    /*safe=*/false);
+                cost += ar.latency;
+            }
+            cost += cfg_.htm.beginCycles;
             cs.interp->enterTx(/*htm_mode=*/true);
+            noteEvent(SchedEvent::TxBegin);
         }
         cs.readyAt = now + cost;
     }
@@ -675,10 +817,27 @@ class Machine
             cost += ar.latency;
             cs.inFallback = false;
             cs.mustFallback = false;
+            noteEvent(SchedEvent::LockRelease);
         } else {
+            // Mutual-exclusion breach: a hardware TX completing while
+            // the fallback lock is held read a snapshot the critical
+            // section may be mutating. Impossible with eager
+            // subscription (the acquisition aborts every TX); the
+            // seeded lazy-subscription bug makes it reachable.
+            if (lockHolder_ >= 0 && lockHolder_ != int(c)) {
+                ++res_.subscriptionViolations;
+                trace::event(trace::Category::Tx, now, "ctx ", c,
+                             " commits while ctx ", lockHolder_,
+                             " holds the fallback lock");
+            }
             trace::event(trace::Category::Tx, now, "ctx ", c, " commits (",
                          cs.htm->trackedBlocks(), " tracked blocks)");
             cs.htm->commitTx(now);
+            noteEvent(SchedEvent::TxCommit);
+            if (ctrl_) {
+                cs.ctlFpLast = cs.ctlFpCur;
+                cs.ctlFpCur.clear();
+            }
             if (cfg_.collectTxSizes) {
                 res_.txSizeAll.sample(cs.fpAll.size());
                 res_.txSizeNoStatic.sample(cs.fpNoStatic.size());
@@ -799,12 +958,15 @@ class Machine
                     trace::event(trace::Category::Tx, now, "ctx ", c,
                                  " converts overflowing TX to a "
                                  "critical section");
-                    for (unsigned o = 0; o < ctxs_.size(); ++o) {
-                        if (o != c && ctxs_[o].htm->inTx())
-                            ctxs_[o].htm->requestAbort(
-                                htm::AbortReason::FallbackLock,
-                                std::int32_t(c));
+                    if (!cfg_.unsafeLazySubscription) {
+                        for (unsigned o = 0; o < ctxs_.size(); ++o) {
+                            if (o != c && ctxs_[o].htm->inTx())
+                                ctxs_[o].htm->requestAbort(
+                                    htm::AbortReason::FallbackLock,
+                                    std::int32_t(c));
+                        }
                     }
+                    noteEvent(SchedEvent::LockAcquire);
                     const auto lr = mem_->access(mem::ContextId(c),
                                                  fallbackLockAddr,
                                                  AccessType::Write);
@@ -854,6 +1016,8 @@ class Machine
                 if (!safe)
                     cs.fpUnsafe.insert(blk);
             }
+            if (ctrl_ && !cs.inFallback)
+                cs.ctlFpCur.insert(blockAlign(st.addr));
         } else if (in_any_tx) {
             // Fallback-mode TX: everything is effectively unsafe.
             if (st.accessType == AccessType::Read)
@@ -907,6 +1071,7 @@ class Machine
             return;
         trace::event(trace::Category::Sched, now, "barrier releases ",
                      waiting, " contexts");
+        noteEvent(SchedEvent::Barrier);
         for (unsigned c = 0; c < ctxs_.size(); ++c) {
             ContextState &cs = ctxs_[c];
             if (cs.done || !cs.atBarrier)
@@ -923,6 +1088,138 @@ class Machine
             oracle_->onBarrier();
     }
 
+    /** Mark a transactional event on the stepping context; the
+     * controlled loop turns it into a decision point once the step has
+     * fully completed. No-op without a controller. */
+    void
+    noteEvent(SchedEvent e)
+    {
+        if (ctrl_)
+            pendingEv_ = int(e);
+    }
+
+    /** Clear preemption flags without touching the index; true if any
+     * context was released. Released contexts keep their stale readyAt
+     * (they were ready all along), which also makes a fork-restored
+     * branch and a from-scratch replay of the same plan bit-identical. */
+    bool
+    releasePreemptedFlags()
+    {
+        bool any = false;
+        for (ContextState &cs : ctxs_) {
+            if (cs.preempted) {
+                cs.preempted = false;
+                any = true;
+            }
+        }
+        return any;
+    }
+
+    bool
+    releasePreempted()
+    {
+        const bool any = releasePreemptedFlags();
+        // Preemption changes are rare (bounded per run) and can move a
+        // readyAt behind an open tie bucket, so re-derive the index
+        // rather than teaching its monotone fast paths about the past.
+        if (any && useSchedIndex_)
+            rebuildSchedIndex();
+        return any;
+    }
+
+    /** Offer the completed event on @p c to the controller. Runs at a
+     * quiescent boundary: the step is done and the index republished,
+     * so a controller may snapshot the machine from inside the hook. */
+    void
+    decisionPoint(unsigned c, SchedEvent ev)
+    {
+        const ContextState &cs = ctxs_[c];
+        if (cs.done)
+            return; // a Done step released a barrier: nothing to preempt
+        bool other_runnable = false;
+        for (unsigned o = 0; o < ctxs_.size(); ++o) {
+            if (o != c && !ctxs_[o].done && !ctxs_[o].atBarrier) {
+                other_runnable = true;
+                break;
+            }
+        }
+        if (!other_runnable)
+            return; // preempting the only runnable context decides nothing
+        // A spinner waiting on a preempted lock holder would spin
+        // forever (spinning counts as runnable, so the nothing-else-
+        // runnable release never fires): model the OS eventually
+        // rescheduling the holder. Purely state-driven, so forked and
+        // replayed branches release at the same step.
+        if (ev == SchedEvent::LockSpin && lockHolder_ >= 0 &&
+            ctxs_[unsigned(lockHolder_)].preempted)
+            releasePreempted();
+        SchedDecision d;
+        d.event = ev;
+        d.ctx = c;
+        d.cycle = now_;
+        d.dependent = decisionDependent(c, ev);
+        if (ctrl_->onDecision(d))
+            preemptContext(c);
+    }
+
+    /**
+     * Independence filter for DPOR-style pruning: false only when the
+     * event's context provably cannot interact with any peer — no lock
+     * traffic, and every block its current and previous TX footprints
+     * touch is cached (directory mode) or tracked (broadcast mode) by
+     * no one else. Conservative on missing information: an empty
+     * footprint (first attempt, untracked fallback) stays dependent.
+     */
+    bool
+    decisionDependent(unsigned c, SchedEvent ev) const
+    {
+        switch (ev) {
+          case SchedEvent::LockAcquire:
+          case SchedEvent::LockRelease:
+          case SchedEvent::Barrier:
+            return true;
+          case SchedEvent::TxBegin:
+            // A transaction's future footprint is unknowable at begin;
+            // the last-TX proxy below would misclassify a TX about to
+            // touch shared state, so begins are never pruned.
+            return true;
+          case SchedEvent::LockSpin:
+            return false; // the spinner re-arrives here until release
+          default:
+            break;
+        }
+        if (lockHolder_ >= 0)
+            return true;
+        const ContextState &cs = ctxs_[c];
+        if (cs.ctlFpCur.empty() && cs.ctlFpLast.empty())
+            return true;
+        bool dep = false;
+        const mem::Directory *dir = mem_->directory();
+        const auto overlaps = [&](Addr blk) {
+            if (dep)
+                return;
+            if (dir) {
+                if (dir->sharers(blk) & ~(std::uint64_t(1) << c))
+                    dep = true;
+                return;
+            }
+            for (unsigned o = 0; o < ctxs_.size() && !dep; ++o) {
+                if (o == c)
+                    continue;
+                const ContextState &po = ctxs_[o];
+                if ((po.htm->inTx() &&
+                     (po.htm->readsBlock(blk) ||
+                      po.htm->writesBlock(blk))) ||
+                    po.ctlFpCur.contains(blk) ||
+                    po.ctlFpLast.contains(blk))
+                    dep = true;
+            }
+        };
+        cs.ctlFpCur.forEach(overlaps);
+        cs.ctlFpLast.forEach(overlaps);
+        return dep;
+    }
+
     /** (Re)derive the scheduler index from context state. The index is
      * derived state: built here at construction and again on snapshot
      * restore (MachineSnapshot carries nothing for it). */
@@ -931,7 +1228,8 @@ class Machine
     {
         sched_.reset(unsigned(ctxs_.size()));
         for (unsigned c = 0; c < ctxs_.size(); ++c) {
-            sched_.sync(c, ctxs_[c].done, ctxs_[c].atBarrier,
+            sched_.sync(c, ctxs_[c].done,
+                        ctxs_[c].atBarrier || ctxs_[c].preempted,
                         ctxs_[c].readyAt);
         }
         schedDirty_ = false;
@@ -955,8 +1253,14 @@ class Machine
                << " abortPending=" << cs.htm->abortPending()
                << " retries=" << cs.retries
                << " mustFallback=" << cs.mustFallback
-               << " inFallback=" << cs.inFallback;
+               << " inFallback=" << cs.inFallback
+               << " preempted=" << cs.preempted;
         }
+        // Replay recipe: the seed pins the reference interleaving; a
+        // controller's decision trace pins any explored one.
+        os << "\n  schedule: seed=" << cfg_.seed << " "
+           << (ctrl_ ? ctrl_->describe()
+                     : std::string("default (no controller)"));
         HINTM_PANIC(os.str());
     }
 
@@ -987,6 +1291,11 @@ class Machine
      * loop returns to the index for the next pick. */
     bool schedDirty_ = false;
     bool finalized_ = false;
+    /** Scheduler nondeterminism hook (null = reference behavior). */
+    ScheduleController *ctrl_ = nullptr;
+    /** Event the in-flight step produced, as int(SchedEvent); -1 when
+     * none. Only maintained under a controller. */
+    int pendingEv_ = -1;
 };
 
 } // namespace
@@ -1062,6 +1371,18 @@ void
 SimRun::restore(const MachineSnapshot &s)
 {
     impl_->machine.restore(s);
+}
+
+void
+SimRun::preemptContext(unsigned ctx)
+{
+    impl_->machine.preemptContext(ctx);
+}
+
+Cycle
+SimRun::now() const
+{
+    return impl_->machine.nowCycle();
 }
 
 RunResult

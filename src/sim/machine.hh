@@ -31,6 +31,8 @@ namespace hintm
 namespace sim
 {
 
+class ScheduleController;
+
 /** Everything needed to instantiate a machine (Table II defaults). */
 struct MachineConfig
 {
@@ -91,6 +93,17 @@ struct MachineConfig
     /** TX-journal ring capacity in records; older records are dropped
      * (and counted) past this bound, aggregates stay exact. */
     std::size_t journalCapacity = 1u << 16;
+    /** Scheduler nondeterminism hook (schedule.hh): tie-breaks and
+     * TX-event preemption points route through it. Null (the default)
+     * leaves every scheduler hot path untouched; the machine does not
+     * own the object. Requires <= 64 contexts. */
+    ScheduleController *scheduleController = nullptr;
+    /** Seeded bug for the schedule explorer: hardware TXs skip the
+     * fallback-lock readset subscription and fallback acquirers skip
+     * the eager abort broadcast — the unsafe lazy-subscription hazard
+     * of Dice et al. A TX that commits while another context holds the
+     * lock is counted in RunResult::subscriptionViolations. */
+    bool unsafeLazySubscription = false;
 };
 
 /** Everything a run produces. */
@@ -149,6 +162,12 @@ struct RunResult
     std::uint64_t oracleSafeChecked = 0;
     /** Controller-side count of accesses that skipped HTM tracking. */
     std::uint64_t oracleSafeSkips = 0;
+
+    /** Hardware commits that completed while another context held the
+     * fallback lock — mutual-exclusion breaches. Structurally zero with
+     * eager lock subscription; non-zero only under the seeded
+     * MachineConfig::unsafeLazySubscription bug. */
+    std::uint64_t subscriptionViolations = 0;
 
     /** Per-TX event journal (MachineConfig::journal only): every TX
      * attempt with site, outcome, abort attribution and footprint.

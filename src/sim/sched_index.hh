@@ -209,8 +209,27 @@ class SchedIndex
     Pick
     pick(unsigned rr)
     {
+        return pick(rr, [](std::uint64_t mask, unsigned r) {
+            // First set bit at or after r, wrapping — identical to the
+            // strict-< reference scan order (r is always < 64 here).
+            const std::uint64_t hi =
+                mask & ~((std::uint64_t(1) << r) - 1);
+            return unsigned(std::countr_zero(hi ? hi : mask));
+        });
+    }
+
+    /**
+     * pick() with the tie-break delegated to @p choose(mask, rr), which
+     * must return a set bit of mask — the hook a ScheduleController
+     * uses to steer the interleaving. The default pick() above routes
+     * through this with the reference rotate-from-rr rule.
+     */
+    template <typename Chooser>
+    Pick
+    pick(unsigned rr, Chooser &&choose)
+    {
         if (dense())
-            return pickDense(rr);
+            return pickDense(rr, choose);
         Pick p;
         if (tie_ == 0) {
             openBucket();
@@ -226,10 +245,9 @@ class SchedIndex
         HINTM_ASSERT(heap_.empty() || heap_.front().key > tieKey_,
                      "scheduler index bucket behind the heap");
         const Cycle t = tieKey_;
-        // First set bit at or after rr, wrapping — identical to the
-        // strict-< reference scan order (rr is always < 64 here).
-        const std::uint64_t hi = tie_ & ~((std::uint64_t(1) << rr) - 1);
-        const unsigned w = unsigned(std::countr_zero(hi ? hi : tie_));
+        const unsigned w = choose(tie_, rr);
+        HINTM_ASSERT(w < n_ && (tie_ >> w & 1),
+                     "tie-break chose a context outside the tie mask");
         tie_ &= ~(std::uint64_t(1) << w);
         p.winner = int(w);
         p.key = t;
@@ -252,8 +270,9 @@ class SchedIndex
      * mirror finds the minimum, its tie mask, and the strict second
      * minimum — which is the exact batching bound when there are no
      * ties, tighter than any heap-derived one. */
+    template <typename Chooser>
     Pick
-    pickDense(unsigned rr)
+    pickDense(unsigned rr, Chooser &&choose)
     {
         Pick p;
         Cycle best = std::numeric_limits<Cycle>::max();
@@ -274,8 +293,9 @@ class SchedIndex
         }
         if (tie == 0)
             return p;
-        const std::uint64_t hi = tie & ~((std::uint64_t(1) << rr) - 1);
-        const unsigned w = unsigned(std::countr_zero(hi ? hi : tie));
+        const unsigned w = choose(tie, rr);
+        HINTM_ASSERT(w < n_ && (tie >> w & 1),
+                     "tie-break chose a context outside the tie mask");
         p.winner = int(w);
         p.key = best;
         p.bound = tie & ~(std::uint64_t(1) << w) ? best : second;

@@ -1,0 +1,117 @@
+#include "schedule.hh"
+
+#include <fstream>
+#include <sstream>
+
+namespace hintm
+{
+namespace sim
+{
+
+const char *
+schedEventName(SchedEvent e)
+{
+    switch (e) {
+      case SchedEvent::TxBegin:
+        return "tx-begin";
+      case SchedEvent::TxCommit:
+        return "tx-commit";
+      case SchedEvent::TxAbort:
+        return "tx-abort";
+      case SchedEvent::LockAcquire:
+        return "lock-acquire";
+      case SchedEvent::LockRelease:
+        return "lock-release";
+      case SchedEvent::LockSpin:
+        return "lock-spin";
+      case SchedEvent::Barrier:
+        return "barrier";
+    }
+    return "?";
+}
+
+std::string
+ScheduleController::describe() const
+{
+    return "custom controller (no trace)";
+}
+
+std::string
+PlanScheduleController::describe() const
+{
+    std::ostringstream os;
+    os << "plan [";
+    for (std::size_t i = 0; i < plan_.size(); ++i)
+        os << (i ? " " : "") << plan_[i];
+    os << "], " << trace_.size() << " decisions";
+    const std::size_t tail = trace_.size() > 8 ? trace_.size() - 8 : 0;
+    for (std::size_t i = tail; i < trace_.size(); ++i) {
+        const Seen &s = trace_[i];
+        os << (i == tail ? ": ..." : "") << " #" << s.index << ":"
+           << schedEventName(s.d.event) << "@ctx" << s.d.ctx;
+    }
+    return os.str();
+}
+
+bool
+writeScheduleFile(const std::string &path, const ScheduleFile &s)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    out << "hintm-schedule v1\n";
+    out << "workload " << s.workload << "\n";
+    out << "config " << s.config << "\n";
+    out << "seed " << s.seed << "\n";
+    out << "decisions " << s.decisions << "\n";
+    for (std::uint32_t i : s.preemptAt)
+        out << "preempt " << i << "\n";
+    out << "end\n";
+    return bool(out.flush());
+}
+
+bool
+readScheduleFile(const std::string &path, ScheduleFile &out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    std::string line;
+    if (!std::getline(in, line) || line != "hintm-schedule v1")
+        return false;
+    out = ScheduleFile{};
+    bool ended = false;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream ls(line);
+        std::string key;
+        ls >> key;
+        if (key == "workload") {
+            ls >> out.workload;
+        } else if (key == "config") {
+            // The label may contain spaces: everything after the key.
+            std::getline(ls, out.config);
+            if (!out.config.empty() && out.config.front() == ' ')
+                out.config.erase(0, 1);
+        } else if (key == "seed") {
+            ls >> out.seed;
+        } else if (key == "decisions") {
+            ls >> out.decisions;
+        } else if (key == "preempt") {
+            std::uint32_t idx = 0;
+            if (!(ls >> idx))
+                return false;
+            out.preemptAt.push_back(idx);
+        } else if (key == "end") {
+            ended = true;
+            break;
+        } else {
+            return false;
+        }
+    }
+    return ended;
+}
+
+} // namespace sim
+} // namespace hintm

@@ -137,10 +137,21 @@ class SimRun
      */
     MachineSnapshot snapshot() const;
 
-    /** Restore a snapshot captured from an identically-configured run. */
+    /** Restore a snapshot captured from an identically-configured run.
+     * Also un-finalizes a finished run, so one SimRun can be driven
+     * through many restore()/finish() rounds (branch exploration). */
     void restore(const MachineSnapshot &s);
 
-    /** Run to completion and finalize the result. Call at most once. */
+    /** Deschedule context @p ctx until another context is preempted in
+     * its place or nothing else is runnable. Only meaningful under a
+     * ScheduleController (schedule.hh); the explorer's branch move
+     * after restoring a fork point. */
+    void preemptContext(unsigned ctx);
+
+    /** Current scheduler clock. */
+    Cycle now() const;
+
+    /** Run to completion and finalize the result. */
     RunResult finish();
 
   private:

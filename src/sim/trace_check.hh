@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Per-trace invariant oracle for the schedule explorer: machine-checked
+ * soundness and progress properties every explored interleaving must
+ * satisfy, derived from state the simulator already maintains — the PR 5
+ * TX journal, the PR 4 hint oracle and the HTM stat counters.
+ *
+ * Fatal violation classes:
+ *  - journal-consistency: the journal's exact whole-run totals must
+ *    reconcile with the HtmStats counters record by record (commits,
+ *    per-reason aborts, fallback/converted commits, cycles lost);
+ *  - hint-oracle: no safe-hinted access may overlap a remote write
+ *    (MachineConfig::hintOracle runs only);
+ *  - subscription: no hardware TX may commit while another context
+ *    holds the fallback lock (mutual exclusion / lazy subscription);
+ *  - final-state: a trace's final global memory must match the
+ *    reference trace's (deterministic data-race-free workloads only).
+ *
+ * Non-fatal: bounded-livelock detection — a run of >= threshold
+ * consecutive aborted attempts with no committing outcome anywhere in
+ * between is reported as a convoy warning with its starting cycle.
+ */
+
+#ifndef HINTM_SIM_TRACE_CHECK_HH
+#define HINTM_SIM_TRACE_CHECK_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hh"
+
+namespace hintm
+{
+namespace sim
+{
+
+struct TraceViolation
+{
+    /** Violation class: "journal-consistency", "hint-oracle",
+     * "subscription", "final-state" or "livelock". */
+    std::string kind;
+    std::string detail;
+    /** Warnings (livelock) are reported but do not fail a trace. */
+    bool fatal = true;
+};
+
+struct TraceCheckOptions
+{
+    /** Consecutive aborted attempts (no commit in between) that count
+     * as a bounded livelock. 0 disables the scan. */
+    unsigned livelockThreshold = 16;
+    /** Reference final-global state to compare against (null = skip).
+     * Only meaningful for workloads whose final memory is
+     * schedule-independent. */
+    const std::map<std::string, std::vector<std::int64_t>>
+        *referenceGlobals = nullptr;
+};
+
+/** Check one finished trace; empty result = all invariants hold. */
+std::vector<TraceViolation>
+checkTrace(const MachineConfig &cfg, const RunResult &r,
+           const TraceCheckOptions &opt = {});
+
+/** True if any violation in @p v is fatal. */
+bool anyFatal(const std::vector<TraceViolation> &v);
+
+} // namespace sim
+} // namespace hintm
+
+#endif // HINTM_SIM_TRACE_CHECK_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * convoy: adversarial micro-workload for the schedule explorer (not part
+ * of the paper's suite — never listed in allNames()). Four threads run a
+ * short loop of tiny TXs; every even iteration RMWs one shared word, so
+ * attempts collide, retry and drive contexts into the fallback lock —
+ * the lock-contender convoy. Odd iterations touch only the thread's
+ * private 64-byte slot, giving the explorer hardware TXs that a sound
+ * fallback path must abort via lock subscription: under the seeded
+ * lazy-subscription bug (MachineConfig::unsafeLazySubscription) a
+ * preempted private TX can commit while another context holds the lock.
+ *
+ * The final state is schedule-independent (all updates commute): the
+ * shared counter totals threads * ceil(iters/2) and each slot word
+ * totals its per-thread increment count, so the explorer's final-state
+ * check applies.
+ */
+
+#include "workloads.hh"
+
+#include "tir/builder.hh"
+
+namespace hintm
+{
+namespace workloads
+{
+
+using tir::FunctionBuilder;
+using tir::Module;
+using tir::Reg;
+
+Workload
+buildConvoy(Scale s, unsigned threads_override)
+{
+    const unsigned threads = threads_override ? threads_override : 4;
+    std::int64_t iters = 12;
+    switch (s) {
+      case Scale::Tiny: iters = 12; break;
+      case Scale::Small: iters = 48; break;
+      case Scale::Large: iters = 96; break;
+    }
+
+    Module m;
+    m.globals.push_back({"g_shared", 8, 0});
+    m.globals.push_back({"g_slots", 8, 0});
+
+    {
+        FunctionBuilder f(m, "init", 0);
+        const Reg slots = f.mallocI(std::uint64_t(threads) * 64);
+        f.forRangeI(0, std::int64_t(threads) * 8, [&](Reg w) {
+            f.store(f.gep(slots, w, 8), f.constI(0));
+        });
+        f.store(f.globalAddr("g_slots"), slots);
+        f.storeI(f.globalAddr("g_shared"), 0);
+        f.retVoid();
+        m.initFunc = f.finish();
+    }
+
+    {
+        FunctionBuilder f(m, "worker", 1);
+        const Reg tid = f.param(0);
+        const Reg slot =
+            f.gep(f.load(f.globalAddr("g_slots")), tid, 64, 0);
+        const Reg shared = f.globalAddr("g_shared");
+
+        f.forRangeI(0, iters, [&](Reg i) {
+            f.txBegin();
+            f.ifThen(f.cmpEqI(f.modI(i, 2), 0), [&] {
+                // Contention driver: every context RMWs the same word.
+                f.store(shared, f.addI(f.load(shared), 1));
+            });
+            // Private work: two words of the thread's own slot.
+            f.store(slot, f.addI(f.load(slot), 1));
+            f.store(f.gep(slot, f.constI(1), 8),
+                    f.addI(f.load(slot, 8), 1));
+            f.txEnd();
+        });
+        f.retVoid();
+        m.threadFunc = f.finish();
+    }
+
+    return Workload{"convoy", std::move(m), threads};
+}
+
+} // namespace workloads
+} // namespace hintm

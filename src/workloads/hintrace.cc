@@ -1,0 +1,142 @@
+/**
+ * @file
+ * hintrace: adversarial micro-workload for the schedule explorer (not
+ * part of the paper's suite — never listed in allNames()). One writer
+ * publishes g_data then raises g_flag inside a single TX; readers run a
+ * tid-staggered ramp of private TXs and then guarded TXs that read
+ * g_data only while g_flag is still 0. The guarded read lives in its
+ * own function, `racy_read`, so the seeded-bug variant can mark exactly
+ * those loads with the static safe hint after the module is built.
+ *
+ * The hint is wrong: g_flag does not protect g_data against a writer
+ * whose TX is still in flight, so a schedule that lands the writer's
+ * store inside a reader's guarded window makes the safe-hinted
+ * (untracked) read overlap a remote write — the hint-oracle race the
+ * explorer must find at preemption bound 2. The clean variant carries
+ * no hints and must explore silently.
+ *
+ * How many guarded windows see flag == 0 is genuinely schedule-
+ * dependent, so the final state legitimately varies across
+ * interleavings: run the explorer with compareFinalState off.
+ */
+
+#include "workloads.hh"
+
+#include "common/logging.hh"
+#include "tir/builder.hh"
+
+namespace hintm
+{
+namespace workloads
+{
+
+using tir::FunctionBuilder;
+using tir::Module;
+using tir::Reg;
+
+Workload
+buildHintRace(Scale s, unsigned threads_override, bool seeded_bug)
+{
+    const unsigned threads = threads_override ? threads_override : 3;
+    HINTM_ASSERT(threads >= 2, "hintrace needs a writer and a reader");
+    std::int64_t rounds = 4;
+    switch (s) {
+      case Scale::Tiny: rounds = 4; break;
+      case Scale::Small: rounds = 12; break;
+      case Scale::Large: rounds = 24; break;
+    }
+
+    Module m;
+    m.globals.push_back({"g_data", 8, 0});
+    m.globals.push_back({"g_flag", 8, 0});
+    m.globals.push_back({"g_sink", 8, 0});
+
+    {
+        FunctionBuilder f(m, "init", 0);
+        f.storeI(f.globalAddr("g_data"), 7);
+        f.storeI(f.globalAddr("g_flag"), 0);
+        const Reg sink = f.mallocI(std::uint64_t(threads) * 64);
+        f.forRangeI(0, std::int64_t(threads) * 8, [&](Reg w) {
+            f.store(f.gep(sink, w, 8), f.constI(0));
+        });
+        f.store(f.globalAddr("g_sink"), sink);
+        f.retVoid();
+        m.initFunc = f.finish();
+    }
+
+    {
+        // The load the bad hint marks safe — kept in its own function
+        // so the seeding below touches nothing else.
+        FunctionBuilder f(m, "racy_read", 0);
+        f.ret(f.load(f.globalAddr("g_data")));
+        f.finish();
+    }
+
+    {
+        FunctionBuilder f(m, "worker", 1);
+        const Reg tid = f.param(0);
+        const Reg slot =
+            f.gep(f.load(f.globalAddr("g_sink")), tid, 64, 0);
+        const Reg flag = f.globalAddr("g_flag");
+
+        f.ifThenElse(
+            f.cmpEqI(tid, 0),
+            [&] {
+                // Writer: publish data, then raise the flag — one TX.
+                f.txBegin();
+                f.storeI(f.globalAddr("g_data"), 42);
+                f.storeI(flag, 1);
+                f.txEnd();
+            },
+            [&] {
+                // Readers: a tid-staggered ramp of private TXs spreads
+                // the guarded windows of different readers apart, so
+                // one reader's window overlaps another's begin events.
+                f.forRange(f.constI(0), f.mulI(f.subI(tid, 1), 3),
+                           [&](Reg) {
+                               f.txBegin();
+                               f.store(slot, f.addI(f.load(slot), 1));
+                               f.txEnd();
+                           });
+                f.forRangeI(0, rounds, [&](Reg) {
+                    f.txBegin();
+                    const Reg seen = f.load(flag);
+                    f.ifThen(f.cmpEqI(seen, 0), [&] {
+                        const Reg v = f.call("racy_read", {});
+                        // A few extra private updates keep the TX in
+                        // flight for a while after the guarded read.
+                        f.store(f.gep(slot, f.constI(1), 8),
+                                f.add(f.load(slot, 8), v));
+                        f.store(f.gep(slot, f.constI(2), 8),
+                                f.addI(f.load(slot, 16), 1));
+                        f.store(f.gep(slot, f.constI(3), 8),
+                                f.addI(f.load(slot, 24), 1));
+                    });
+                    f.txEnd();
+                    // A private TX between guarded rounds.
+                    f.txBegin();
+                    f.store(slot, f.addI(f.load(slot), 1));
+                    f.txEnd();
+                });
+            });
+        f.retVoid();
+        m.threadFunc = f.finish();
+    }
+
+    if (seeded_bug) {
+        const int fn = m.findFunction("racy_read");
+        HINTM_ASSERT(fn >= 0, "racy_read vanished");
+        for (tir::BasicBlock &bb : m.functions[unsigned(fn)].blocks) {
+            for (tir::Instr &in : bb.instrs) {
+                if (in.op == tir::Opcode::Load)
+                    in.safe = true;
+            }
+        }
+    }
+
+    return Workload{seeded_bug ? "hintrace-bug" : "hintrace",
+                    std::move(m), threads};
+}
+
+} // namespace workloads
+} // namespace hintm

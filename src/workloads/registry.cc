@@ -51,6 +51,12 @@ buildBase(const std::string &base, Scale s, unsigned threads)
         return buildTpccNo(s, threads);
     if (base == "tpcc-p")
         return buildTpccP(s, threads);
+    // Explorer-only adversarial kernels: resolvable by name, but never
+    // part of allNames() (the figure pipelines iterate that list).
+    if (base == "convoy")
+        return buildConvoy(s, threads);
+    if (base == "hintrace")
+        return buildHintRace(s, threads);
     HINTM_FATAL("unknown workload '", base, "'");
 }
 

@@ -55,6 +55,13 @@ Workload buildYada(Scale s, unsigned threads_override = 0);
 Workload buildTpccNo(Scale s, unsigned threads_override = 0);
 Workload buildTpccP(Scale s, unsigned threads_override = 0);
 
+// Adversarial micro-workloads for the schedule explorer (tools/tests
+// only — deliberately absent from allNames() so the paper's figure and
+// sweep pipelines never pick them up).
+Workload buildConvoy(Scale s, unsigned threads_override = 0);
+Workload buildHintRace(Scale s, unsigned threads_override = 0,
+                       bool seeded_bug = false);
+
 /** Every workload name, in the paper's presentation order. */
 const std::vector<std::string> &allNames();
 

@@ -1,0 +1,473 @@
+/**
+ * @file
+ * Schedule-explorer tests: default-controller bit-identity against the
+ * controller-free scheduler paths, plan replay determinism, fork-vs-
+ * scratch branch identity, schedule-file round-trips, the seeded-bug
+ * catches (hint-oracle race, lazy lock subscription, convoy livelock),
+ * DPOR pruning soundness, and scheduler-index wake edge cases under a
+ * non-default tie-break.
+ */
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/hintm.hh"
+#include "sim/explorer.hh"
+#include "sim/sched_index.hh"
+#include "sim/schedule.hh"
+#include "sim/snapshot.hh"
+#include "sim/trace_check.hh"
+#include "workloads/workloads.hh"
+
+using namespace hintm;
+
+namespace
+{
+
+void
+expectSameResult(const sim::RunResult &a, const sim::RunResult &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.committedTxs, b.committedTxs);
+    EXPECT_EQ(a.fallbackRuns, b.fallbackRuns);
+    EXPECT_EQ(a.htm.begins, b.htm.begins);
+    EXPECT_EQ(a.htm.commits, b.htm.commits);
+    for (unsigned r = 0; r < htm::numAbortReasons; ++r) {
+        EXPECT_EQ(a.htm.aborts[r], b.htm.aborts[r]) << "reason " << r;
+        EXPECT_EQ(a.htm.cyclesLost[r], b.htm.cyclesLost[r]);
+    }
+    EXPECT_EQ(a.subscriptionViolations, b.subscriptionViolations);
+    EXPECT_EQ(a.pageModeOverheadCycles, b.pageModeOverheadCycles);
+    EXPECT_EQ(a.safePages, b.safePages);
+    EXPECT_EQ(a.totalPages, b.totalPages);
+    EXPECT_EQ(a.finalGlobals, b.finalGlobals);
+    if (a.journal && b.journal) {
+        const TxJournal::Totals &ta = a.journal->totals();
+        const TxJournal::Totals &tb = b.journal->totals();
+        EXPECT_EQ(ta.commits, tb.commits);
+        EXPECT_EQ(ta.fallbackCommits, tb.fallbackCommits);
+        EXPECT_EQ(ta.totalAborts(), tb.totalAborts());
+        EXPECT_EQ(ta.cyclesLostToAborts, tb.cyclesLostToAborts);
+        EXPECT_EQ(a.journal->size(), b.journal->size());
+    }
+}
+
+core::SystemOptions
+convoyOptions()
+{
+    core::SystemOptions so;
+    so.mechanism = core::Mechanism::Baseline;
+    so.journal = true;
+    so.maxRetries = 2; // low, so the fallback lock sees traffic
+    return so;
+}
+
+core::SystemOptions
+hintraceOptions()
+{
+    core::SystemOptions so;
+    so.mechanism = core::Mechanism::StaticOnly;
+    so.hintOracle = true;
+    so.journal = true;
+    so.maxRetries = 2;
+    return so;
+}
+
+std::multiset<std::string>
+fatalKinds(const sim::ExploreReport &rep)
+{
+    std::multiset<std::string> kinds;
+    for (const sim::ExploreIssue &is : rep.issues) {
+        if (is.violation.fatal)
+            kinds.insert(is.violation.kind);
+    }
+    return kinds;
+}
+
+} // namespace
+
+/**
+ * Attaching the default controller must not change anything: the
+ * controlled scheduler loop with the rotate-from-rr tie-break has to be
+ * bit-identical to both controller-free paths (indexed and reference
+ * scan) on every kernel of the suite.
+ */
+class DefaultControllerEquivalence
+    : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(DefaultControllerEquivalence, MatchesControllerFreeRun)
+{
+    workloads::Workload w1 =
+        workloads::byName(GetParam(), workloads::Scale::Tiny);
+    workloads::Workload w2 =
+        workloads::byName(GetParam(), workloads::Scale::Tiny);
+    core::compileHints(w1.module);
+    core::compileHints(w2.module);
+
+    core::SystemOptions opts;
+    opts.mechanism = core::Mechanism::Full;
+    opts.journal = true;
+    const sim::RunResult ref =
+        core::simulate(opts, w1.module, w1.threads);
+
+    sim::DefaultScheduleController ctrl;
+    sim::MachineConfig cfg = core::makeMachineConfig(opts);
+    cfg.scheduleController = &ctrl;
+    const sim::RunResult controlled =
+        sim::runMachine(cfg, w2.module, w2.threads);
+    expectSameResult(controlled, ref);
+
+    // And through the reference O(contexts) scan as well.
+    cfg.schedIndex = false;
+    const sim::RunResult scanned =
+        sim::runMachine(cfg, w2.module, w2.threads);
+    expectSameResult(scanned, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, DefaultControllerEquivalence,
+                         ::testing::ValuesIn(workloads::allNames()));
+
+/** The same preemption plan must reproduce the same trace, run after
+ * run — the replay contract behind every schedule file. */
+TEST(PlanReplay, SamePlanIsByteIdentical)
+{
+    const std::vector<std::uint32_t> plan = {0};
+    sim::RunResult r[2];
+    std::uint32_t decisions[2] = {};
+    for (int i = 0; i < 2; ++i) {
+        workloads::Workload wl =
+            workloads::buildHintRace(workloads::Scale::Tiny, 0, true);
+        sim::PlanScheduleController ctrl;
+        ctrl.reset(plan);
+        sim::MachineConfig cfg =
+            core::makeMachineConfig(hintraceOptions());
+        cfg.scheduleController = &ctrl;
+        sim::SimRun run(cfg, wl.module, wl.threads);
+        r[i] = run.finish();
+        decisions[i] = ctrl.nextIndex();
+    }
+    EXPECT_EQ(decisions[0], decisions[1]);
+    expectSameResult(r[0], r[1]);
+    EXPECT_FALSE(r[0].oracleWitnesses.empty());
+}
+
+/**
+ * Branching from a mid-run snapshot (restore + preempt the decision's
+ * context) must be bit-identical to replaying the extended plan from a
+ * cold start — the property that lets the explorer fork instead of
+ * re-running prefixes.
+ */
+TEST(ExplorerFork, ForkedBranchMatchesScratchReplay)
+{
+    const std::uint32_t k = 5;
+    workloads::Workload wl =
+        workloads::buildConvoy(workloads::Scale::Tiny, 0);
+    sim::MachineConfig cfg = core::makeMachineConfig(convoyOptions());
+
+    // Base run: record, and capture the machine at decision k.
+    sim::PlanScheduleController ctrl;
+    cfg.scheduleController = &ctrl;
+    ctrl.reset({});
+    std::shared_ptr<const sim::MachineSnapshot> snap;
+    unsigned preempt_ctx = 0;
+    sim::SimRun base(cfg, wl.module, wl.threads);
+    ctrl.hook = [&](const sim::SchedDecision &d, std::uint32_t idx) {
+        if (idx == k) {
+            snap = std::make_shared<sim::MachineSnapshot>(
+                base.snapshot());
+            preempt_ctx = d.ctx;
+        }
+    };
+    base.finish();
+    ctrl.hook = nullptr;
+    ASSERT_TRUE(snap) << "base trace never reached decision " << k;
+
+    // Scratch: cold start, full plan.
+    sim::PlanScheduleController sctrl;
+    sctrl.reset({k});
+    sim::MachineConfig scfg = core::makeMachineConfig(convoyOptions());
+    scfg.scheduleController = &sctrl;
+    sim::SimRun scratch(scfg, wl.module, wl.threads);
+    const sim::RunResult a = scratch.finish();
+
+    // Fork: restore the snapshot and apply the preemption.
+    sim::PlanScheduleController fctrl;
+    fctrl.reset({k}, k + 1);
+    sim::MachineConfig fcfg = core::makeMachineConfig(convoyOptions());
+    fcfg.scheduleController = &fctrl;
+    sim::SimRun fork(fcfg, wl.module, wl.threads);
+    fork.restore(*snap);
+    fork.preemptContext(preempt_ctx);
+    const sim::RunResult b = fork.finish();
+
+    expectSameResult(a, b);
+    EXPECT_EQ(sctrl.nextIndex(), fctrl.nextIndex());
+}
+
+TEST(ScheduleFile, RoundTripsAndRejectsGarbage)
+{
+    sim::ScheduleFile sf;
+    sf.workload = "hintrace-bug";
+    sf.config = "scale=tiny threads=0 retries=2 bug=1";
+    sf.seed = 7;
+    sf.decisions = 29;
+    sf.preemptAt = {0, 27};
+    const std::string path =
+        ::testing::TempDir() + "/explore_roundtrip.sched";
+    ASSERT_TRUE(sim::writeScheduleFile(path, sf));
+
+    sim::ScheduleFile in;
+    ASSERT_TRUE(sim::readScheduleFile(path, in));
+    EXPECT_EQ(in.workload, sf.workload);
+    EXPECT_EQ(in.config, sf.config);
+    EXPECT_EQ(in.seed, sf.seed);
+    EXPECT_EQ(in.decisions, sf.decisions);
+    EXPECT_EQ(in.preemptAt, sf.preemptAt);
+
+    const std::string bad = ::testing::TempDir() + "/explore_bad.sched";
+    std::FILE *f = std::fopen(bad.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("not a schedule\n", f);
+    std::fclose(f);
+    EXPECT_FALSE(sim::readScheduleFile(bad, in));
+    EXPECT_FALSE(sim::readScheduleFile("/nonexistent/x.sched", in));
+}
+
+/** The wrong safe hint on the guarded read must surface as a
+ * hint-oracle violation within preemption bound 2; the clean variant
+ * must explore silently under the same options. */
+TEST(ExplorerCatches, SeededHintOracleRaceAtBoundTwo)
+{
+    sim::ExploreOptions opt;
+    opt.preemptionBound = 2;
+    opt.compareFinalState = false; // guarded reads: schedule-dependent
+    const sim::MachineConfig cfg =
+        core::makeMachineConfig(hintraceOptions());
+
+    workloads::Workload bug =
+        workloads::buildHintRace(workloads::Scale::Tiny, 0, true);
+    const sim::ExploreReport rep =
+        sim::exploreSchedules(cfg, bug.module, bug.threads, opt);
+    EXPECT_TRUE(rep.anyFatal());
+    EXPECT_TRUE(fatalKinds(rep).count("hint-oracle"));
+    // Every violation carries a replayable plan within the bound.
+    for (const sim::ExploreIssue &is : rep.issues)
+        EXPECT_LE(is.plan.size(), 2u);
+    // Oracle configs cannot fork (shadow state is outside snapshots).
+    EXPECT_EQ(rep.snapshotForks, 0u);
+    EXPECT_GT(rep.scratchReplays, 0u);
+
+    workloads::Workload clean =
+        workloads::buildHintRace(workloads::Scale::Tiny, 0, false);
+    const sim::ExploreReport ok =
+        sim::exploreSchedules(cfg, clean.module, clean.threads, opt);
+    EXPECT_FALSE(ok.anyFatal());
+    EXPECT_TRUE(fatalKinds(ok).empty());
+}
+
+/** Lazy lock subscription must surface as a subscription violation
+ * within bound 2; the sound convoy must not, but must report the
+ * bounded-livelock convoy warning. */
+TEST(ExplorerCatches, SeededLazySubscriptionAtBoundTwo)
+{
+    sim::ExploreOptions opt;
+    opt.preemptionBound = 2;
+    opt.maxSchedules = 512; // the bug shows up long before the cap
+    sim::MachineConfig cfg = core::makeMachineConfig(convoyOptions());
+    cfg.unsafeLazySubscription = true;
+
+    workloads::Workload wl =
+        workloads::buildConvoy(workloads::Scale::Tiny, 0);
+    const sim::ExploreReport rep =
+        sim::exploreSchedules(cfg, wl.module, wl.threads, opt);
+    EXPECT_TRUE(rep.anyFatal());
+    EXPECT_TRUE(fatalKinds(rep).count("subscription"));
+    EXPECT_GT(rep.snapshotForks, 0u); // no oracle: forking allowed
+}
+
+TEST(ExplorerCatches, CleanConvoyPassesWithLivelockWarning)
+{
+    sim::ExploreOptions opt;
+    opt.preemptionBound = 1;
+    opt.livelockThreshold = 8;
+    const sim::MachineConfig cfg =
+        core::makeMachineConfig(convoyOptions());
+
+    workloads::Workload wl =
+        workloads::buildConvoy(workloads::Scale::Tiny, 0);
+    const sim::ExploreReport rep =
+        sim::exploreSchedules(cfg, wl.module, wl.threads, opt);
+    EXPECT_FALSE(rep.anyFatal());
+    bool livelock = false;
+    for (const sim::ExploreIssue &is : rep.issues) {
+        if (is.violation.kind == "livelock") {
+            EXPECT_FALSE(is.violation.fatal);
+            livelock = true;
+        }
+    }
+    EXPECT_TRUE(livelock)
+        << "expected at least one convoy warning across "
+        << rep.schedulesRun << " schedules";
+}
+
+/** The independence filter must cut the schedule count without losing
+ * any violation class the naive enumeration finds. */
+TEST(ExplorerDpor, PrunesSchedulesWithoutLosingViolations)
+{
+    sim::ExploreOptions opt;
+    opt.preemptionBound = 2;
+    opt.compareFinalState = false;
+    const sim::MachineConfig cfg =
+        core::makeMachineConfig(hintraceOptions());
+    workloads::Workload wl =
+        workloads::buildHintRace(workloads::Scale::Tiny, 0, true);
+
+    const sim::ExploreReport pruned =
+        sim::exploreSchedules(cfg, wl.module, wl.threads, opt);
+    opt.dpor = false;
+    const sim::ExploreReport naive =
+        sim::exploreSchedules(cfg, wl.module, wl.threads, opt);
+
+    EXPECT_GT(pruned.branchesPruned, 0u);
+    EXPECT_EQ(naive.branchesPruned, 0u);
+    EXPECT_LT(pruned.schedulesRun, naive.schedulesRun);
+
+    // Same violation *classes* on both sides (DPOR guarantees a
+    // representative of every bug, not the same schedule multiset).
+    std::set<std::string> pk, nk;
+    for (const std::string &k : fatalKinds(pruned))
+        pk.insert(k);
+    for (const std::string &k : fatalKinds(naive))
+        nk.insert(k);
+    EXPECT_EQ(pk, nk);
+    EXPECT_TRUE(pk.count("hint-oracle"));
+}
+
+/** Exploration fans out over host threads without changing the report:
+ * the merge is in deterministic branch order. */
+TEST(ExplorerJobs, ParallelMatchesSequential)
+{
+    sim::ExploreOptions opt;
+    opt.preemptionBound = 1; // stay under maxSchedules: a binding cap
+                             // makes *which* branches get dropped
+                             // depend on worker arrival order
+    const sim::MachineConfig cfg =
+        core::makeMachineConfig(convoyOptions());
+    workloads::Workload wl =
+        workloads::buildConvoy(workloads::Scale::Tiny, 0);
+
+    const sim::ExploreReport seq =
+        sim::exploreSchedules(cfg, wl.module, wl.threads, opt);
+    opt.jobs = 4;
+    const sim::ExploreReport par =
+        sim::exploreSchedules(cfg, wl.module, wl.threads, opt);
+
+    EXPECT_EQ(seq.branchPoints, par.branchPoints);
+    EXPECT_EQ(seq.branchesPruned, par.branchesPruned);
+    EXPECT_EQ(fatalKinds(seq), fatalKinds(par));
+}
+
+// ---------------------------------------------------------------------
+// Scheduler-index wake edges under a non-default tie-break chooser.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Deliberately not the rotate-from-rr default: highest set bit. */
+unsigned
+highestBit(std::uint64_t mask, unsigned)
+{
+    return 63u - unsigned(std::countl_zero(mask));
+}
+
+} // namespace
+
+TEST(SchedIndexWake, WakeOfRetiredContextIsIgnored)
+{
+    sim::SchedIndex idx;
+    // 20 contexts forces the heap path (dense mode covers <= 16).
+    idx.reset(20);
+    for (unsigned c = 0; c < 20; ++c)
+        idx.sync(c, false, false, 5);
+    idx.retire(3);
+    idx.setReady(3, 0); // stale wake of a finished context
+    const sim::SchedIndex::Pick p = idx.pick(0, highestBit);
+    EXPECT_EQ(p.winner, 19);
+    EXPECT_EQ(p.key, 5u);
+}
+
+TEST(SchedIndexWake, DoubleWakeInOneStepLastKeyWins)
+{
+    sim::SchedIndex idx;
+    idx.reset(20);
+    for (unsigned c = 0; c < 20; ++c)
+        idx.sync(c, false, false, 10);
+    // Context 7 publishes twice before the next pick (e.g. a barrier
+    // release immediately re-priced by a preemption rebuild): only the
+    // final key may be observable.
+    idx.setReady(7, 2);
+    idx.setReady(7, 4);
+    sim::SchedIndex::Pick p = idx.pick(0, highestBit);
+    EXPECT_EQ(p.winner, 7);
+    EXPECT_EQ(p.key, 4u);
+    // After consuming 7's entry the stale key-2 entry must not
+    // resurface: the runner-up is the key-10 crowd.
+    idx.setReady(7, 20);
+    p = idx.pick(0, highestBit);
+    EXPECT_EQ(p.key, 10u);
+    EXPECT_EQ(p.winner, 19);
+}
+
+TEST(SchedIndexWake, DenseModeHonorsChooser)
+{
+    sim::SchedIndex idx;
+    idx.reset(4); // dense mode
+    for (unsigned c = 0; c < 4; ++c)
+        idx.sync(c, false, false, 1);
+    const sim::SchedIndex::Pick p = idx.pick(1, highestBit);
+    EXPECT_EQ(p.winner, 3);
+    // The default chooser from the same state rotates from rr instead.
+    sim::SchedIndex idx2;
+    idx2.reset(4);
+    for (unsigned c = 0; c < 4; ++c)
+        idx2.sync(c, false, false, 1);
+    EXPECT_EQ(idx2.pick(1).winner, 1);
+}
+
+/** Restoring a snapshot mid-branch rebuilds the index from context
+ * state: a run driven restore -> finish twice must be identical. */
+TEST(SchedIndexWake, SnapshotRestoreMidBranchIsRepeatable)
+{
+    workloads::Workload wl =
+        workloads::buildConvoy(workloads::Scale::Tiny, 0);
+    sim::PlanScheduleController ctrl;
+    ctrl.reset({3});
+    sim::MachineConfig cfg = core::makeMachineConfig(convoyOptions());
+    cfg.scheduleController = &ctrl;
+    sim::SimRun run(cfg, wl.module, wl.threads);
+    run.runUntilCommits(4);
+    const sim::MachineSnapshot snap = run.snapshot();
+
+    ctrl.reset({3}, ctrl.nextIndex());
+    const std::uint32_t mark = ctrl.nextIndex();
+    run.restore(snap);
+    const sim::RunResult a = run.finish();
+    const std::uint32_t da = ctrl.nextIndex();
+
+    ctrl.reset({3}, mark);
+    run.restore(snap);
+    const sim::RunResult b = run.finish();
+    expectSameResult(a, b);
+    EXPECT_EQ(da, ctrl.nextIndex());
+}
