@@ -65,6 +65,8 @@ BenchArgs::parse(int argc, char **argv)
             setLintOnPrepare(true);
         } else if (arg == "--journal") {
             a.journal = true;
+        } else if (arg == "--metrics") {
+            a.metrics = true;
         } else if (arg == "--perfetto") {
             a.perfettoPath = "perfetto_trace.json";
             if (i + 1 < argc && argv[i + 1][0] != '-')
@@ -87,7 +89,8 @@ BenchArgs::parse(int argc, char **argv)
                         "[--workload NAME]... [--jobs N] [--json FILE] "
                         "[--no-snoop-filter] [--no-directory] "
                         "[--no-decode-cache] [--no-sched-index] "
-                        "[--lint] [--journal] [--perfetto [FILE]] "
+                        "[--lint] [--journal] [--metrics] "
+                        "[--perfetto [FILE]] "
                         "[--stats-json [FILE]] [--cache-dir DIR] "
                         "[--no-disk-cache] [--cache-clear] "
                         "[--no-prefix-fork]\n");
@@ -98,6 +101,8 @@ BenchArgs::parse(int argc, char **argv)
     }
     if (a.journal)
         core::SystemOptions::setJournalDefault(true);
+    if (a.metrics)
+        core::SystemOptions::setMetricsDefault(true);
     if (!a.jsonPath.empty())
         setJsonReport(a.jsonPath);
     if (!a.perfettoPath.empty() || !a.statsJsonPath.empty())
@@ -243,7 +248,7 @@ jobKeyWithFp(const MatrixJob &job, std::uint64_t fp)
        << o.bufferEntries << '|' << o.signatureBits << '|'
        << o.maxRetries << '|' << o.snoopFilter << o.directory
        << o.decodeCache << o.schedIndex << o.collectRawStats
-       << o.hintOracle << o.journal
+       << o.hintOracle << o.journal << o.metrics
        << '|' << o.journalCapacity << '|' << o.numaNodes << '|'
        << o.numaRemoteLatency;
     return os.str();
@@ -518,11 +523,12 @@ runMatrix(const std::vector<MatrixJob> &jobs, unsigned host_jobs)
 
     // Probe the persistent store for the surviving unique jobs.
     // Serial: loads are small reads, cheap against the simulations
-    // they replace. Journal-carrying jobs bypass the store (journals
-    // are observability artifacts sized like the run itself).
+    // they replace. Journal- and metrics-carrying jobs bypass the store
+    // (observability artifacts sized like the run itself, and the store
+    // only serializes the POD result fields).
     std::vector<std::size_t> toSim;
     for (std::size_t i : toRun) {
-        if (disk && !jobs[i].opts.journal &&
+        if (disk && !jobs[i].opts.journal && !jobs[i].opts.metrics &&
             disk->load(keys[i], results[i])) {
             std::lock_guard<std::mutex> lock(st.mu);
             ++st.stats.diskHits;
@@ -596,7 +602,7 @@ runMatrix(const std::vector<MatrixJob> &jobs, unsigned host_jobs)
         recordJson(job, results[i], wall_ms);
         recordObservability(job.wl->wl.name, job.opts, jobThreads(job),
                             results[i]);
-        if (disk && !job.opts.journal) {
+        if (disk && !job.opts.journal && !job.opts.metrics) {
             disk->store(keys[i], results[i]);
             std::lock_guard<std::mutex> lock(st.mu);
             ++st.stats.diskStores;

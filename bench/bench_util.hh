@@ -55,6 +55,10 @@ struct BenchArgs
     /** --journal: record every TX attempt (flips the process-wide
      * SystemOptions default; observation only, results bit-identical). */
     bool journal = false;
+    /** --metrics: fold capacity-pressure metrics into every run (flips
+     * the process-wide SystemOptions default; observation only, results
+     * bit-identical). */
+    bool metrics = false;
     /** --perfetto [FILE]: write a Chrome-trace timeline of every
      * journal-carrying run at exit (implies --journal). */
     std::string perfettoPath;

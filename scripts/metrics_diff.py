@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Threshold-gated diff of two HinTM stats-JSON exports.
+
+Stdlib only (CI runs it with a bare python3). Matches records across the
+two files by (workload, config, threads) and compares a set of scalar
+metrics; any relative difference beyond --threshold fails the gate
+(exit 1). With --threshold 0 the gate demands exact equality, which is
+how CI checks that observability layers stay observation-only: a run
+with metrics on must report the same simulation results as one without.
+
+Metrics sections are compared when both records carry them; a record
+with metrics in one file and null in the other is only an error under
+--require-metrics (the sections are optional payloads, not results).
+
+Usage:
+  metrics_diff.py baseline.json candidate.json
+  metrics_diff.py --threshold 0 a.json b.json      # exact-equality gate
+  metrics_diff.py --keys cycles,committed_txs a.json b.json
+"""
+
+import argparse
+import json
+import sys
+
+# Record-level scalars compared by default. Paths are dotted; "aborts"
+# drills into the htm abort map.
+DEFAULT_KEYS = [
+    "cycles",
+    "instructions",
+    "committed_txs",
+    "fallback_runs",
+    "htm.commits",
+    "htm.aborts.total",
+    "htm.aborts.capacity",
+]
+
+# Metrics-section scalars compared whenever both records carry metrics.
+METRICS_KEYS = [
+    "metrics.capacity_aborts",
+    "metrics.hint_saved_commits",
+    "metrics.overflow_set.scans",
+    "metrics.fallback.acquisitions",
+]
+
+
+def lookup(record, dotted):
+    node = record
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def record_key(r):
+    return (r.get("workload"), r.get("config"), r.get("threads"))
+
+
+def rel_diff(a, b):
+    if a == b:
+        return 0.0
+    denom = max(abs(a), abs(b))
+    return abs(a - b) / denom if denom else 0.0
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--threshold", type=float, default=0.0,
+                    help="max relative difference per metric "
+                         "(default 0 = exact equality)")
+    ap.add_argument("--keys", default=",".join(DEFAULT_KEYS),
+                    help="comma-separated dotted record paths to compare")
+    ap.add_argument("--require-metrics", action="store_true",
+                    help="fail when matched records disagree about "
+                         "carrying a metrics section")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = {record_key(r): r for r in json.load(f)}
+    with open(args.candidate) as f:
+        cand = {record_key(r): r for r in json.load(f)}
+
+    keys = [k for k in args.keys.split(",") if k]
+    failures = []
+    compared = 0
+
+    common = sorted(set(base) & set(cand), key=str)
+    if not common:
+        print("FAIL: no records match between the two files",
+              file=sys.stderr)
+        return 1
+    for missing in sorted(set(base) ^ set(cand), key=str):
+        side = args.candidate if missing in base else args.baseline
+        print(f"note: {missing} only absent from {side}")
+
+    for rk in common:
+        rb, rc = base[rk], cand[rk]
+        label = f"{rk[0]}/{rk[1]}/t{rk[2]}"
+
+        paths = list(keys)
+        has_b = bool(rb.get("metrics"))
+        has_c = bool(rc.get("metrics"))
+        if has_b != has_c and args.require_metrics:
+            failures.append(f"{label}: metrics section present in only "
+                            f"one file")
+        if has_b and has_c:
+            paths += METRICS_KEYS
+
+        for path in paths:
+            vb = lookup(rb, path)
+            vc = lookup(rc, path)
+            if vb is None and vc is None:
+                continue
+            if vb is None or vc is None:
+                failures.append(f"{label}: {path} missing on one side")
+                continue
+            compared += 1
+            d = rel_diff(vb, vc)
+            marker = "FAIL" if d > args.threshold else "ok"
+            if d > 0 or marker == "FAIL":
+                print(f"{marker:4} {label}: {path}  {vb} -> {vc}  "
+                      f"({100 * d:.2f}%)")
+            if d > args.threshold:
+                failures.append(f"{label}: {path} differs by "
+                                f"{100 * d:.2f}% "
+                                f"(threshold {100 * args.threshold:.2f}%)")
+
+    for fmsg in failures:
+        print(f"FAIL: {fmsg}", file=sys.stderr)
+    if failures:
+        return 1
+    print(f"OK: {len(common)} record(s), {compared} metric(s) within "
+          f"{100 * args.threshold:.2f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,14 +3,16 @@
 
 Stdlib only (CI runs it with a bare python3): loads the JSON, then walks
 it against the JSON-Schema subset the schemas in docs/schemas/ use —
-type / required / properties / items / enum. Extra semantic checks make
-sure the files are not just well-formed but non-trivial: the Perfetto
-trace must contain TX events, and --expect-journal requires at least one
-stats record with a populated journal section.
+type / required / properties / items / enum / local $ref. Extra semantic
+checks make sure the files are not just well-formed but non-trivial: the
+Perfetto trace must contain TX events, --expect-journal requires at
+least one stats record with a populated journal section, and
+--expect-metrics requires a populated metrics section with a consistent
+overflow-set breakdown.
 
 Usage:
   validate_observability.py --schema docs/schemas/stats.schema.json \
-      --expect-journal stats.json
+      --expect-journal --expect-metrics stats.json
   validate_observability.py --schema docs/schemas/perfetto_trace.schema.json \
       perfetto_trace.json
 """
@@ -32,8 +34,17 @@ TYPE_CHECKS = {
 }
 
 
-def validate(value, schema, path="$"):
+def validate(value, schema, path="$", root=None):
     """Yield error strings for every schema violation under value."""
+    if root is None:
+        root = schema
+    if "$ref" in schema:
+        # Local refs only: "#/definitions/name".
+        node = root
+        for part in schema["$ref"].lstrip("#/").split("/"):
+            node = node[part]
+        yield from validate(value, node, path, root)
+        return
     types = schema.get("type")
     if types is not None:
         if isinstance(types, str):
@@ -54,11 +65,13 @@ def validate(value, schema, path="$"):
                 yield f"{path}: missing required key '{key}'"
         for key, sub in schema.get("properties", {}).items():
             if key in value:
-                yield from validate(value[key], sub, f"{path}.{key}")
+                yield from validate(value[key], sub, f"{path}.{key}",
+                                    root)
 
     if isinstance(value, list) and "items" in schema:
         for i, item in enumerate(value):
-            yield from validate(item, schema["items"], f"{path}[{i}]")
+            yield from validate(item, schema["items"], f"{path}[{i}]",
+                                root)
 
 
 def check_perfetto(doc):
@@ -76,10 +89,34 @@ def check_perfetto(doc):
             break
 
 
-def check_stats(doc, expect_journal):
+def check_metrics(doc, expect_metrics):
+    metrics = [r for r in doc if r.get("metrics")]
+    if expect_metrics and not metrics:
+        yield "$: --expect-metrics but every record has metrics=null"
+    for r in metrics:
+        m = r["metrics"]
+        ov = m["overflow_set"]
+        if ov["tracked"] + ov["safe_skipped"] + ov["other"] > 0 \
+                and ov["scans"] == 0:
+            yield (f"$: {r['workload']}: overflow-set lines counted "
+                   f"without any scans")
+        for name in ("tracked_at_commit", "tracked_at_capacity_abort",
+                     "sharers_at_bus"):
+            h = m[name]
+            if sum(b["count"] for b in h["buckets"]) != h["count"]:
+                yield (f"$: {r['workload']}: {name} bucket counts do "
+                       f"not sum to count")
+        site_saved = sum(s["hint_saved_commits"] for s in m["sites"])
+        if site_saved != m["hint_saved_commits"]:
+            yield (f"$: {r['workload']}: per-site hint_saved_commits "
+                   f"{site_saved} != total {m['hint_saved_commits']}")
+
+
+def check_stats(doc, expect_journal, expect_metrics):
     if not doc:
         yield "$: empty stats array"
         return
+    yield from check_metrics(doc, expect_metrics)
     journals = [r for r in doc if r.get("journal")]
     if expect_journal and not journals:
         yield "$: --expect-journal but every record has journal=null"
@@ -104,6 +141,8 @@ def main():
     ap.add_argument("--schema", required=True)
     ap.add_argument("--expect-journal", action="store_true",
                     help="require at least one populated journal section")
+    ap.add_argument("--expect-metrics", action="store_true",
+                    help="require at least one populated metrics section")
     ap.add_argument("file")
     args = ap.parse_args()
 
@@ -116,7 +155,8 @@ def main():
     if isinstance(doc, dict) and "traceEvents" in doc:
         errors += list(check_perfetto(doc))
     elif isinstance(doc, list):
-        errors += list(check_stats(doc, args.expect_journal))
+        errors += list(check_stats(doc, args.expect_journal,
+                                   args.expect_metrics))
 
     for e in errors:
         print(f"FAIL {args.file}: {e}", file=sys.stderr)

@@ -100,8 +100,10 @@ TxJournal::push(const TxRecord &r)
                 ++hot->count;
             else if (s.hotBlocks.size() < hotBlockCap)
                 s.hotBlocks.push_back({r.offendingAddr, 1});
-            else
+            else {
                 ++s.otherOffenders;
+                s.hotBlocksSaturated = true;
+            }
         }
         break;
       }
@@ -149,10 +151,34 @@ TxJournal::sitesByAborts() const
     return out;
 }
 
+std::vector<const TxJournal::SiteStats *>
+TxJournal::sitesByCyclesLost() const
+{
+    std::vector<const SiteStats *> out;
+    out.reserve(sites_.size());
+    for (const auto &kv : sites_)
+        out.push_back(&kv.second);
+    std::sort(out.begin(), out.end(),
+              [](const SiteStats *a, const SiteStats *b) {
+                  if (a->cyclesLostToAborts != b->cyclesLostToAborts)
+                      return a->cyclesLostToAborts > b->cyclesLostToAborts;
+                  const std::uint64_t aa = a->totalAborts();
+                  const std::uint64_t bb = b->totalAborts();
+                  if (aa != bb)
+                      return aa > bb;
+                  return siteKey(a->fn, a->block, a->instr) <
+                         siteKey(b->fn, b->block, b->instr);
+              });
+    return out;
+}
+
 std::vector<IntervalSample>
 TxJournal::sampleIntervals(Cycle window) const
 {
-    HINTM_ASSERT(window > 0, "interval window must be positive");
+    // A zero window has no meaningful folding: report no samples
+    // instead of dividing by zero (callers pass user-given widths).
+    if (window == 0)
+        return {};
     std::vector<IntervalSample> out;
     const std::size_t n = size();
     if (n == 0)

@@ -185,6 +185,10 @@ class TxJournal
          * addresses; overflow lands in otherOffenders. */
         std::vector<HotBlock> hotBlocks;
         std::uint64_t otherOffenders = 0;
+        /** The hot-block list hit hotBlockCap: counts beyond the listed
+         * addresses landed in otherOffenders, so the per-block ranking
+         * is a lower bound for this site. */
+        bool hotBlocksSaturated = false;
 
         std::uint64_t
         totalAborts() const
@@ -204,6 +208,12 @@ class TxJournal
     /** Sites sorted by total aborts (desc), ties broken by site id so
      * the order is deterministic. */
     std::vector<const SiteStats *> sitesByAborts() const;
+
+    /** Sites sorted by cycles lost to aborts (desc), then total aborts
+     * (desc), then site id — the cost-ranked view hintm_profile
+     * prints: a site with few but long-running aborted attempts
+     * outranks one with many cheap ones. */
+    std::vector<const SiteStats *> sitesByCyclesLost() const;
 
     /**
      * Fold the *retained* records into fixed-cycle windows. Windows are

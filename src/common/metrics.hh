@@ -1,0 +1,460 @@
+/**
+ * @file
+ * Capacity-pressure metrics: typed counters, log2-bucket histograms and
+ * an adaptive windowed time series, folded into a copyable registry
+ * that rides through sim::MachineSnapshot by value.
+ *
+ * Like the TX journal, the metrics layer is strictly observational: the
+ * simulation never reads any of it, so results are bit-identical with
+ * it on or off (test-locked). Unlike the journal's per-attempt records,
+ * the registry answers capacity questions: how fast read/write sets
+ * grow, how full the transactional structures were at each capacity
+ * abort, which lines the safe hints kept out of the tracked set, and
+ * whether those skips were the difference between fitting and
+ * overflowing ("hint-saved" commits).
+ *
+ * Memory is bounded by construction: histograms are fixed arrays, the
+ * time series folds itself down whenever a sample lands past its slot
+ * budget, and per-site state is bounded by the static number of TX
+ * sites in the program.
+ */
+
+#ifndef HINTM_COMMON_METRICS_HH
+#define HINTM_COMMON_METRICS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/flat_set.hh"
+#include "common/types.hh"
+
+namespace hintm
+{
+
+/**
+ * Fixed-size histogram over power-of-two buckets: bucket 0 holds the
+ * value 0, bucket k >= 1 holds [2^(k-1), 2^k). 33 buckets cover the
+ * full uint64 range of cycle counts and footprints.
+ */
+struct Log2Hist
+{
+    static constexpr unsigned numBuckets = 33;
+
+    std::uint64_t buckets[numBuckets] = {};
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t max = 0;
+
+    static unsigned bucketOf(std::uint64_t v);
+
+    void add(std::uint64_t v);
+
+    bool empty() const { return count == 0; }
+
+    double
+    mean() const
+    {
+        return count ? double(sum) / double(count) : 0.0;
+    }
+};
+
+/**
+ * Windowed time series with a bounded slot budget. Samples accumulate
+ * into fixed-cycle windows; when an add lands past the last slot the
+ * window doubles and adjacent slots fold together, so an arbitrarily
+ * long run always fits in maxSlots windows and the result is
+ * deterministic for a given sample stream.
+ */
+class TimeSeries
+{
+  public:
+    explicit TimeSeries(Cycle initial_window = 1024,
+                        std::size_t max_slots = 512);
+
+    /** Accumulate @p v into the window containing cycle @p at. */
+    void add(Cycle at, std::uint64_t v);
+
+    /** Spread the span [begin, end) over the windows it overlaps,
+     * crediting each window with the cycles of overlap (the shape used
+     * for lock-occupancy timelines). */
+    void addSpan(Cycle begin, Cycle end);
+
+    Cycle window() const { return window_; }
+    std::size_t maxSlots() const { return maxSlots_; }
+    const std::vector<std::uint64_t> &samples() const { return samples_; }
+    bool empty() const { return samples_.empty(); }
+
+  private:
+    /** Double-and-fold until cycle @p at maps inside the slot budget. */
+    void ensureCovers(Cycle at);
+
+    Cycle window_;
+    std::size_t maxSlots_;
+    std::vector<std::uint64_t> samples_;
+};
+
+/**
+ * Insert-only address set with O(1) clear, for per-TX scratch state
+ * that is wiped at every attempt begin. Same open-addressing layout as
+ * AddrSet, but each slot carries the epoch it was written in: clear()
+ * just bumps the epoch, so the begin-of-TX wipe costs nothing instead
+ * of an O(capacity) fill. That matters because beginTx runs once per
+ * hardware attempt and the slot arrays persist at the size of the
+ * largest footprint seen.
+ */
+class EpochAddrSet
+{
+  public:
+    explicit EpochAddrSet(std::size_t initial_slots = 16)
+    {
+        std::size_t cap = 16;
+        while (cap < initial_slots)
+            cap <<= 1;
+        slots_.assign(cap, Slot{0, 0});
+    }
+
+    /** @return true when @p a was newly inserted this epoch. */
+    bool
+    insert(Addr a)
+    {
+        if ((size_ + 1) * 4 > slots_.size() * 3)
+            grow();
+        Slot *s = findSlot(a);
+        if (s->epoch == epoch_)
+            return false;
+        s->key = a;
+        s->epoch = epoch_;
+        ++size_;
+        return true;
+    }
+
+    bool
+    contains(Addr a) const
+    {
+        return const_cast<EpochAddrSet *>(this)->findSlot(a)->epoch ==
+               epoch_;
+    }
+
+    /** Invalidate every key; O(1). */
+    void
+    clear()
+    {
+        ++epoch_;
+        size_ = 0;
+    }
+
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Visit every live key (unspecified order). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const Slot &s : slots_) {
+            if (s.epoch == epoch_)
+                fn(s.key);
+        }
+    }
+
+  private:
+    struct Slot
+    {
+        Addr key;
+        std::uint64_t epoch;
+    };
+
+    /** Slot holding @p a this epoch, or the free slot where it would
+     * go (a slot is free when its epoch is stale). */
+    Slot *
+    findSlot(Addr a)
+    {
+        const std::size_t mask = slots_.size() - 1;
+        std::size_t i =
+            std::size_t(a * 0x9E3779B97F4A7C15ull >> 32) & mask;
+        while (slots_[i].epoch == epoch_ && slots_[i].key != a)
+            i = (i + 1) & mask;
+        return &slots_[i];
+    }
+
+    void
+    grow()
+    {
+        std::vector<Slot> old = std::move(slots_);
+        slots_.assign(old.size() * 2, Slot{0, 0});
+        for (const Slot &s : old) {
+            if (s.epoch == epoch_) {
+                Slot *d = findSlot(s.key);
+                d->key = s.key;
+                d->epoch = epoch_;
+            }
+        }
+    }
+
+    std::vector<Slot> slots_;
+    /** Slots start at epoch 0, so 1 means "all empty". */
+    std::uint64_t epoch_ = 1;
+    std::size_t size_ = 0;
+};
+
+/**
+ * Per-context scratch state for the transaction currently being
+ * measured. Lives in the machine's context state (and its snapshot) so
+ * a mid-TX snapshot/restore resumes the measurement exactly.
+ */
+struct TxMetricsCtx
+{
+    /** Distinct tracked blocks touched so far, by direction (a block
+     * both read and written counts in each). Fed by the controller's
+     * newly-tracked bits, so the metrics layer keeps no shadow copy of
+     * the footprint — the HTM controller already deduplicates. */
+    std::uint32_t readBlocks = 0;
+    std::uint32_t writeBlocks = 0;
+    /** Distinct blocks excluded from tracking by safe hints. */
+    EpochAddrSet skips{16};
+    /** Safe-skipped accesses by classification source. */
+    std::uint64_t skipStatic = 0;
+    std::uint64_t skipDyn = 0;
+    std::uint64_t skipAnnot = 0;
+    /** Last skipped block — a one-entry memo that short-circuits the
+     * set insert for back-to-back skips of the same block (the
+     * dominant pattern in the workloads' sequential scans). */
+    Addr lastSkip = ~Addr(0);
+    Cycle beginCycle = 0;
+    /** Fallback-lock acquisition cycle, when lockHeld. */
+    Cycle lockAcquiredAt = 0;
+    bool lockHeld = false;
+    /** A hardware TX attempt is being measured. */
+    bool open = false;
+    /** Next growth milestone index per direction (see
+     * MetricsRegistry::milestoneBlocks). */
+    unsigned nextReadMilestone = 0;
+    unsigned nextWriteMilestone = 0;
+    /** TX site of the open attempt. */
+    std::int32_t fn = -1;
+    std::int32_t block = -1;
+    std::int32_t instr = -1;
+};
+
+/**
+ * The per-run metrics registry. Copyable by design: snapshots carry it
+ * by value, exactly like the journal.
+ */
+class MetricsRegistry
+{
+  public:
+    /** Growth milestones: 2^0 .. 2^16 distinct tracked blocks. */
+    static constexpr unsigned numMilestones = 17;
+
+    static constexpr std::uint64_t
+    milestoneBlocks(unsigned k)
+    {
+        return std::uint64_t(1) << k;
+    }
+
+    /** Safe-hint classification source of a skipped access. */
+    enum class SkipKind : std::uint8_t
+    {
+        Static,
+        Dynamic,
+        Annotation,
+    };
+
+    /** Exact per-TX-site capacity/hint aggregates. */
+    struct SiteMetrics
+    {
+        std::int32_t fn = -1;
+        std::int32_t block = -1;
+        std::int32_t instr = -1;
+        /** Hardware commits measured at this site. */
+        std::uint64_t commits = 0;
+        std::uint64_t capacityAborts = 0;
+        /** Safe-skipped accesses by source, over all attempts. */
+        std::uint64_t skipStatic = 0;
+        std::uint64_t skipDyn = 0;
+        std::uint64_t skipAnnot = 0;
+        /** Distinct skipped blocks summed over closed attempts ("lines
+         * excluded by hints"). */
+        std::uint64_t skippedBlocksSum = 0;
+        /** Bytes excluded by hints (word-sized accesses: accesses x 8;
+         * TxIR has no per-access width, every load/store moves one
+         * 8-byte word). */
+        std::uint64_t skippedBytes = 0;
+        /** Commits whose tracked footprint fit the capacity only
+         * because of the skips. */
+        std::uint64_t hintSavedCommits = 0;
+        /** Peak distinct tracked blocks, summed over commits / max. */
+        std::uint64_t peakTrackedSum = 0;
+        std::uint64_t peakTrackedMax = 0;
+        /** Tracked blocks at capacity-abort time, summed over capacity
+         * aborts at this site. */
+        std::uint64_t trackedAtCapacitySum = 0;
+
+        std::uint64_t
+        skippedAccesses() const
+        {
+            return skipStatic + skipDyn + skipAnnot;
+        }
+    };
+
+    // ---- folding (called by the machine) ----------------------------
+
+    /** Start measuring a hardware TX attempt at @p now. */
+    void beginTx(TxMetricsCtx &m, Cycle now, std::int32_t fn,
+                 std::int32_t block, std::int32_t instr);
+
+    /** The HTM controller newly tracked an access's block in the given
+     * direction(s); samples the growth histograms when a milestone is
+     * crossed. Inline: this and onSafeSkip run in the per-access hot
+     * path, and the counter bump is the whole common case. */
+    void
+    onTrackedGrowth(TxMetricsCtx &m, bool newly_read, bool newly_written,
+                    Cycle now)
+    {
+        if (newly_read) {
+            ++m.readBlocks;
+            while (m.nextReadMilestone < numMilestones &&
+                   m.readBlocks >=
+                       milestoneBlocks(m.nextReadMilestone)) {
+                growthRead[m.nextReadMilestone].add(now - m.beginCycle);
+                ++m.nextReadMilestone;
+            }
+        }
+        if (newly_written) {
+            ++m.writeBlocks;
+            while (m.nextWriteMilestone < numMilestones &&
+                   m.writeBlocks >=
+                       milestoneBlocks(m.nextWriteMilestone)) {
+                growthWrite[m.nextWriteMilestone].add(now -
+                                                      m.beginCycle);
+                ++m.nextWriteMilestone;
+            }
+        }
+    }
+
+    /** A safe-hinted access to @p block_addr skipped tracking. */
+    void
+    onSafeSkip(TxMetricsCtx &m, Addr block_addr, SkipKind kind)
+    {
+        switch (kind) {
+          case SkipKind::Static:
+            ++m.skipStatic;
+            break;
+          case SkipKind::Dynamic:
+            ++m.skipDyn;
+            break;
+          case SkipKind::Annotation:
+            ++m.skipAnnot;
+            break;
+        }
+        if (block_addr == m.lastSkip)
+            return;
+        m.lastSkip = block_addr;
+        m.skips.insert(block_addr);
+    }
+
+    /** Close the open attempt as a hardware commit. @p hint_saved is
+     * the caller's capacity-model verdict (the model needs the HTM
+     * geometry, which lives above this layer). */
+    void closeCommit(TxMetricsCtx &m, bool hint_saved);
+
+    /** Close the open attempt as a capacity abort with @p tracked
+     * blocks in the transactional structures. */
+    void closeCapacityAbort(TxMetricsCtx &m, std::uint64_t tracked);
+
+    /** Close the open attempt for any other outcome (conflict abort,
+     * conversion, ...): hint-exclusion accounting still folds. */
+    void closeOther(TxMetricsCtx &m);
+
+    /** One valid line of the overflowing cache set, classified. */
+    void recordOverflowLine(bool tracked, bool safe_skipped);
+    /** One overflowing-set scan completed (normalizes the line mix). */
+    void recordOverflowScan() { ++ovScans; }
+
+    // ---- lookup / export --------------------------------------------
+
+    SiteMetrics &site(std::int32_t fn, std::int32_t block,
+                      std::int32_t instr);
+
+    /** Keyed by packed site id; std::map so export order is
+     * deterministic. */
+    const std::map<std::uint64_t, SiteMetrics> &sites() const
+    {
+        return sites_;
+    }
+
+    /** Sites sorted by capacity pressure: capacity aborts desc, then
+     * peak tracked footprint desc, then site id. */
+    std::vector<const SiteMetrics *> sitesByPressure() const;
+
+    void setFunctionNames(std::vector<std::string> names);
+    const std::vector<std::string> &functionNames() const
+    {
+        return fnNames_;
+    }
+    std::string siteName(std::int32_t fn, std::int32_t block,
+                         std::int32_t instr) const;
+
+    // ---- NUMA traffic matrix ----------------------------------------
+
+    /** Size the node x node matrix (idempotent for the same count). */
+    void initNuma(unsigned nodes);
+    unsigned numaNodes() const { return numaNodes_; }
+
+    /** Cell [from][to]; inline and unchecked — this runs once per bus
+     * transaction, and the node ids come from the memory system's own
+     * tables. */
+    std::uint64_t &
+    numaTraffic(unsigned from, unsigned to)
+    {
+        return numaMatrix_[std::size_t(from) * numaNodes_ + to];
+    }
+    const std::vector<std::uint64_t> &numaMatrix() const
+    {
+        return numaMatrix_;
+    }
+
+    // ---- global aggregates (public, POD-copyable) -------------------
+
+    /** Cycles-from-begin at which the read/write set reached milestone
+     * 2^k distinct blocks, per milestone k. */
+    Log2Hist growthRead[numMilestones];
+    Log2Hist growthWrite[numMilestones];
+    /** Peer-sharer count, sampled at every sharerSampleEvery-th bus
+     * transaction (probing every peer L1 per transaction is too hot
+     * for a full census; the decimation counter lives here so the
+     * sampling phase survives snapshot/restore). */
+    Log2Hist sharersAtBus;
+    static constexpr std::uint64_t sharerSampleEvery = 16;
+    std::uint64_t busEvents = 0;
+    /** Tracked blocks at each capacity abort. */
+    Log2Hist trackedAtCapacityAbort;
+    /** Peak distinct tracked blocks at each hardware commit. */
+    Log2Hist trackedAtCommit;
+    /** Occupancy of the overflowing cache set at capacity aborts. */
+    std::uint64_t ovScans = 0;
+    std::uint64_t ovTracked = 0;
+    std::uint64_t ovSafeSkipped = 0;
+    std::uint64_t ovOther = 0;
+    /** Fallback-lock occupancy timeline (held cycles per window). */
+    TimeSeries fallbackSeries;
+    std::uint64_t fallbackAcquisitions = 0;
+    /** Whole-run skip totals by source. */
+    std::uint64_t skipStaticAccesses = 0;
+    std::uint64_t skipDynAccesses = 0;
+    std::uint64_t skipAnnotAccesses = 0;
+    std::uint64_t hintSavedCommits = 0;
+    std::uint64_t capacityAborts = 0;
+
+  private:
+    std::map<std::uint64_t, SiteMetrics> sites_;
+    std::vector<std::string> fnNames_;
+    unsigned numaNodes_ = 0;
+    std::vector<std::uint64_t> numaMatrix_;
+};
+
+} // namespace hintm
+
+#endif // HINTM_COMMON_METRICS_HH

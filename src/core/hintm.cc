@@ -29,6 +29,7 @@ bool directoryDefault_ = true;
 bool decodeCacheDefault_ = true;
 bool schedIndexDefault_ = true;
 bool journalDefault_ = false;
+bool metricsDefault_ = false;
 } // namespace
 
 bool
@@ -91,6 +92,18 @@ SystemOptions::setJournalDefault(bool on)
     journalDefault_ = on;
 }
 
+bool
+SystemOptions::metricsDefault()
+{
+    return metricsDefault_;
+}
+
+void
+SystemOptions::setMetricsDefault(bool on)
+{
+    metricsDefault_ = on;
+}
+
 std::string
 SystemOptions::label() const
 {
@@ -133,6 +146,7 @@ makeMachineConfig(const SystemOptions &opts)
     cfg.hintOracle = opts.hintOracle;
     cfg.journal = opts.journal;
     cfg.journalCapacity = opts.journalCapacity;
+    cfg.metrics = opts.metrics;
 
     // snoopFilter remains the master fast-path switch: turning it off
     // disables both the directory and the translation cache (full
@@ -168,6 +182,7 @@ buildPrefix(const SystemOptions &opts, const tir::Module &mod,
     // them off keeps one prefix valid for every fork in a sweep.
     SystemOptions base = opts;
     base.journal = false;
+    base.metrics = false;
     base.hintOracle = false;
     base.collectRawStats = false;
     return std::make_shared<sim::MachinePrefix>(

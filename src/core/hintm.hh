@@ -104,6 +104,13 @@ struct SystemOptions
     bool journal = journalDefault();
     /** TX-journal ring capacity in records (bounded memory). */
     std::size_t journalCapacity = 1u << 16;
+    /** Capacity-pressure metrics registry (RunResult::metrics):
+     * read/write-set growth curves, overflowing-set occupancy at
+     * capacity aborts, per-site hint-effectiveness accounting,
+     * fallback-lock timeline, sharer histogram, NUMA traffic matrix.
+     * Observation only — simulation results are bit-identical.
+     * Initialized from metricsDefault() (--metrics). */
+    bool metrics = metricsDefault();
 
     std::string label() const;
 
@@ -127,6 +134,10 @@ struct SystemOptions
     /** Same for SystemOptions::journal (--journal). */
     static bool journalDefault();
     static void setJournalDefault(bool on);
+
+    /** Same for SystemOptions::metrics (--metrics). */
+    static bool metricsDefault();
+    static void setMetricsDefault(bool on);
 };
 
 /** Expand high-level options into the full machine configuration. */

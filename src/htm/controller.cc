@@ -101,24 +101,24 @@ HtmController::beginTx(Cycle now)
     publishInterest();
 }
 
-void
+std::uint8_t
 HtmController::trackAccess(Addr addr, AccessType type, bool safe)
 {
     if (!inTx_ || abortPending_)
-        return;
+        return TrackFailed;
     if (safe) {
         // The whole point of HinTM: safe accesses consume no tracking
         // resources and may spill from caches freely.
         if (oracle_)
             oracle_->onSafeSkip();
-        return;
+        return TrackFailed;
     }
     const Addr block = blockAlign(addr);
 
-    if (buffer_.track(block, type)) {
+    if (const std::uint8_t tr = buffer_.track(block, type)) {
         if (dir_)
             dir_->txTrack(block, unsigned(self_));
-        return;
+        return tr & (NewlyRead | NewlyWritten);
     }
 
     // Buffer exhausted.
@@ -126,13 +126,13 @@ HtmController::trackAccess(Addr addr, AccessType type, bool safe)
         if (type == AccessType::Read) {
             // Reads spill into the signature instead of aborting.
             signature_.insert(block);
-            overflowReads_.insert(block);
+            const bool is_new = overflowReads_.insert(block);
             if (dir_) {
                 dir_->txTrack(block, unsigned(self_));
                 dir_->setSigActive(unsigned(self_), true);
             }
             ++stats_->signatureSpills;
-            return;
+            return is_new ? std::uint8_t(NewlyRead) : TrackFailed;
         }
         // Writes need real buffering: displace a read-only entry into
         // the signature to make room. Only a full buffer of written
@@ -145,22 +145,23 @@ HtmController::trackAccess(Addr addr, AccessType type, bool safe)
             signature_.insert(victim);
             overflowReads_.insert(victim);
             ++stats_->signatureSpills;
-            const bool ok = buffer_.track(block, type);
-            HINTM_ASSERT(ok, "buffer still full after displacement");
+            const std::uint8_t tr = buffer_.track(block, type);
+            HINTM_ASSERT(tr, "buffer still full after displacement");
             if (dir_) {
                 dir_->txTrack(block, unsigned(self_));
                 dir_->setSigActive(unsigned(self_), true);
             }
-            return;
+            return tr & (NewlyRead | NewlyWritten);
         }
     }
     if (cfg_.preAbortHandler) {
         // Defer: the runtime decides between conversion and abort.
         capacityPending_ = true;
         capacityPendingBlock_ = block;
-        return;
+        return TrackFailed;
     }
     triggerAbort(AbortReason::Capacity, block, true, -1);
+    return TrackFailed;
 }
 
 void

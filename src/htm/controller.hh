@@ -164,8 +164,12 @@ class HtmController : public mem::SnoopListener
      * tracking entirely. May trigger a capacity abort; check
      * abortPending() afterwards — when pending, the access must not be
      * performed architecturally.
+     * @return the TxBuffer NewlyRead/NewlyWritten bits this access
+     * newly tracked (zero when it was safe-skipped, untracked, or
+     * overflowed). Lets observers count distinct footprint growth
+     * without shadowing the read/write sets.
      */
-    void trackAccess(Addr addr, AccessType type, bool safe);
+    std::uint8_t trackAccess(Addr addr, AccessType type, bool safe);
 
     /** Remember that this TX read @p page_num under a dynamic-safe hint. */
     void noteSafePageRead(Addr page_num);
@@ -237,6 +241,19 @@ class HtmController : public mem::SnoopListener
     bool readsBlock(Addr block_addr) const;
     /** True when @p block_addr is in the precise writeset. */
     bool writesBlock(Addr block_addr) const;
+
+    /** Visit every tracked block: buffer entries, then spilled reads.
+     * A P8S block spilled as a read and later re-buffered by a write
+     * is visited twice; on L1TM/P8 (no spills) each block is visited
+     * exactly once. Observational (metrics capacity model). */
+    template <typename Fn>
+    void
+    forEachTrackedBlock(Fn &&fn) const
+    {
+        for (const auto &kv : buffer_.entries())
+            fn(kv.first);
+        overflowReads_.forEach(fn);
+    }
 
     /** Would a remote access of @p type to @p block_addr conflict with
      * this TX's tracked state? (Requester-loses pre-flight check; does

@@ -5,20 +5,26 @@ namespace hintm
 namespace htm
 {
 
-bool
+std::uint8_t
 TxBuffer::track(Addr block_addr, AccessType type)
 {
     auto it = entries_.find(block_addr);
     if (it == entries_.end()) {
         if (entries_.size() >= capacity_)
-            return false;
+            return TrackFailed;
         it = entries_.emplace(block_addr, TxBufferEntry{}).first;
     }
-    if (type == AccessType::Read)
-        it->second.read = true;
-    else
+    std::uint8_t r = Tracked;
+    if (type == AccessType::Read) {
+        if (!it->second.read) {
+            it->second.read = true;
+            r |= NewlyRead;
+        }
+    } else if (!it->second.written) {
         it->second.written = true;
-    return true;
+        r |= NewlyWritten;
+    }
+    return r;
 }
 
 const TxBufferEntry *

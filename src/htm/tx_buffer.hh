@@ -27,6 +27,21 @@ struct TxBufferEntry
 };
 
 /**
+ * Bitmask result of TxBuffer::track (and HtmController::trackAccess):
+ * zero when nothing was recorded, else Tracked plus the direction bits
+ * that are newly set for the block. The newly-* bits let observers
+ * count distinct tracked blocks per direction without keeping a shadow
+ * copy of the footprint.
+ */
+enum TrackBits : std::uint8_t
+{
+    TrackFailed = 0,
+    Tracked = 1,
+    NewlyRead = 2,
+    NewlyWritten = 4,
+};
+
+/**
  * Fully-associative transactional buffer. Insertion beyond capacity fails
  * (the caller converts that into a capacity abort or a signature spill).
  */
@@ -37,10 +52,11 @@ class TxBuffer
 
     /**
      * Track an access to @p block_addr.
-     * @return false when a new entry was needed but the buffer is full
-     * (the access is NOT recorded in that case).
+     * @return TrackFailed (zero) when a new entry was needed but the
+     * buffer is full (the access is NOT recorded in that case), else
+     * Tracked | the newly-set direction bit, if any.
      */
-    bool track(Addr block_addr, AccessType type);
+    std::uint8_t track(Addr block_addr, AccessType type);
 
     /** @return the entry, or nullptr when untracked. */
     const TxBufferEntry *find(Addr block_addr) const;

@@ -88,6 +88,20 @@ class CacheArray
         }
     }
 
+    /** Iterate the valid lines of the set @p block_addr maps to (the
+     * metrics layer's overflowing-set occupancy scan). */
+    template <typename Fn>
+    void
+    forEachValidInSet(Addr block_addr, Fn &&fn) const
+    {
+        const std::uint64_t set = geom_.indexOf(block_addr);
+        for (unsigned way = 0; way < geom_.assoc(); ++way) {
+            const CacheLine &line = lines_[set * geom_.assoc() + way];
+            if (line.valid())
+                fn(geom_.blockAddrOf(line.tag, set), line);
+        }
+    }
+
     const CacheGeometry &geometry() const { return geom_; }
 
     /** Number of currently valid lines (testing aid). */

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "common/logging.hh"
+#include "common/metrics.hh"
 
 namespace hintm
 {
@@ -102,6 +103,35 @@ MemorySystem::setListenerTxFiltered(ContextId ctx, bool filtered)
         fullDeliveryMask_ &= ~bit;
     else
         fullDeliveryMask_ |= bit;
+}
+
+void
+MemorySystem::setMetricsSink(MetricsRegistry *metrics)
+{
+    metrics_ = metrics;
+    if (metrics_)
+        metrics_->initNuma(numaNodes_);
+}
+
+void
+MemorySystem::sampleBusMetrics(unsigned requester_l1, Addr block)
+{
+    // Node-crossing traffic only exists with multiple NUMA nodes; the
+    // 1x1 matrix is never rendered, so skip its upkeep entirely.
+    if (numaNodes_ > 1)
+        ++metrics_->numaTraffic(l1Node_[requester_l1], homeNodeOf(block));
+    // The sharer census probes every peer L1, so it is decimated:
+    // every sharerSampleEvery-th bus transaction. Peer copies are
+    // probed directly (not through the directory, whose sharer bits
+    // can be stale) so the histogram is identical in directory and
+    // broadcast modes.
+    if (metrics_->busEvents++ % MetricsRegistry::sharerSampleEvery != 0)
+        return;
+    unsigned sharers = 0;
+    for (unsigned i = 0; i < l1s_.size(); ++i)
+        if (i != requester_l1 && l1s_[i]->probe(block))
+            ++sharers;
+    metrics_->sharersAtBus.add(sharers);
 }
 
 void
@@ -323,6 +353,8 @@ MemorySystem::access(ContextId ctx, Addr addr, AccessType type)
         }
         // Write hit on Shared: bus upgrade.
         ++*cUpgrades_;
+        if (metrics_)
+            sampleBusMetrics(l1_id, block);
         snoopPeers(l1_id, block, BusOp::Upgrade);
         notifyBus(ctx, block, type);
         line->state = CoherState::Modified;
@@ -335,6 +367,8 @@ MemorySystem::access(ContextId ctx, Addr addr, AccessType type)
 
     // L1 miss: place a bus transaction.
     ++*cL1Misses_;
+    if (metrics_)
+        sampleBusMetrics(l1_id, block);
     const BusOp op =
         type == AccessType::Read ? BusOp::Read : BusOp::ReadExcl;
     const bool peer_had_copy = snoopPeers(l1_id, block, op);

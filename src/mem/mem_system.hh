@@ -28,6 +28,7 @@
 #define HINTM_MEM_MEM_SYSTEM_HH
 
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/stats.hh"
@@ -38,6 +39,9 @@
 
 namespace hintm
 {
+
+class MetricsRegistry; // common/metrics.hh
+
 namespace mem
 {
 
@@ -149,6 +153,28 @@ class MemorySystem
     void setAccessObserver(AccessObserver *obs) { observer_ = obs; }
 
     /**
+     * Attach the capacity-pressure metrics registry (may be null to
+     * detach). When set, every bus transaction samples the peer-sharer
+     * histogram and the requester-node x home-node traffic matrix.
+     * Observation only: accesses proceed identically either way.
+     */
+    void setMetricsSink(MetricsRegistry *metrics);
+
+    /** Geometry shared by every L1 (the machine's hint-saved verdict
+     * needs set/assoc arithmetic). */
+    const CacheGeometry &l1Geometry() const { return l1s_[0]->geometry(); }
+
+    /** Scan the valid lines of the L1 set @p addr maps to in @p ctx's
+     * L1 (the metrics layer's overflowing-set occupancy breakdown). */
+    template <typename Fn>
+    void
+    forEachValidInL1Set(ContextId ctx, Addr addr, Fn &&fn) const
+    {
+        l1s_[contexts_[ctx].l1]->forEachValidInSet(
+            blockAlign(addr), std::forward<Fn>(fn));
+    }
+
+    /**
      * Perform one access and return its latency. Remote-context listeners
      * are notified before the call returns, so any conflict abort (and its
      * functional rollback) is complete when the requester's value is read.
@@ -245,6 +271,11 @@ class MemorySystem
      * @return true when the peer held a valid copy. */
     bool snoopOne(unsigned l1, Addr block, BusOp op);
 
+    /** Metrics tap at each bus transaction: peer-sharer count (probed
+     * before the snoop mutates peer state, identically in both
+     * coherence modes) and the NUMA traffic matrix cell. */
+    void sampleBusMetrics(unsigned requester_l1, Addr block);
+
     /** Extra cycles when @p l1_id's bus transaction targets a block
      * whose home directory node is remote (0 in flat configurations). */
     Cycle
@@ -271,6 +302,7 @@ class MemorySystem
     bool dirOn_ = true;
     Directory dir_;
     AccessObserver *observer_ = nullptr;
+    MetricsRegistry *metrics_ = nullptr;
     std::uint64_t interestMask_ = 0;
     /** Contexts whose listeners must see every bus event (not opted
      * into tracker filtering). */

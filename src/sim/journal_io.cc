@@ -59,6 +59,127 @@ emitAbortMap(std::ostream &os, const std::uint64_t *aborts,
     os << "\"total\":" << total << "}";
 }
 
+/** A Log2Hist as {"count","sum","max","mean","buckets":[{bucket,count}]}
+ * with zero buckets elided. */
+void
+emitHist(std::ostream &os, const Log2Hist &h)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.1f", h.mean());
+    os << "{\"count\":" << h.count << ",\"sum\":" << h.sum
+       << ",\"max\":" << h.max << ",\"mean\":" << buf
+       << ",\"buckets\":[";
+    bool first = true;
+    for (unsigned b = 0; b < Log2Hist::numBuckets; ++b) {
+        if (!h.buckets[b])
+            continue;
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"bucket\":" << b << ",\"count\":" << h.buckets[b]
+           << "}";
+    }
+    os << "]}";
+}
+
+/** Growth-curve array: one {blocks, cycles-histogram} per non-empty
+ * milestone. */
+void
+emitGrowth(std::ostream &os, const Log2Hist *curves)
+{
+    os << "[";
+    bool first = true;
+    for (unsigned k = 0; k < MetricsRegistry::numMilestones; ++k) {
+        if (curves[k].empty())
+            continue;
+        if (!first)
+            os << ",";
+        first = false;
+        os << "{\"blocks\":" << MetricsRegistry::milestoneBlocks(k)
+           << ",\"cycles\":";
+        emitHist(os, curves[k]);
+        os << "}";
+    }
+    os << "]";
+}
+
+/** The full metrics section body (the object after "metrics":). */
+void
+emitMetrics(std::ostream &os, const MetricsRegistry &m)
+{
+    os << "{\"capacity_aborts\":" << m.capacityAborts
+       << ",\"hint_saved_commits\":" << m.hintSavedCommits
+       << ",\"skipped_accesses\":{\"static\":" << m.skipStaticAccesses
+       << ",\"dynamic\":" << m.skipDynAccesses
+       << ",\"annotation\":" << m.skipAnnotAccesses << "}"
+       << ",\"overflow_set\":{\"scans\":" << m.ovScans
+       << ",\"tracked\":" << m.ovTracked
+       << ",\"safe_skipped\":" << m.ovSafeSkipped
+       << ",\"other\":" << m.ovOther << "}"
+       << ",\"fallback\":{\"acquisitions\":" << m.fallbackAcquisitions
+       << ",\"window\":" << m.fallbackSeries.window()
+       << ",\"held_cycles\":[";
+    const auto &held = m.fallbackSeries.samples();
+    for (std::size_t i = 0; i < held.size(); ++i) {
+        if (i)
+            os << ",";
+        os << held[i];
+    }
+    os << "]},\"tracked_at_commit\":";
+    emitHist(os, m.trackedAtCommit);
+    os << ",\"tracked_at_capacity_abort\":";
+    emitHist(os, m.trackedAtCapacityAbort);
+    os << ",\"sharers_at_bus\":";
+    emitHist(os, m.sharersAtBus);
+    os << ",\"growth_read\":";
+    emitGrowth(os, m.growthRead);
+    os << ",\"growth_write\":";
+    emitGrowth(os, m.growthWrite);
+    os << ",\"numa\":{\"nodes\":" << m.numaNodes() << ",\"matrix\":[";
+    for (unsigned from = 0; from < m.numaNodes(); ++from) {
+        if (from)
+            os << ",";
+        os << "[";
+        for (unsigned to = 0; to < m.numaNodes(); ++to) {
+            if (to)
+                os << ",";
+            os << m.numaMatrix()[std::size_t(from) * m.numaNodes() + to];
+        }
+        os << "]";
+    }
+    os << "]},\"sites\":[";
+    const auto sites = m.sitesByPressure();
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+        const MetricsRegistry::SiteMetrics &s = *sites[i];
+        if (i)
+            os << ",";
+        char buf[32];
+        os << "{\"site\":\""
+           << jsonEscape(m.siteName(s.fn, s.block, s.instr))
+           << "\",\"commits\":" << s.commits
+           << ",\"capacity_aborts\":" << s.capacityAborts
+           << ",\"hint_saved_commits\":" << s.hintSavedCommits
+           << ",\"skipped_accesses\":{\"static\":" << s.skipStatic
+           << ",\"dynamic\":" << s.skipDyn
+           << ",\"annotation\":" << s.skipAnnot << "}"
+           << ",\"skipped_blocks\":" << s.skippedBlocksSum
+           << ",\"skipped_bytes\":" << s.skippedBytes
+           << ",\"peak_tracked_max\":" << s.peakTrackedMax
+           << ",\"mean_peak_tracked\":";
+        std::snprintf(buf, sizeof(buf), "%.1f",
+                      s.commits ? double(s.peakTrackedSum) / s.commits
+                                : 0.0);
+        os << buf << ",\"mean_tracked_at_capacity\":";
+        std::snprintf(
+            buf, sizeof(buf), "%.1f",
+            s.capacityAborts
+                ? double(s.trackedAtCapacitySum) / s.capacityAborts
+                : 0.0);
+        os << buf << "}";
+    }
+    os << "]}";
+}
+
 } // namespace
 
 // ---- Perfetto / Chrome trace ---------------------------------------
@@ -126,6 +247,32 @@ writePerfettoTrace(std::ostream &os, const std::vector<JournalRun> &runs)
             }
             os << "}}";
         }
+
+        // Counter tracks when the run also carried metrics: the tracked
+        // footprint of each context sampled at every TX close, and the
+        // per-window fallback-lock occupancy. Counters are keyed by
+        // (pid, name), so the context id is folded into the name.
+        if (run.result->metrics) {
+            for (std::size_t i = 0; i < n; ++i) {
+                const TxRecord &r = j.at(i);
+                sep();
+                os << "{\"ph\":\"C\",\"pid\":" << pid
+                   << ",\"tid\":" << r.ctx << ",\"ts\":" << r.end
+                   << ",\"name\":\"tracked blocks ctx " << r.ctx
+                   << "\",\"args\":{\"blocks\":"
+                   << (r.readBlocks + r.writeBlocks) << "}}";
+            }
+            const MetricsRegistry &m = *run.result->metrics;
+            const auto &held = m.fallbackSeries.samples();
+            for (std::size_t w = 0; w < held.size(); ++w) {
+                sep();
+                os << "{\"ph\":\"C\",\"pid\":" << pid
+                   << ",\"tid\":0,\"ts\":"
+                   << Cycle(w) * m.fallbackSeries.window()
+                   << ",\"name\":\"fallback lock held cycles\""
+                   << ",\"args\":{\"cycles\":" << held[w] << "}}";
+            }
+        }
     }
     os << "\n],\"displayTimeUnit\":\"ms\"}\n";
 }
@@ -185,7 +332,12 @@ statsJsonRecord(const JournalRun &run, Cycle window)
        << ",\"total\":" << r.totalPages << "}";
 
     if (!r.journal) {
-        os << ",\"journal\":null}";
+        os << ",\"journal\":null,\"metrics\":";
+        if (r.metrics)
+            emitMetrics(os, *r.metrics);
+        else
+            os << "null";
+        os << "}";
         return os.str();
     }
 
@@ -238,7 +390,9 @@ statsJsonRecord(const JournalRun &run, Cycle window)
             os << "{\"addr\":\"" << hexAddr(hot[h].addr)
                << "\",\"count\":" << hot[h].count << "}";
         }
-        os << "],\"other_offenders\":" << s.otherOffenders << "}";
+        os << "],\"other_offenders\":" << s.otherOffenders
+           << ",\"hot_blocks_saturated\":"
+           << (s.hotBlocksSaturated ? "true" : "false") << "}";
     }
     os << "],";
 
@@ -258,7 +412,12 @@ statsJsonRecord(const JournalRun &run, Cycle window)
         os << ",\"mean_footprint\":" << buf
            << ",\"fallback_cycles\":" << s.fallbackCycles << "}";
     }
-    os << "]}}}";
+    os << "]}},\"metrics\":";
+    if (r.metrics)
+        emitMetrics(os, *r.metrics);
+    else
+        os << "null";
+    os << "}";
     return os.str();
 }
 
@@ -297,7 +456,9 @@ renderAttributionTable(const TxJournal &journal, std::size_t top_n)
               "false", "capacity", "pagemode", "lock", "cyc lost",
               "hottest blocks"});
 
-    const auto sites = journal.sitesByAborts();
+    // Cost-ranked: cycles lost to aborts, not raw abort count, is what
+    // the attribution table exists to minimize.
+    const auto sites = journal.sitesByCyclesLost();
     const std::size_t n = std::min(top_n, sites.size());
     for (std::size_t i = 0; i < n; ++i) {
         const TxJournal::SiteStats &s = *sites[i];
@@ -318,6 +479,8 @@ renderAttributionTable(const TxJournal &journal, std::size_t top_n)
         }
         if (hot.size() > 3 || s.otherOffenders)
             hs << " ...";
+        if (s.hotBlocksSaturated)
+            hs << " (sat)"; // hot-block list capped: ranking is partial
         auto u = [](std::uint64_t v) { return std::to_string(v); };
         t.row({journal.siteName(s.fn, s.block, s.instr), u(s.commits),
                u(s.fallbackCommits), u(s.convertedCommits),
@@ -358,6 +521,29 @@ renderIntervalTable(const TxJournal &journal, Cycle run_cycles,
     }
     std::ostringstream os;
     os << "interval window: " << w << " cycles\n" << t;
+    return os.str();
+}
+
+std::string
+metricsSummary(const RunResult &r)
+{
+    if (!r.metrics)
+        return "metrics: off\n";
+    const MetricsRegistry &m = *r.metrics;
+    std::ostringstream os;
+    os << "metrics: " << m.capacityAborts << " capacity aborts, "
+       << m.hintSavedCommits << " hint-saved commits, "
+       << (m.skipStaticAccesses + m.skipDynAccesses +
+           m.skipAnnotAccesses)
+       << " safe-skipped accesses (static " << m.skipStaticAccesses
+       << ", dyn " << m.skipDynAccesses << ", annot "
+       << m.skipAnnotAccesses << "), " << m.fallbackAcquisitions
+       << " lock acquisitions\n";
+    if (m.ovScans)
+        os << "metrics: overflow-set occupancy over " << m.ovScans
+           << " capacity aborts: " << m.ovTracked << " tracked, "
+           << m.ovSafeSkipped << " safe-skipped, " << m.ovOther
+           << " other lines\n";
     return os.str();
 }
 

@@ -2,9 +2,10 @@
  * @file
  * Exporters over the per-TX journal: Perfetto/Chrome-trace JSON
  * timelines (one track per hardware context), a machine-readable stats
- * record (supersedes parsing RunResult::rawStats), and the per-site
- * abort-attribution table used by hintm_profile. Pure output formatting:
- * nothing here mutates the journal or the simulation.
+ * record (supersedes parsing RunResult::rawStats), the capacity-pressure
+ * metrics section and Perfetto counter tracks for metrics-carrying runs,
+ * and the per-site abort-attribution table used by hintm_profile. Pure
+ * output formatting: nothing here mutates the journal or the simulation.
  */
 
 #ifndef HINTM_SIM_JOURNAL_IO_HH
@@ -36,8 +37,11 @@ struct JournalRun
  * Write a Chrome-trace/Perfetto JSON timeline ({"traceEvents": [...]})
  * covering every run: one process per run (named after the run), one
  * track per hardware context, one complete ("X") event per retained
- * journal record. Cycles are exported as microseconds (1 cycle = 1 µs)
- * so timelines are readable in ui.perfetto.dev without a clock config.
+ * journal record, and — for runs that also carried metrics — counter
+ * ("C") tracks with each context's tracked footprint at TX close and
+ * the per-window fallback-lock occupancy. Cycles are exported as
+ * microseconds (1 cycle = 1 µs) so timelines are readable in
+ * ui.perfetto.dev without a clock config.
  */
 void writePerfettoTrace(std::ostream &os,
                         const std::vector<JournalRun> &runs);
@@ -52,7 +56,10 @@ bool writePerfettoTrace(const std::string &path,
  * run carried a journal — exact journal aggregates, the per-site
  * attribution list with hottest offending blocks, and the interval time
  * series folded at @p window cycles (0 = a default derived from the
- * run length).
+ * run length). Runs carrying capacity-pressure metrics additionally get
+ * a "metrics" section (growth curves, overflow-set occupancy, per-site
+ * hint effectiveness, fallback/sharer/NUMA telemetry); others get
+ * "metrics": null.
  */
 std::string statsJsonRecord(const JournalRun &run, Cycle window = 0);
 
@@ -67,9 +74,10 @@ bool writeStatsJson(const std::string &path,
                     Cycle window = 0);
 
 /**
- * The per-site abort-attribution table: top @p top_n sites by total
- * aborts, with the per-reason breakdown, cycles lost, and the hottest
- * offending block addresses recorded at abort time.
+ * The per-site abort-attribution table: top @p top_n sites by cycles
+ * lost to aborts (the cost-ranked view), with the per-reason breakdown
+ * and the hottest offending block addresses recorded at abort time.
+ * Sites whose hot-block list saturated are marked "(sat)".
  */
 std::string renderAttributionTable(const TxJournal &journal,
                                    std::size_t top_n = 10);
@@ -83,6 +91,10 @@ Cycle defaultIntervalWindow(Cycle run_cycles);
 
 /** One-paragraph journal summary ("N attempts recorded, ..."). */
 std::string journalSummary(const RunResult &r);
+
+/** One-paragraph capacity-pressure summary ("N capacity aborts, ...");
+ * "metrics: off" when the run carried no metrics. */
+std::string metricsSummary(const RunResult &r);
 
 } // namespace sim
 } // namespace hintm

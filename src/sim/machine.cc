@@ -53,6 +53,8 @@ struct ContextState
     TxRecord rec;
     bool recOpen = false;
     bool recConverted = false;
+    // Capacity-metrics measurement of the in-flight TX (metrics only).
+    TxMetricsCtx mtx;
     /** Descheduled by the ScheduleController: off the pick set until
      * another context is preempted in its place or nothing else is
      * runnable. Never true without a controller; deliberately outside
@@ -102,6 +104,16 @@ class Machine
             for (const tir::Function &f : module.functions)
                 names.push_back(f.name);
             journal_->setFunctionNames(std::move(names));
+        }
+
+        if (cfg.metrics) {
+            metrics_ = std::make_shared<MetricsRegistry>();
+            std::vector<std::string> names;
+            names.reserve(module.functions.size());
+            for (const tir::Function &f : module.functions)
+                names.push_back(f.name);
+            metrics_->setFunctionNames(std::move(names));
+            mem_->setMetricsSink(metrics_.get());
         }
 
         if (cfg.hintOracle) {
@@ -426,6 +438,8 @@ class Machine
                          journal_->capacity(), ")");
             res_.journal = journal_;
         }
+        if (metrics_)
+            res_.metrics = metrics_;
         if (cfg_.collectRawStats) {
             std::ostringstream os;
             mem_->statGroup().dump(os);
@@ -498,6 +512,7 @@ class Machine
             c.rec = cs.rec;
             c.recOpen = cs.recOpen;
             c.recConverted = cs.recConverted;
+            c.mtx = cs.mtx;
             s.ctxs.push_back(std::move(c));
         }
         s.lockHolder = lockHolder_;
@@ -505,9 +520,14 @@ class Machine
         s.profiler = profiler_;
         s.partial = res_;
         s.partial.journal.reset();
+        s.partial.metrics.reset();
         if (journal_) {
             s.journal = *journal_;
             s.hasJournal = true;
+        }
+        if (metrics_) {
+            s.metrics = *metrics_;
+            s.hasMetrics = true;
         }
         s.now = now_;
         s.rr = rr_;
@@ -526,6 +546,8 @@ class Machine
                      "snapshot does not match this machine");
         HINTM_ASSERT(s.hasJournal == bool(journal_),
                      "snapshot journal mode mismatch");
+        HINTM_ASSERT(s.hasMetrics == bool(metrics_),
+                     "snapshot metrics mode mismatch");
         // Restoring un-finalizes: the explorer reuses one machine for
         // many branches, finishing each before restoring the next.
         finalized_ = false;
@@ -552,6 +574,7 @@ class Machine
             cs.rec = c.rec;
             cs.recOpen = c.recOpen;
             cs.recConverted = c.recConverted;
+            cs.mtx = c.mtx;
             // Snapshots never carry preemption or filter state; a
             // forked branch re-applies its preemption after restore and
             // rebuilds footprints conservatively.
@@ -565,6 +588,8 @@ class Machine
         res_ = s.partial;
         if (journal_)
             *journal_ = s.journal;
+        if (metrics_)
+            *metrics_ = s.metrics;
         now_ = s.now;
         rr_ = s.rr;
         if (useSchedIndex_)
@@ -693,6 +718,30 @@ class Machine
             journal_->push(cs.rec);
             cs.recOpen = false;
         }
+        if (metrics_ && cs.mtx.open) {
+            if (cs.htm->pendingReason() == htm::AbortReason::Capacity) {
+                // Occupancy breakdown of the overflowing cache set,
+                // read before the ack clears the tracking state. Only
+                // aborts that name an offending address have a set to
+                // scan (L1TM set conflicts always do; buffer-full
+                // aborts on P8/P8S name the overflowing access).
+                if (cs.htm->lastAbortAddrValid()) {
+                    metrics_->recordOverflowScan();
+                    mem_->forEachValidInL1Set(
+                        mem::ContextId(c), cs.htm->lastAbortAddr(),
+                        [&](Addr blk, const mem::CacheLine &) {
+                            metrics_->recordOverflowLine(
+                                cs.htm->readsBlock(blk) ||
+                                    cs.htm->writesBlock(blk),
+                                cs.mtx.skips.contains(blk));
+                        });
+                }
+                metrics_->closeCapacityAbort(cs.mtx,
+                                             cs.htm->trackedBlocks());
+            } else {
+                metrics_->closeOther(cs.mtx);
+            }
+        }
         const htm::AbortReason reason = cs.htm->acknowledgeAbort(now);
         trace::event(trace::Category::Tx, now, "ctx ", c, " abort (",
                      htm::abortReasonName(reason), "), retry ",
@@ -734,6 +783,10 @@ class Machine
         if (cs.mustFallback) {
             lockHolder_ = int(c);
             ++res_.fallbackRuns;
+            if (metrics_) {
+                cs.mtx.lockAcquiredAt = now;
+                cs.mtx.lockHeld = true;
+            }
             trace::event(trace::Category::Tx, now, "ctx ", c,
                          " acquires the fallback lock");
             // Abort every running hardware TX (they all subscribed to
@@ -762,6 +815,10 @@ class Machine
                          " begins hardware TX");
             if (journal_)
                 openRecord(cs, c, now, st, TxOutcome::Commit);
+            if (metrics_) {
+                metrics_->beginTx(cs.mtx, now, st.fn, st.srcBlock,
+                                  st.srcInstr);
+            }
             // Lock subscription: the lock word joins the readset so a
             // fallback acquisition conflicts this TX out. The seeded
             // bug skips it — the Dice-et-al. lazy-subscription hazard
@@ -809,6 +866,18 @@ class Machine
         if (cs.inFallback) {
             HINTM_ASSERT(lockHolder_ == int(c), "lock bookkeeping broken");
             lockHolder_ = -1;
+            if (metrics_) {
+                if (cs.mtx.lockHeld) {
+                    metrics_->fallbackSeries.addSpan(cs.mtx.lockAcquiredAt,
+                                                     now);
+                    ++metrics_->fallbackAcquisitions;
+                    cs.mtx.lockHeld = false;
+                }
+                // A converted TX commits under the lock, not the HTM:
+                // fold its hint accounting without a commit verdict.
+                if (cs.mtx.open)
+                    metrics_->closeOther(cs.mtx);
+            }
             trace::event(trace::Category::Tx, now, "ctx ", c,
                          " releases the fallback lock");
             const auto ar =
@@ -832,6 +901,8 @@ class Machine
             }
             trace::event(trace::Category::Tx, now, "ctx ", c, " commits (",
                          cs.htm->trackedBlocks(), " tracked blocks)");
+            if (metrics_ && cs.mtx.open)
+                metrics_->closeCommit(cs.mtx, hintSavedVerdict(cs));
             cs.htm->commitTx(now);
             noteEvent(SchedEvent::TxCommit);
             if (ctrl_) {
@@ -851,6 +922,63 @@ class Machine
         cs.fpUnsafe.clear();
         ++res_.committedTxs;
         cs.readyAt = now + cost;
+    }
+
+    /**
+     * Capacity-model verdict at commit time: did this TX's tracked
+     * footprint fit the transactional structures only because safe
+     * hints kept the skipped blocks out? Counts only skipped blocks the
+     * TX never also tracked (a block read safely and written unsafely
+     * occupies a slot regardless).
+     *
+     * P8/P8S: the tracked set fit the TX buffer, but tracked + skipped
+     * would not have. (For P8S this is conservative: spilled reads live
+     * in the signature, so a buffer-centric model may over-claim.)
+     * L1TM: the tracked set fit every L1 set's associativity, but some
+     * set would have overflowed with the skipped blocks included.
+     * InfCap: never (nothing to overflow).
+     */
+    bool
+    hintSavedVerdict(const ContextState &cs) const
+    {
+        if (cfg_.htm.kind == htm::HtmKind::InfCap)
+            return false;
+        const TxMetricsCtx &m = cs.mtx;
+        if (m.skips.empty())
+            return false;
+        // Tracked membership is queried from the controller's own
+        // read/write sets — the metrics layer keeps no shadow copy of
+        // the footprint. Called before commitTx, so the sets are live.
+        const auto in_tracked = [&](Addr b) {
+            return cs.htm->readsBlock(b) || cs.htm->writesBlock(b);
+        };
+        if (cfg_.htm.kind != htm::HtmKind::L1TM) {
+            const std::uint64_t cap = cfg_.htm.bufferEntries;
+            std::uint64_t extra = 0;
+            m.skips.forEach([&](Addr b) {
+                if (!in_tracked(b))
+                    ++extra;
+            });
+            const std::uint64_t used = cs.htm->trackedBlocks();
+            return extra > 0 && used <= cap && used + extra > cap;
+        }
+        // L1TM: group tracked and (un-tracked) skipped blocks by L1 set.
+        const mem::CacheGeometry &g = mem_->l1Geometry();
+        std::map<std::uint64_t, std::pair<unsigned, unsigned>> sets;
+        cs.htm->forEachTrackedBlock(
+            [&](Addr b) { ++sets[g.indexOf(b)].first; });
+        m.skips.forEach([&](Addr b) {
+            if (!in_tracked(b))
+                ++sets[g.indexOf(b)].second;
+        });
+        bool tracked_fits = true, combined_overflows = false;
+        for (const auto &[set, counts] : sets) {
+            if (counts.first > g.assoc())
+                tracked_fits = false;
+            if (counts.first + counts.second > g.assoc())
+                combined_overflows = true;
+        }
+        return tracked_fits && combined_overflows;
     }
 
     void
@@ -946,7 +1074,8 @@ class Machine
             }
         }
         if (in_htm_tx) {
-            cs.htm->trackAccess(st.addr, st.accessType, safe);
+            const std::uint8_t newly =
+                cs.htm->trackAccess(st.addr, st.accessType, safe);
             if (dyn_safe)
                 cs.htm->noteSafePageRead(tr.pageNum);
             if (cs.htm->capacityPending()) {
@@ -955,6 +1084,10 @@ class Machine
                 // preserving the work done so far; else abort normally.
                 if (lockHolder_ < 0) {
                     lockHolder_ = int(c);
+                    if (metrics_) {
+                        cs.mtx.lockAcquiredAt = now;
+                        cs.mtx.lockHeld = true;
+                    }
                     trace::event(trace::Category::Tx, now, "ctx ", c,
                                  " converts overflowing TX to a "
                                  "critical section");
@@ -992,6 +1125,24 @@ class Machine
             if (cs.htm->abortPending()) {
                 cs.readyAt = now + cost; // capacity: squash
                 return;
+            }
+            if (metrics_ && cs.mtx.open && !cs.inFallback) {
+                if (static_safe) {
+                    metrics_->onSafeSkip(cs.mtx, blockAlign(st.addr),
+                                         MetricsRegistry::SkipKind::Static);
+                } else if (dyn_safe) {
+                    metrics_->onSafeSkip(
+                        cs.mtx, blockAlign(st.addr),
+                        MetricsRegistry::SkipKind::Dynamic);
+                } else if (annot_safe) {
+                    metrics_->onSafeSkip(
+                        cs.mtx, blockAlign(st.addr),
+                        MetricsRegistry::SkipKind::Annotation);
+                } else if (newly) {
+                    metrics_->onTrackedGrowth(
+                        cs.mtx, newly & htm::NewlyRead,
+                        newly & htm::NewlyWritten, now);
+                }
             }
             if (is_read) {
                 if (static_safe)
@@ -1271,6 +1422,7 @@ class Machine
     std::unique_ptr<vm::Vm> vm_;
     std::unique_ptr<htm::HintOracle> oracle_;
     std::shared_ptr<TxJournal> journal_;
+    std::shared_ptr<MetricsRegistry> metrics_;
     std::vector<ContextState> ctxs_;
     int lockHolder_ = -1;
     std::uint64_t shootdownCycles_ = 0;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/journal.hh"
+#include "common/metrics.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "htm/controller.hh"
@@ -93,6 +94,12 @@ struct MachineConfig
     /** TX-journal ring capacity in records; older records are dropped
      * (and counted) past this bound, aggregates stay exact. */
     std::size_t journalCapacity = 1u << 16;
+    /** Fold capacity-pressure metrics into RunResult::metrics
+     * (read/write-set growth, overflowing-set occupancy, per-site hint
+     * effectiveness, fallback timeline, sharer histogram, NUMA
+     * traffic). Observation only: simulation results are bit-identical
+     * with or without it. */
+    bool metrics = false;
     /** Scheduler nondeterminism hook (schedule.hh): tie-breaks and
      * TX-event preemption points route through it. Null (the default)
      * leaves every scheduler hot path untouched; the machine does not
@@ -173,6 +180,10 @@ struct RunResult
      * attempt with site, outcome, abort attribution and footprint.
      * Shared because RunResults are cached and copied by value. */
     std::shared_ptr<const TxJournal> journal;
+
+    /** Capacity-pressure metrics registry (MachineConfig::metrics
+     * only). Shared for the same caching reason as the journal. */
+    std::shared_ptr<const MetricsRegistry> metrics;
 
     std::uint64_t
     txAccessesTotal() const

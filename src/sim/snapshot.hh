@@ -31,6 +31,7 @@
 
 #include "common/flat_set.hh"
 #include "common/journal.hh"
+#include "common/metrics.hh"
 #include "sim/machine.hh"
 #include "tir/interp.hh"
 
@@ -75,6 +76,8 @@ struct MachineContextSnapshot
     TxRecord rec;
     bool recOpen = false;
     bool recConverted = false;
+    /** In-flight capacity-metrics measurement (metrics configs only). */
+    TxMetricsCtx mtx;
 };
 
 /** Complete machine state at a scheduler boundary. The event-driven
@@ -95,6 +98,9 @@ struct MachineSnapshot
     /** Journal ring contents (journaling configs only). */
     TxJournal journal;
     bool hasJournal = false;
+    /** Metrics registry contents (metrics configs only). */
+    MetricsRegistry metrics;
+    bool hasMetrics = false;
     Cycle now = 0;
     unsigned rr = 0;
     unsigned numThreads = 0;

@@ -176,7 +176,7 @@ TEST(JobKey, GoldenFormatIsStable)
                       bench::fnv1a(text.data(), text.size())));
     std::ostringstream expect;
     expect << "kmeans|0|" << p.wl.threads << '|' << fp
-           << "|0|0|0000|8x1|1|000|64|1024|8|1111000|65536|1|24";
+           << "|0|0|0000|8x1|1|000|64|1024|8|11110000|65536|1|24";
     EXPECT_EQ(bench::matrixJobKey(job), expect.str());
 }
 

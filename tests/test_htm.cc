@@ -48,11 +48,15 @@ struct ControllerFixture
 TEST(TxBuffer, TracksUntilCapacity)
 {
     TxBuffer buf(2);
-    EXPECT_TRUE(buf.track(blk(1), AccessType::Read));
-    EXPECT_TRUE(buf.track(blk(1), AccessType::Write)); // same entry
-    EXPECT_TRUE(buf.track(blk(2), AccessType::Read));
+    EXPECT_EQ(buf.track(blk(1), AccessType::Read), Tracked | NewlyRead);
+    // Same entry: tracked, write bit newly set.
+    EXPECT_EQ(buf.track(blk(1), AccessType::Write),
+              Tracked | NewlyWritten);
+    // Repeats set no new direction bit.
+    EXPECT_EQ(buf.track(blk(1), AccessType::Read), Tracked);
+    EXPECT_EQ(buf.track(blk(2), AccessType::Read), Tracked | NewlyRead);
     EXPECT_TRUE(buf.full());
-    EXPECT_FALSE(buf.track(blk(3), AccessType::Read));
+    EXPECT_EQ(buf.track(blk(3), AccessType::Read), TrackFailed);
     EXPECT_EQ(buf.size(), 2u);
 
     const TxBufferEntry *e = buf.find(blk(1));

@@ -275,9 +275,106 @@ TEST(TxJournal, SiteAggregationAndHotBlockSaturation)
     EXPECT_EQ(order[0]->totalAborts(), TxJournal::hotBlockCap + 2);
     EXPECT_EQ(order[0]->hotBlocks.size(), TxJournal::hotBlockCap);
     EXPECT_EQ(order[0]->otherOffenders, 2u);
+    // Saturation is an explicit flag, not just a nonzero overflow
+    // counter: consumers can tell a partial ranking from a full one.
+    EXPECT_TRUE(order[0]->hotBlocksSaturated);
+    EXPECT_FALSE(order[1]->hotBlocksSaturated);
     EXPECT_EQ(order[1]->fn, 7);
     EXPECT_EQ(order[1]->commits, 5u);
     EXPECT_EQ(order[1]->footprintSum, 5u * 3u);
+}
+
+TEST(TxJournal, HotBlockListAtExactCapIsNotSaturated)
+{
+    TxJournal j(64);
+    for (unsigned i = 0; i < TxJournal::hotBlockCap; ++i) {
+        TxRecord r = mkRecord(i, i + 1, TxOutcome::Abort, 1, 1, 2, 3);
+        r.offendingAddr = 0x1000 + 64 * i;
+        r.offendingValid = true;
+        j.push(r);
+    }
+    const auto order = j.sitesByAborts();
+    ASSERT_EQ(order.size(), 1u);
+    EXPECT_EQ(order[0]->hotBlocks.size(), TxJournal::hotBlockCap);
+    EXPECT_EQ(order[0]->otherOffenders, 0u);
+    EXPECT_FALSE(order[0]->hotBlocksSaturated);
+}
+
+TEST(TxJournal, SitesByCyclesLostRanksCostNotCount)
+{
+    TxJournal j(64);
+    // Site 1: many cheap aborts (10 x 1 cycle).
+    for (unsigned i = 0; i < 10; ++i)
+        j.push(mkRecord(i * 10, i * 10 + 1, TxOutcome::Abort, 1, 1, 0,
+                        0));
+    // Site 2: one expensive abort (500 cycles).
+    j.push(mkRecord(1000, 1500, TxOutcome::Abort, 1, 2, 0, 0));
+
+    const auto byAborts = j.sitesByAborts();
+    ASSERT_EQ(byAborts.size(), 2u);
+    EXPECT_EQ(byAborts[0]->fn, 1); // count ranking: many cheap first
+
+    const auto byCost = j.sitesByCyclesLost();
+    ASSERT_EQ(byCost.size(), 2u);
+    EXPECT_EQ(byCost[0]->fn, 2); // cost ranking: expensive first
+    EXPECT_EQ(byCost[0]->cyclesLostToAborts, 500u);
+    EXPECT_EQ(byCost[1]->cyclesLostToAborts, 10u);
+}
+
+// ---- interval-sampler edge cases ------------------------------------
+
+TEST(TxJournal, IntervalSamplerZeroWindowReturnsNoSamples)
+{
+    TxJournal j(64);
+    j.push(mkRecord(10, 50, TxOutcome::Commit));
+    EXPECT_TRUE(j.sampleIntervals(0).empty());
+}
+
+TEST(TxJournal, IntervalSamplerHugeWindowFoldsToOneSample)
+{
+    TxJournal j(64);
+    j.push(mkRecord(10, 50, TxOutcome::Commit));
+    j.push(mkRecord(60, 120, TxOutcome::Abort, 1));
+    j.push(mkRecord(130, 250, TxOutcome::Commit));
+
+    const auto samples = j.sampleIntervals(1'000'000'000);
+    ASSERT_EQ(samples.size(), 1u);
+    EXPECT_EQ(samples[0].start, 0u);
+    EXPECT_EQ(samples[0].commits, 2u);
+    EXPECT_EQ(samples[0].totalAborts(), 1u);
+}
+
+TEST(TxJournal, IntervalSamplerRunShorterThanOneWindow)
+{
+    TxJournal j(64);
+    j.push(mkRecord(3, 7, TxOutcome::Commit));
+    const auto samples = j.sampleIntervals(100);
+    ASSERT_EQ(samples.size(), 1u);
+    EXPECT_EQ(samples[0].commits, 1u);
+    EXPECT_DOUBLE_EQ(samples[0].meanFootprint(), 3.0);
+}
+
+TEST(TxJournal, IntervalSamplerEmptyJournalAndRingDrops)
+{
+    TxJournal empty(8);
+    EXPECT_TRUE(empty.sampleIntervals(100).empty());
+
+    // A 4-slot ring over 10 records: only the newest 4 survive, so the
+    // early windows under-count while the exact totals stay complete.
+    TxJournal j(4);
+    for (unsigned i = 0; i < 10; ++i)
+        j.push(mkRecord(i * 100, i * 100 + 10, TxOutcome::Commit));
+    ASSERT_EQ(j.dropped(), 6u);
+
+    const auto samples = j.sampleIntervals(100);
+    ASSERT_EQ(samples.size(), 10u);
+    std::uint64_t sampled = 0;
+    for (const auto &s : samples)
+        sampled += s.commits;
+    EXPECT_EQ(sampled, 4u);           // only retained records fold
+    EXPECT_EQ(samples[0].commits, 0u); // oldest windows dropped
+    EXPECT_EQ(samples[9].commits, 1u); // newest window intact
+    EXPECT_EQ(j.totals().commits, 10u); // aggregates stay exact
 }
 
 TEST(TxJournal, SiteNamesRender)
@@ -327,9 +424,11 @@ TEST(JournalIo, StatsJsonRecordCarriesJournalSections)
     for (const char *key :
          {"\"workload\"", "\"htm\"", "\"journal\"", "\"totals\"",
           "\"sites\"", "\"intervals\"", "\"hot_blocks\"",
-          "\"conflict\"", "\"dropped\""})
+          "\"hot_blocks_saturated\"", "\"conflict\"", "\"dropped\""})
         EXPECT_NE(rec.find(key), std::string::npos) << key;
     EXPECT_EQ(rec.find("\"journal\":null"), std::string::npos);
+    // No metrics were collected: the section is present but null.
+    EXPECT_NE(rec.find("\"metrics\":null"), std::string::npos);
 
     // Journal-off runs still export the simulation sections.
     workloads::Workload wl =
@@ -340,6 +439,7 @@ TEST(JournalIo, StatsJsonRecordCarriesJournalSections)
     const sim::JournalRun off = {"kmeans", "P8/baseline", 2, &plain};
     const std::string rec2 = sim::statsJsonRecord(off);
     EXPECT_NE(rec2.find("\"journal\":null"), std::string::npos);
+    EXPECT_NE(rec2.find("\"metrics\":null"), std::string::npos);
     EXPECT_NE(rec2.find("\"htm\""), std::string::npos);
 }
 

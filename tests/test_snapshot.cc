@@ -265,6 +265,58 @@ TEST(Snapshot, CarriesTheJournalAcrossRestore)
               bench::encodeRunResult(cold));
 }
 
+TEST(Snapshot, CarriesTheMetricsAcrossRestore)
+{
+    // Same shape as the journal round-trip: a snapshot taken mid-run
+    // must carry the metrics registry (and each context's in-flight
+    // measurement) so a restored machine finishes with the exact
+    // aggregates of the uninterrupted one.
+    workloads::Workload wl =
+        workloads::byName("intruder", workloads::Scale::Tiny);
+    core::compileHints(wl.module);
+    core::SystemOptions opts = observedOpts(htm::HtmKind::P8);
+    opts.metrics = true;
+    const sim::MachineConfig cfg = core::makeMachineConfig(opts);
+
+    sim::SimRun a(cfg, wl.module, wl.threads);
+    a.runUntilCommits(3);
+    const sim::MachineSnapshot snap = a.snapshot();
+    ASSERT_TRUE(snap.hasMetrics);
+    const sim::RunResult cold = a.finish();
+    ASSERT_NE(cold.metrics, nullptr);
+
+    sim::SimRun b(cfg, wl.module, wl.threads);
+    b.restore(snap);
+    const sim::RunResult resumed = b.finish();
+    ASSERT_NE(resumed.metrics, nullptr);
+    EXPECT_EQ(bench::encodeRunResult(resumed),
+              bench::encodeRunResult(cold));
+
+    // The registries themselves must match field for field, including
+    // state that was mid-flight at snapshot time.
+    const MetricsRegistry &mc = *cold.metrics;
+    const MetricsRegistry &mr = *resumed.metrics;
+    EXPECT_EQ(mr.capacityAborts, mc.capacityAborts);
+    EXPECT_EQ(mr.hintSavedCommits, mc.hintSavedCommits);
+    EXPECT_EQ(mr.skipStaticAccesses, mc.skipStaticAccesses);
+    EXPECT_EQ(mr.skipDynAccesses, mc.skipDynAccesses);
+    EXPECT_EQ(mr.trackedAtCommit.count, mc.trackedAtCommit.count);
+    EXPECT_EQ(mr.trackedAtCommit.sum, mc.trackedAtCommit.sum);
+    EXPECT_EQ(mr.sharersAtBus.count, mc.sharersAtBus.count);
+    EXPECT_EQ(mr.fallbackSeries.samples(), mc.fallbackSeries.samples());
+    EXPECT_EQ(mr.numaMatrix(), mc.numaMatrix());
+    ASSERT_EQ(mr.sites().size(), mc.sites().size());
+    for (const auto &kv : mc.sites()) {
+        const auto it = mr.sites().find(kv.first);
+        ASSERT_NE(it, mr.sites().end());
+        EXPECT_EQ(it->second.commits, kv.second.commits);
+        EXPECT_EQ(it->second.skippedBlocksSum,
+                  kv.second.skippedBlocksSum);
+        EXPECT_EQ(it->second.peakTrackedSum, kv.second.peakTrackedSum);
+    }
+    EXPECT_EQ(sim::metricsSummary(resumed), sim::metricsSummary(cold));
+}
+
 TEST(Snapshot, SnapshotItselfPerturbsNothing)
 {
     workloads::Workload wl =

@@ -2,8 +2,9 @@
  * @file
  * hintm_profile: transaction-level abort-attribution profiler. Runs a
  * workload with the TX journal enabled and prints where transactions
- * abort — the top TX sites by aborts with per-reason breakdowns and the
- * hottest conflicting block addresses — plus the interval time series
+ * abort — the top TX sites ranked by cycles lost to aborts, with
+ * per-reason breakdowns and the hottest conflicting block addresses —
+ * plus the interval time series
  * (commit/abort rates, mean footprint, fallback-lock occupancy per
  * fixed-cycle window). Optional Perfetto / stats-JSON export.
  *
@@ -47,8 +48,10 @@ usage(int code)
         "  --preabort          convert capacity overflows to critical "
         "sections\n"
         "  --preserve          preserve-read-only page policy\n"
-        "  --top N             sites in the attribution table "
-        "(default 10)\n"
+        "  --top N             sites in the attribution table, ranked "
+        "by cycles lost (default 10)\n"
+        "  --metrics           also collect capacity-pressure metrics "
+        "(observation only)\n"
         "  --window N          interval-sampler window in cycles "
         "(default: ~50 windows)\n"
         "  --capacity N        journal ring size in records "
@@ -150,6 +153,8 @@ main(int argc, char **argv)
             opts.preserveReadOnly = true;
         } else if (a == "--top") {
             top_n = std::size_t(parseNum(next()));
+        } else if (a == "--metrics") {
+            opts.metrics = true;
         } else if (a == "--window") {
             window = Cycle(parseNum(next()));
         } else if (a == "--capacity") {
@@ -203,6 +208,8 @@ main(int argc, char **argv)
                 (unsigned long long)r.committedTxs,
                 (unsigned long long)r.htm.totalAborts());
     std::printf("%s", sim::journalSummary(r).c_str());
+    if (r.metrics)
+        std::printf("%s", sim::metricsSummary(r).c_str());
 
     std::printf("\n-- abort attribution (top %zu sites) --\n%s", top_n,
                 sim::renderAttributionTable(*r.journal, top_n).c_str());

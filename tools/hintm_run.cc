@@ -67,6 +67,8 @@ usage(int code)
         "only)\n"
         "  --journal           record every TX attempt (observation "
         "only)\n"
+        "  --metrics           collect capacity-pressure metrics "
+        "(observation only)\n"
         "  --journal-capacity N  journal ring size in records "
         "(default 65536)\n"
         "  --perfetto [FILE]   write a Chrome-trace timeline (implies\n"
@@ -214,6 +216,8 @@ main(int argc, char **argv)
             opts.hintOracle = true;
         } else if (a == "--journal") {
             opts.journal = true;
+        } else if (a == "--metrics") {
+            opts.metrics = true;
         } else if (a == "--journal-capacity") {
             opts.journalCapacity = std::size_t(parseNum(next()));
             opts.journal = true;
@@ -363,6 +367,8 @@ main(int argc, char **argv)
         std::printf("\n-- abort attribution (top 5 sites) --\n%s",
                     sim::renderAttributionTable(*r.journal, 5).c_str());
     }
+    if (r.metrics)
+        std::printf("%s", sim::metricsSummary(r).c_str());
     if (!perfettoPath.empty() || !statsJsonPath.empty()) {
         const std::vector<sim::JournalRun> runs = {
             {wl.name, opts.label(), threads, &r}};
